@@ -1,0 +1,67 @@
+// Command ml4db-bench runs the reproduction harness: every experiment from
+// DESIGN.md (paper artifacts F1/T1, claims E1–E20, and the ablations),
+// printing the regenerated rows and whether each paper claim held.
+//
+// Usage:
+//
+//	ml4db-bench [-seed N] [-run ID[,ID...]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ml4db/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "random seed for all experiments")
+	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *run == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ml4db-bench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failures := 0
+	for _, r := range runners {
+		start := time.Now()
+		rep, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %s failed: %v\n", r.ID, err)
+			failures++
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		if !rep.Holds {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "ml4db-bench: %d experiment(s) did not reproduce the claimed direction\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments reproduce the paper's claimed directions")
+}

@@ -1,0 +1,18 @@
+// Command ml4db-survey prints the paper's two evaluation artifacts
+// regenerated from the embedded corpus: Figure 1 (the publication trend in
+// ML for index & query optimizer, replacement vs ML-enhanced) and Table 1
+// (the query-plan representation method summary with implementation
+// pointers into this repository).
+package main
+
+import (
+	"fmt"
+
+	"ml4db/internal/survey"
+)
+
+func main() {
+	fmt.Print(survey.RenderFigure1())
+	fmt.Println()
+	fmt.Print(survey.RenderTable1())
+}

@@ -1,0 +1,62 @@
+// Learned-index walkthrough: the replacement paradigm on one-dimensional
+// indexes. Builds a B-tree, RMI, PGM, RadixSpline, and ALEX over the same
+// keys, compares size and lookups, then demonstrates the update problem —
+// the robustness limitation that motivated the ML-enhanced turn (§3.2).
+//
+//	go run ./examples/learnedindex
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ml4db/internal/learnedindex"
+	"ml4db/internal/mlmath"
+)
+
+func main() {
+	rng := mlmath.NewRNG(11)
+	const n = 500000
+	kvs := learnedindex.GenKeys(rng, learnedindex.DistLognormal, n)
+	fmt.Printf("dataset: %d lognormal keys\n\n", n)
+
+	indexes := []learnedindex.Index{
+		learnedindex.BulkLoadBTree(kvs),
+		learnedindex.BuildRMI(kvs, 512),
+		learnedindex.BuildPGM(kvs, 32),
+		learnedindex.BuildRadixSpline(kvs, 32, 16),
+		learnedindex.BuildAlex(kvs),
+	}
+	probes := make([]int64, 100000)
+	for i := range probes {
+		probes[i] = kvs[rng.Intn(n)].Key
+	}
+	fmt.Printf("%-12s %-12s %-12s\n", "index", "ns/lookup", "size (KiB)")
+	for _, ix := range indexes {
+		start := time.Now()
+		for _, k := range probes {
+			if _, ok := ix.Get(k); !ok {
+				panic("missing key")
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+		fmt.Printf("%-12s %-12.0f %-12d\n", ix.Name(), ns, ix.SizeBytes()/1024)
+	}
+
+	// The update problem: insert into ALEX (model-based gapped arrays) and
+	// the B-tree; a static RMI cannot absorb the new keys at all.
+	fmt.Println("\ninserting 100k new keys into the updatable structures...")
+	alex := learnedindex.BuildAlex(kvs)
+	bt := learnedindex.BulkLoadBTree(kvs)
+	maxKey := kvs[len(kvs)-1].Key
+	start := time.Now()
+	for i := 0; i < 100000; i++ {
+		alex.Insert(maxKey+int64(i)+1, int64(i))
+	}
+	fmt.Printf("alex:  %v for 100k inserts (now %d leaves)\n", time.Since(start), alex.NumLeaves())
+	start = time.Now()
+	for i := 0; i < 100000; i++ {
+		bt.Insert(maxKey+int64(i)+1, int64(i))
+	}
+	fmt.Printf("btree: %v for 100k inserts (height %d)\n", time.Since(start), bt.Height())
+}

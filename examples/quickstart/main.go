@@ -1,0 +1,72 @@
+// Quickstart: build a database, run queries through the expert optimizer,
+// then let BAO steer it — the sixty-second tour of the ML4DB library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/qo/bao"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/workload"
+)
+
+func main() {
+	rng := mlmath.NewRNG(7)
+
+	// 1. Generate a star-schema database: one fact table with correlated
+	//    attributes (the classic estimator trap) and three dimensions.
+	sch, err := datagen.NewStarSchema(rng, 6000, 150, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := qo.NewEnv(sch.Cat)
+	gen := workload.NewStarGen(sch, rng)
+
+	// 2. Plan and execute one query with the classical System-R optimizer.
+	q := gen.QueryWithDims(2)
+	p, err := env.Opt.Plan(q, optimizer.NoHint())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("expert plan:")
+	fmt.Print(p)
+	work, _, err := env.Run(p, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d work units\n\n", work)
+
+	// 3. Steer the optimizer with BAO: a Thompson-sampling bandit picks a
+	//    hint set per query and learns from each execution.
+	steered := bao.New(env, optimizer.StandardHintSets(), rng)
+	var baoW, expW []float64
+	for i := 0; i < 120; i++ {
+		// Half the workload triggers the independence-assumption trap.
+		var query = gen.QueryWithDims(2)
+		if i%2 == 0 {
+			query = gen.CorrelatedJoinQuery(2)
+		}
+		w, _, err := steered.RunQuery(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i < 60 { // warmup: learn, don't measure
+			continue
+		}
+		we, err := steered.ExpertWork(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baoW = append(baoW, float64(w))
+		expW = append(expW, float64(we))
+	}
+	sb, se := mlmath.Summarize(baoW), mlmath.Summarize(expW)
+	fmt.Printf("post-warmup — expert mean %.0f p95 %.0f | BAO mean %.0f p95 %.0f\n",
+		se.Mean, se.P95, sb.Mean, sb.P95)
+}

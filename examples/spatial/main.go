@@ -1,0 +1,77 @@
+// Spatial-index tour: the paradigms on R-trees. Builds the classical
+// baselines (insertion R-tree, STR), the replacement-paradigm learned
+// indexes (ZM, LISA, RSMI), and the ML-enhanced systems (RLR-tree, PLATON,
+// AI+R) over the same clustered point set and workload.
+//
+//	go run ./examples/spatial
+package main
+
+import (
+	"fmt"
+
+	"ml4db/internal/mlindex"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/spatial"
+)
+
+func main() {
+	rng := mlmath.NewRNG(33)
+	pts := spatial.GenPoints(rng, spatial.PointsClustered, 20000)
+	items := spatial.PointItems(pts)
+	queries := spatial.GenQueryRects(rng, pts, 100, 0.05)
+	fmt.Printf("dataset: %d clustered points, %d range queries\n\n", len(pts), len(queries))
+
+	evalRange := func(name string, f func(spatial.Rect) ([]int, int)) {
+		work, results := 0, 0
+		for _, q := range queries {
+			ids, w := f(q)
+			work += w
+			results += len(ids)
+		}
+		fmt.Printf("%-14s work/query %-8.1f results %d\n", name, float64(work)/float64(len(queries)), results)
+	}
+
+	// Classical baselines.
+	ins := spatial.NewRTree(16)
+	for _, it := range items {
+		ins.Insert(it.Rect, it.ID)
+	}
+	str := spatial.STRBulkLoad(items, 16)
+	evalRange("rtree-insert", ins.Range)
+	evalRange("rtree-str", str.Range)
+
+	// Replacement-paradigm learned spatial indexes.
+	evalRange("zm", spatial.BuildZM(pts, 32).Range)
+	evalRange("lisa", spatial.BuildLISA(pts, 64).Range)
+	evalRange("rsmi", spatial.BuildRSMI(pts, 32).Range)
+
+	// ML-enhanced systems keep the R-tree and learn its decisions.
+	rlr := mlindex.NewRLRTree(16, rng)
+	rlr.Train(items, queries, 3)
+	evalRange("rlr-tree", rlr.Range)
+
+	platon := mlindex.NewPlaton(16, 96, rng).Pack(items, queries)
+	evalRange("platon", platon.Range)
+
+	air := mlindex.NewAIRTree(items, 16, 48, rng)
+	air.TrainRouter(queries[:50], 60, rng)
+	evalRange("ai+r", air.Range)
+
+	// KNN: exact on the R-tree and LISA, approximate on the curves.
+	p := spatial.Point{X: 0.4, Y: 0.6}
+	exact := spatial.BruteForceKNN(pts, p, 10)
+	for _, ix := range []spatial.SpatialIndex{str, spatial.BuildZM(pts, 32), spatial.BuildLISA(pts, 64)} {
+		got, _ := ix.KNN(p, 10)
+		hits := 0
+		want := map[int]bool{}
+		for _, id := range exact {
+			want[id] = true
+		}
+		for _, id := range got {
+			if want[id] {
+				hits++
+			}
+		}
+		fmt.Printf("knn recall %-8s %d/10\n", ix.Name(), hits)
+	}
+}

@@ -1,0 +1,3 @@
+module ml4db
+
+go 1.22

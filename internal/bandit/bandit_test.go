@@ -1,0 +1,126 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+func TestThompsonConvergesToBestArm(t *testing.T) {
+	rng := mlmath.NewRNG(1)
+	// Context-independent: arm 2 has the highest mean reward.
+	means := []float64{0.2, 0.5, 0.9, 0.4}
+	b := NewThompsonLinear(4, 1, 0.3, 1)
+	ctx := []float64{1}
+	picks := make([]int, 4)
+	for i := 0; i < 600; i++ {
+		arm, err := b.Select(ctx, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks[arm]++
+		b.Update(arm, ctx, means[arm]+0.1*rng.NormFloat64())
+	}
+	best := mlmath.ArgMax([]float64{float64(picks[0]), float64(picks[1]), float64(picks[2]), float64(picks[3])})
+	if best != 2 {
+		t.Errorf("most pulled arm = %d (picks %v), want 2", best, picks)
+	}
+	if picks[2] < 300 {
+		t.Errorf("best arm pulled only %d/600 times", picks[2])
+	}
+}
+
+func TestThompsonContextual(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	// Arm 0 is best when ctx[0]=1; arm 1 when ctx[1]=1.
+	b := NewThompsonLinear(2, 2, 0.2, 1)
+	reward := func(arm int, ctx []float64) float64 {
+		if (arm == 0 && ctx[0] == 1) || (arm == 1 && ctx[1] == 1) {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < 800; i++ {
+		ctx := []float64{0, 1}
+		if i%2 == 0 {
+			ctx = []float64{1, 0}
+		}
+		arm, err := b.Select(ctx, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Update(arm, ctx, reward(arm, ctx)+0.05*rng.NormFloat64())
+	}
+	// After training, the posterior mean must route contexts correctly.
+	m00, _ := b.Mean(0, []float64{1, 0})
+	m10, _ := b.Mean(1, []float64{1, 0})
+	m01, _ := b.Mean(0, []float64{0, 1})
+	m11, _ := b.Mean(1, []float64{0, 1})
+	if m00 <= m10 {
+		t.Errorf("ctx A: arm0 mean %v should beat arm1 %v", m00, m10)
+	}
+	if m11 <= m01 {
+		t.Errorf("ctx B: arm1 mean %v should beat arm0 %v", m11, m01)
+	}
+}
+
+func TestThompsonExploresAllArmsEarly(t *testing.T) {
+	rng := mlmath.NewRNG(3)
+	b := NewThompsonLinear(5, 1, 1, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		arm, err := b.Select([]float64{1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[arm] = true
+		b.Update(arm, []float64{1}, 0.5)
+	}
+	if len(seen) != 5 {
+		t.Errorf("explored %d/5 arms", len(seen))
+	}
+}
+
+func TestSelectRejectsBadContext(t *testing.T) {
+	b := NewThompsonLinear(2, 3, 1, 1)
+	if _, err := b.Select([]float64{1}, mlmath.NewRNG(4)); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := mlmath.NewRNG(5)
+	n := 6
+	// Build SPD matrix A = MᵀM + I.
+	m := mlmath.NewMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a := m.T().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	bvec := a.MulVec(want)
+	got, err := mlmath.SolveSPD(a, bvec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := mlmath.NewMat(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := mlmath.Cholesky(a); err == nil {
+		t.Error("expected non-SPD error")
+	}
+}

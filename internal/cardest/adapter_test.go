@@ -1,0 +1,132 @@
+package cardest
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+// adapterTestbed trains an MLP estimator over the fact table and returns an
+// optimizer wired to use it through the adapter, plus the plain optimizer.
+func adapterTestbed(t *testing.T, seed uint64) (*datagen.StarSchema, *workload.StarGen, *optimizer.Optimizer, *optimizer.Optimizer) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 8000, 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact := sch.Cat.Table(sch.FactID)
+	f, err := NewFeaturizer(fact, sch.AttrCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewStarGen(sch, rng)
+	var trainPreds [][]expr.Pred
+	var trainFracs []float64
+	for i := 0; i < 500; i++ {
+		preds := gen.SelectionQuery(2, i%2 == 0).Filters[0]
+		trainPreds = append(trainPreds, preds)
+		trainFracs = append(trainFracs, TrueFraction(fact, preds))
+	}
+	mlp := NewMLPEstimator(f, []int{32, 16}, rng)
+	mlp.Train(trainPreds, trainFracs, 120)
+
+	plain := optimizer.New(sch.Cat)
+	enhanced := optimizer.New(sch.Cat)
+	enhanced.Est = &OptimizerAdapter{
+		Learned:      mlp,
+		LearnedTable: sch.FactID,
+		Fallback:     &optimizer.HistEstimator{Cat: sch.Cat},
+	}
+	return sch, gen, plain, enhanced
+}
+
+func TestAdapterImprovesScanEstimates(t *testing.T) {
+	sch, gen, plain, enhanced := adapterTestbed(t, 1)
+	fact := sch.Cat.Table(sch.FactID)
+	ex := exec.New(sch.Cat)
+	var qPlain, qEnh []float64
+	for i := 0; i < 25; i++ {
+		q := gen.CorrelatedJoinQuery(1)
+		truthPlan, err := plain.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ex.Execute(truthPlan, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(fact.NumRows()) * TrueFraction(fact, q.Filters[0])
+		_ = res
+		qPlain = append(qPlain, mlmath.QError(plain.Est.ScanRows(q, 0), truth))
+		qEnh = append(qEnh, mlmath.QError(enhanced.Est.ScanRows(q, 0), truth))
+	}
+	if mlmath.Median(qEnh) >= mlmath.Median(qPlain) {
+		t.Errorf("enhanced scan q-error %v not below histogram %v",
+			mlmath.Median(qEnh), mlmath.Median(qPlain))
+	}
+}
+
+// TestAdapterAvoidsNLDisasters: with corrected cardinalities the optimizer
+// stops picking nested-loop joins on underestimated inputs.
+func TestAdapterAvoidsNLDisasters(t *testing.T) {
+	sch, gen, plain, enhanced := adapterTestbed(t, 2)
+	_ = sch
+	ex := exec.New(sch.Cat)
+	var wPlain, wEnh int64
+	for i := 0; i < 25; i++ {
+		q := gen.CorrelatedJoinQuery(2)
+		pp, err := plain.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := ex.Execute(pp, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wPlain += rp.Work
+		pe, err := enhanced.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := ex.Execute(pe, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wEnh += re.Work
+		if len(rp.Rows) != len(re.Rows) {
+			t.Fatalf("query %d: plans disagree on cardinality (%d vs %d)", i, len(rp.Rows), len(re.Rows))
+		}
+	}
+	if wEnh > wPlain {
+		t.Errorf("ML-enhanced estimation work %d above histogram-only %d", wEnh, wPlain)
+	}
+}
+
+func TestAdapterFallbackPaths(t *testing.T) {
+	sch, gen, _, enhanced := adapterTestbed(t, 3)
+	// Dimension scans and join selectivities route through the fallback.
+	q := gen.QueryWithDims(2)
+	hist := &optimizer.HistEstimator{Cat: sch.Cat}
+	for pos := 1; pos < q.NumTables(); pos++ {
+		if enhanced.Est.ScanRows(q, pos) != hist.ScanRows(q, pos) {
+			t.Errorf("dimension scan at pos %d does not use fallback", pos)
+		}
+	}
+	for _, c := range q.Joins {
+		if enhanced.Est.JoinSelectivity(q, c) != hist.JoinSelectivity(q, c) {
+			t.Error("join selectivity does not use fallback")
+		}
+	}
+	// Unfiltered fact scans also fall back.
+	q2 := plan.NewQuery(sch.FactID)
+	if enhanced.Est.ScanRows(q2, 0) != hist.ScanRows(q2, 0) {
+		t.Error("unfiltered scan does not use fallback")
+	}
+}

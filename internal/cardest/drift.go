@@ -1,0 +1,103 @@
+package cardest
+
+import (
+	"math"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/expr"
+)
+
+// mathematical helpers shared by the kernel code.
+const pi = math.Pi
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func acos(x float64) float64 { return math.Acos(x) }
+func sin(x float64) float64  { return math.Sin(x) }
+
+// DriftAdapter implements Warper-style adaptation (Li et al., SIGMOD 2022):
+// it wraps a learned estimator, monitors the q-errors of recent predictions
+// against observed true cardinalities, and when the rolling error exceeds a
+// threshold it retrains the model from a buffer of recent observations —
+// recovering from data and workload shift without manual intervention
+// (the §3.3 open problem).
+type DriftAdapter struct {
+	// Model is the wrapped learned estimator.
+	Model *MLPEstimator
+	// Window is the number of recent q-errors monitored.
+	Window int
+	// Threshold triggers retraining when the rolling median q-error
+	// exceeds it.
+	Threshold float64
+	// BufferSize bounds the retraining buffer (most recent observations).
+	BufferSize int
+	// Epochs used for each retraining.
+	Epochs int
+
+	recentQErr []float64
+	bufQ       [][]expr.Pred
+	bufY       []float64
+	// Retrainings counts adaptation events.
+	Retrainings int
+}
+
+// NewDriftAdapter wraps the model with default monitoring parameters.
+func NewDriftAdapter(model *MLPEstimator) *DriftAdapter {
+	return &DriftAdapter{
+		Model:      model,
+		Window:     50,
+		Threshold:  3,
+		BufferSize: 400,
+		Epochs:     60,
+	}
+}
+
+// EstimateFraction delegates to the wrapped model.
+func (d *DriftAdapter) EstimateFraction(preds []expr.Pred) float64 {
+	return d.Model.EstimateFraction(preds)
+}
+
+// Name implements Estimator.
+func (d *DriftAdapter) Name() string { return "mlp+warper" }
+
+// SizeBytes implements Estimator (model plus buffer).
+func (d *DriftAdapter) SizeBytes() int {
+	return d.Model.SizeBytes() + len(d.bufQ)*d.Model.F.Dim()*8
+}
+
+// Observe feeds back the true selectivity of an executed query: the adapter
+// records the q-error, buffers the observation, and retrains when the
+// rolling median q-error crosses the threshold.
+func (d *DriftAdapter) Observe(preds []expr.Pred, trueFraction float64) {
+	est := d.Model.EstimateFraction(preds)
+	// Pseudo-count large enough that clamping at one row never hides a real
+	// relative error between small fractions.
+	const n = 1e6
+	q := mlmath.QError(est*n, trueFraction*n)
+	d.recentQErr = append(d.recentQErr, q)
+	if len(d.recentQErr) > d.Window {
+		d.recentQErr = d.recentQErr[len(d.recentQErr)-d.Window:]
+	}
+	d.bufQ = append(d.bufQ, preds)
+	d.bufY = append(d.bufY, trueFraction)
+	if len(d.bufQ) > d.BufferSize {
+		d.bufQ = d.bufQ[len(d.bufQ)-d.BufferSize:]
+		d.bufY = d.bufY[len(d.bufY)-d.BufferSize:]
+	}
+	if len(d.recentQErr) >= d.Window && mlmath.Median(d.recentQErr) > d.Threshold {
+		d.retrain()
+	}
+}
+
+func (d *DriftAdapter) retrain() {
+	d.Model.Train(d.bufQ, d.bufY, d.Epochs)
+	d.Retrainings++
+	d.recentQErr = d.recentQErr[:0]
+}
+
+// MedianRecentQError exposes the monitored error level.
+func (d *DriftAdapter) MedianRecentQError() float64 {
+	if len(d.recentQErr) == 0 {
+		return 1
+	}
+	return mlmath.Median(d.recentQErr)
+}

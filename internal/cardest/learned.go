@@ -1,0 +1,162 @@
+package cardest
+
+import (
+	"fmt"
+	"time"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+	"ml4db/internal/sqlkit/expr"
+)
+
+// MLPEstimator is a query-driven learned cardinality estimator: an MLP over
+// normalized predicate-range features trained on (query, true selectivity)
+// pairs in logit space. It captures cross-column correlation — the failure
+// mode of the histogram baseline — but requires training data and degrades
+// under drift (E14).
+type MLPEstimator struct {
+	F   *Featurizer
+	Net *nn.MLP
+	// TrainSeconds records the last training duration (the model-efficiency
+	// metric of E13).
+	TrainSeconds float64
+	rng          *mlmath.RNG
+}
+
+// NewMLPEstimator builds an untrained estimator with the given hidden sizes.
+func NewMLPEstimator(f *Featurizer, hidden []int, rng *mlmath.RNG) *MLPEstimator {
+	sizes := append([]int{f.Dim()}, hidden...)
+	sizes = append(sizes, 1)
+	return &MLPEstimator{F: f, Net: nn.NewMLP(sizes, nn.LeakyReLU{}, nn.Identity{}, rng), rng: rng}
+}
+
+// Train fits the network on labeled queries.
+func (m *MLPEstimator) Train(queries [][]expr.Pred, fractions []float64, epochs int) {
+	xs := make([][]float64, len(queries))
+	ys := make([][]float64, len(queries))
+	for i, q := range queries {
+		xs[i] = m.F.Features(q)
+		ys[i] = []float64{logitSel(fractions[i])}
+	}
+	start := time.Now()
+	m.Net.Fit(xs, ys, nn.FitOptions{
+		Epochs: epochs, BatchSize: 32,
+		Optimizer: nn.NewAdam(3e-3), RNG: m.rng,
+	})
+	m.TrainSeconds = time.Since(start).Seconds()
+}
+
+// Name implements Estimator.
+func (m *MLPEstimator) Name() string { return "mlp" }
+
+// SizeBytes implements Estimator.
+func (m *MLPEstimator) SizeBytes() int { return nn.ParamCount(m.Net) * 8 }
+
+// EstimateFraction implements Estimator.
+func (m *MLPEstimator) EstimateFraction(preds []expr.Pred) float64 {
+	return invLogit(m.Net.Predict1(m.F.Features(preds)))
+}
+
+// NNGP is a lightweight Bayesian estimator after Zhao et al.: Gaussian
+// process regression with the arc-cosine kernel of an infinite-width
+// one-hidden-layer ReLU network (the NNGP kernel). Training is one Cholesky
+// solve — seconds, not epochs — and the posterior variance is available for
+// free, which the paper highlights for practical deployment.
+type NNGP struct {
+	F *Featurizer
+	// Noise is the observation noise σ² added to the kernel diagonal.
+	Noise float64
+
+	xs    [][]float64
+	alpha []float64
+	// TrainSeconds records the kernel-solve time.
+	TrainSeconds float64
+	chol         *mlmath.Mat
+}
+
+// NewNNGP builds an untrained estimator.
+func NewNNGP(f *Featurizer, noise float64) *NNGP {
+	if noise <= 0 {
+		noise = 1e-2
+	}
+	return &NNGP{F: f, Noise: noise}
+}
+
+// arccosKernel is the degree-1 arc-cosine (NNGP/ReLU) kernel.
+func arccosKernel(a, b []float64) float64 {
+	// Augment with a bias dimension so the kernel is non-degenerate at the
+	// origin.
+	dot := mlmath.Dot(a, b) + 1
+	na := mlmath.Norm2(a)
+	nb := mlmath.Norm2(b)
+	na = sqrt(na*na + 1)
+	nb = sqrt(nb*nb + 1)
+	cos := mlmath.Clamp(dot/(na*nb), -1, 1)
+	theta := acos(cos)
+	return na * nb * (sin(theta) + (pi-theta)*cos) / pi
+}
+
+// Train solves (K + σ²I)·α = y over the labeled queries.
+func (g *NNGP) Train(queries [][]expr.Pred, fractions []float64) error {
+	n := len(queries)
+	if n == 0 {
+		return fmt.Errorf("cardest: NNGP needs training data")
+	}
+	g.xs = make([][]float64, n)
+	y := make([]float64, n)
+	for i, q := range queries {
+		g.xs[i] = g.F.Features(q)
+		y[i] = logitSel(fractions[i])
+	}
+	start := time.Now()
+	k := mlmath.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := arccosKernel(g.xs[i], g.xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.Noise)
+	}
+	l, err := mlmath.Cholesky(k)
+	if err != nil {
+		return fmt.Errorf("cardest: NNGP kernel: %w", err)
+	}
+	g.chol = l
+	g.alpha = mlmath.SolveUpperT(l, mlmath.SolveLower(l, y))
+	g.TrainSeconds = time.Since(start).Seconds()
+	return nil
+}
+
+// Name implements Estimator.
+func (g *NNGP) Name() string { return "nngp" }
+
+// SizeBytes implements Estimator: the stored training inputs plus α.
+func (g *NNGP) SizeBytes() int {
+	if len(g.xs) == 0 {
+		return 0
+	}
+	return len(g.xs)*len(g.xs[0])*8 + len(g.alpha)*8
+}
+
+// EstimateFraction implements Estimator.
+func (g *NNGP) EstimateFraction(preds []expr.Pred) float64 {
+	x := g.F.Features(preds)
+	s := 0.0
+	for i, xi := range g.xs {
+		s += g.alpha[i] * arccosKernel(x, xi)
+	}
+	return invLogit(s)
+}
+
+// Variance returns the posterior predictive variance at the query — the
+// uncertainty signal a deployment can gate on.
+func (g *NNGP) Variance(preds []expr.Pred) float64 {
+	x := g.F.Features(preds)
+	kx := make([]float64, len(g.xs))
+	for i, xi := range g.xs {
+		kx[i] = arccosKernel(x, xi)
+	}
+	v := mlmath.SolveLower(g.chol, kx)
+	return arccosKernel(x, x) - mlmath.Dot(v, v)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRunnersRegistered(t *testing.T) {
+	want := []string{
+		"F1", "T1",
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20",
+		"E21", "E22", "E23", "E24",
+		"AblationBaoArms", "AblationPlatonBudget", "AblationWidth",
+		"AblationRMIFanout", "AblationPGMEps",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d runners, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("runner %d = %s, want %s", i, all[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e9"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found nonexistent experiment")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := newReport("X1", "test title", "test claim")
+	r.rowf("row %d", 1)
+	r.Holds = true
+	s := r.String()
+	for _, frag := range []string{"X1", "test title", "HOLDS", "test claim", "row 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+	r.Holds = false
+	if !strings.Contains(r.String(), "DOES NOT HOLD") {
+		t.Error("negative status not rendered")
+	}
+}
+
+// TestFastExperimentsHold runs the cheap experiments end to end as a smoke
+// test (the full set runs via cmd/ml4db-bench and the bench targets).
+func TestFastExperimentsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	for _, id := range []string{"F1", "T1", "E3", "E5", "E6", "E12", "E16"} {
+		runner, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		rep, err := runner.Run(42)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !rep.Holds {
+			t.Errorf("%s did not hold:\n%s", id, rep)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+// TestExperimentsDeterministic: the same seed must give identical rows for a
+// deterministic (non-wall-clock) experiment.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	run := func() []string {
+		rep, err := E5(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("row counts differ across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/qo/autosteer"
+	"ml4db/internal/qo/balsa"
+	"ml4db/internal/qo/bao"
+	"ml4db/internal/qo/leon"
+	"ml4db/internal/qo/neo"
+	"ml4db/internal/qo/paramtree"
+	"ml4db/internal/qo/rtos"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+// qoTestbed builds the standard optimizer testbed.
+func qoTestbed(seed uint64, factRows int) (*qo.Env, *workload.StarGen, error) {
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, factRows, 150, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng), nil
+}
+
+func mustWork(env *qo.Env, p *plan.Node) int64 {
+	w, _, err := env.Run(p, 0)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// E8 measures NEO's robustness: performance on trained templates vs unseen
+// templates, against the expert baseline.
+func E8(seed uint64) (*Report, error) {
+	r := newReport("E8", "Replacement-optimizer robustness: NEO on unseen queries (§3.2)",
+		"a learned optimizer trained on limited queries degrades on unseen templates, unlike the expert optimizer")
+	env, gen, err := qoTestbed(seed, 3000)
+	if err != nil {
+		return nil, err
+	}
+	// Train only on 2-dimension star joins; test on unseen 3-dimension
+	// templates. Averaged over three model seeds to damp training noise.
+	var train, unseen []*plan.Query
+	for i := 0; i < 14; i++ {
+		train = append(train, gen.QueryWithDims(2))
+	}
+	for i := 0; i < 10; i++ {
+		unseen = append(unseen, gen.QueryWithDims(3))
+	}
+	var trainRatio, testRatio float64
+	const reps = 3
+	for rep := uint64(0); rep < reps; rep++ {
+		n := neo.New(env, neo.Config{Hidden: 12}, mlmath.NewRNG(seed+1+rep))
+		if err := n.Bootstrap(train, 30); err != nil {
+			return nil, err
+		}
+		for e := 0; e < 3; e++ {
+			if err := n.Episode(train, 15); err != nil {
+				return nil, err
+			}
+		}
+		ratioOn := func(queries []*plan.Query) (float64, error) {
+			var wN, wE int64
+			for _, q := range queries {
+				p, err := n.Plan(q)
+				if err != nil {
+					return 0, err
+				}
+				wN += mustWork(env, p)
+				pe, err := env.Opt.Plan(q, optimizer.NoHint())
+				if err != nil {
+					return 0, err
+				}
+				wE += mustWork(env, pe)
+			}
+			return float64(wN) / float64(wE), nil
+		}
+		tr, err := ratioOn(train)
+		if err != nil {
+			return nil, err
+		}
+		te, err := ratioOn(unseen)
+		if err != nil {
+			return nil, err
+		}
+		trainRatio += tr / reps
+		testRatio += te / reps
+	}
+	r.rowf("%-22s %-18s", "query set", "NEO/expert work (mean of 3 seeds)")
+	r.rowf("%-22s %-18.2f", "trained templates", trainRatio)
+	r.rowf("%-22s %-18.2f", "unseen templates", testRatio)
+	r.Holds = testRatio > trainRatio
+	r.Metrics["train_ratio"] = trainRatio
+	r.Metrics["test_ratio"] = testRatio
+	return r, nil
+}
+
+// E9 runs BAO on a workload where the expert's independence assumption
+// triggers nested-loop disasters, measuring mean and tail latency.
+func E9(seed uint64) (*Report, error) {
+	r := newReport("E9", "BAO: bandit-steered optimization (§3.2)",
+		"steering the expert with per-query hint sets improves mean and tail latency over the unsteered expert, with minimal training cost")
+	env, gen, err := qoTestbed(seed, 6000)
+	if err != nil {
+		return nil, err
+	}
+	rng := mlmath.NewRNG(seed + 2)
+	b := bao.New(env, optimizer.StandardHintSets(), rng)
+	mix := func() *plan.Query {
+		if rng.Float64() < 0.5 {
+			return gen.CorrelatedJoinQuery(2)
+		}
+		return gen.QueryWithDims(2)
+	}
+	// Warmup: BAO learns online.
+	for i := 0; i < 60; i++ {
+		if _, _, err := b.RunQuery(mix()); err != nil {
+			return nil, err
+		}
+	}
+	var baoW, expW []float64
+	for i := 0; i < 60; i++ {
+		q := mix()
+		w, _, err := b.RunQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		baoW = append(baoW, float64(w))
+		we, err := b.ExpertWork(q)
+		if err != nil {
+			return nil, err
+		}
+		expW = append(expW, float64(we))
+	}
+	sb, se := mlmath.Summarize(baoW), mlmath.Summarize(expW)
+	r.rowf("%-10s %-12s %-12s %-12s", "optimizer", "mean work", "p95 work", "p99 work")
+	r.rowf("%-10s %-12.0f %-12.0f %-12.0f", "expert", se.Mean, se.P95, se.P99)
+	r.rowf("%-10s %-12.0f %-12.0f %-12.0f", "bao", sb.Mean, sb.P95, sb.P99)
+	r.rowf("training cost: %d executed queries (no offline corpus)", b.Queries)
+	r.Holds = sb.Mean < se.Mean && sb.P95 <= se.P95
+	r.Metrics["mean_ratio"] = sb.Mean / se.Mean
+	r.Metrics["p95_ratio"] = sb.P95 / se.P95
+	return r, nil
+}
+
+// E10 compares AutoSteer's discovered hint sets against BAO's hand-crafted
+// collection.
+func E10(seed uint64) (*Report, error) {
+	r := newReport("E10", "AutoSteer: automatic hint-set discovery (§3.2)",
+		"greedy knob exploration discovers a hint-set collection matching the hand-crafted one, removing the per-system integration cost")
+	env, gen, err := qoTestbed(seed, 6000)
+	if err != nil {
+		return nil, err
+	}
+	var discoverQ []*plan.Query
+	for i := 0; i < 6; i++ {
+		discoverQ = append(discoverQ, gen.CorrelatedJoinQuery(2))
+	}
+	discovered, err := autosteer.DiscoverForWorkload(env, discoverQ, 2, 8)
+	if err != nil {
+		return nil, err
+	}
+	r.rowf("discovered %d hint sets (hand-crafted collection has %d):", len(discovered), len(optimizer.StandardHintSets()))
+	for _, h := range discovered {
+		r.rowf("  %s", h.Name)
+	}
+	run := func(hints []optimizer.HintSet, s uint64) (float64, error) {
+		b := bao.New(env, hints, mlmath.NewRNG(s))
+		g := workload.NewStarGen(gen.Schema, mlmath.NewRNG(s+10))
+		var total int64
+		for i := 0; i < 80; i++ {
+			var q *plan.Query
+			if i%2 == 0 {
+				q = g.CorrelatedJoinQuery(2)
+			} else {
+				q = g.QueryWithDims(2)
+			}
+			w, _, err := b.RunQuery(q)
+			if err != nil {
+				return 0, err
+			}
+			if i >= 40 {
+				total += w
+			}
+		}
+		return float64(total), nil
+	}
+	wAuto, err := run(discovered, seed+4)
+	if err != nil {
+		return nil, err
+	}
+	wHand, err := run(optimizer.StandardHintSets(), seed+4)
+	if err != nil {
+		return nil, err
+	}
+	r.rowf("post-warmup steered work: discovered=%.0f hand-crafted=%.0f (ratio %.2f)", wAuto, wHand, wAuto/wHand)
+	r.Holds = len(discovered) >= 2 && wAuto <= 1.25*wHand
+	r.Metrics["work_ratio"] = wAuto / wHand
+	return r, nil
+}
+
+// E11 compares LEON's mixed ranking against pure expert and pure learned.
+func E11(seed uint64) (*Report, error) {
+	r := newReport("E11", "LEON: mixed expert+learned plan ranking (§3.2)",
+		"the pairwise-trained mixture ranks candidate plans at least as well as the expert cost model alone, with a safe fallback")
+	env, gen, err := qoTestbed(seed, 4000)
+	if err != nil {
+		return nil, err
+	}
+	l := leon.New(env, 12, mlmath.NewRNG(seed+5))
+	var train, test []*plan.Query
+	for i := 0; i < 14; i++ {
+		if i%2 == 0 {
+			train = append(train, gen.CorrelatedJoinQuery(2))
+		} else {
+			train = append(train, gen.QueryWithDims(2))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			test = append(test, gen.CorrelatedJoinQuery(2))
+		} else {
+			test = append(test, gen.QueryWithDims(2))
+		}
+	}
+	if err := l.Train(train, 6); err != nil {
+		return nil, err
+	}
+	accE, err := l.RankAccuracy(test, leon.ScoreExpert)
+	if err != nil {
+		return nil, err
+	}
+	accL, err := l.RankAccuracy(test, leon.ScoreLearned)
+	if err != nil {
+		return nil, err
+	}
+	accM, err := l.RankAccuracy(test, leon.ScoreMixed)
+	if err != nil {
+		return nil, err
+	}
+	r.rowf("%-10s %-10s", "ranking", "pair acc")
+	r.rowf("%-10s %-10.3f", "expert", accE)
+	r.rowf("%-10s %-10.3f", "learned", accL)
+	r.rowf("%-10s %-10.3f", "mixed", accM)
+	r.rowf("calibration %.3f; fallback active: %v", l.Calibrated, l.UsesFallback())
+	r.Holds = accM >= accE-0.02 && accM >= 0.5
+	r.Metrics["mixed_acc"] = accM
+	r.Metrics["expert_acc"] = accE
+	return r, nil
+}
+
+// E12 evaluates ParamTree's cost-model calibration under two hardware
+// configurations.
+func E12(seed uint64) (*Report, error) {
+	r := newReport("E12", "ParamTree: learned cost-model parameters (§3.2)",
+		"tuning the formula cost model's R-params from observations makes it predict latency accurately — no need to start from scratch")
+	env, gen, err := qoTestbed(seed, 3000)
+	if err != nil {
+		return nil, err
+	}
+	for _, hw := range []paramtree.Hardware{paramtree.DefaultHardware(), paramtree.MemoryRichHardware()} {
+		var obs []paramtree.Observation
+		for len(obs) < 100 {
+			q := gen.Query()
+			for _, h := range optimizer.StandardHintSets() {
+				p, err := env.Opt.Plan(q, h)
+				if err != nil {
+					return nil, err
+				}
+				res, err := env.Exec.Execute(p, exec.Options{})
+				if err != nil {
+					return nil, err
+				}
+				obs = append(obs, paramtree.Observation{Counters: res.Counters, Latency: hw.Latency(res.Counters)})
+			}
+		}
+		tuned, err := paramtree.Fit(obs[:80], 1e-3)
+		if err != nil {
+			return nil, err
+		}
+		test := obs[80:]
+		errTuned := paramtree.PredictionError(tuned, test)
+		errDefault := paramtree.PredictionError(optimizer.DefaultCostParams(), test)
+		r.rowf("hardware %-12s: default-params rel.err %.3f, tuned rel.err %.4f", hw.Name, errDefault, errTuned)
+		if errTuned >= errDefault || errTuned > 0.05 {
+			r.Holds = false
+			return r, nil
+		}
+	}
+	r.Holds = true
+	return r, nil
+}
+
+// E17 evaluates Balsa's sim-to-real training and timeout safety.
+func E17(seed uint64) (*Report, error) {
+	r := newReport("E17", "Balsa: learning without expert demonstrations (§3.3)",
+		"simulation bootstrapping avoids disastrous plans before any execution, and the safety timeout bounds fine-tuning cost")
+	env, gen, err := qoTestbed(seed, 3000)
+	if err != nil {
+		return nil, err
+	}
+	b := balsa.New(env, 12, mlmath.NewRNG(seed+6))
+	var train []*plan.Query
+	for i := 0; i < 10; i++ {
+		train = append(train, gen.QueryWithDims(2))
+	}
+	if err := b.Simulate(train, 8, 30); err != nil {
+		return nil, err
+	}
+	var wSim, wExpert, wWorst int64
+	for _, q := range train {
+		p, err := b.Plan(q)
+		if err != nil {
+			return nil, err
+		}
+		wSim += mustWork(env, p)
+		pe, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			return nil, err
+		}
+		wExpert += mustWork(env, pe)
+		pw, err := env.Opt.Plan(q, optimizer.HintSet{Name: "nl", JoinOps: []plan.OpType{plan.OpNLJoin}})
+		if err != nil {
+			return nil, err
+		}
+		wWorst += mustWork(env, pw)
+	}
+	if err := b.FineTune(train, 3, 10); err != nil {
+		return nil, err
+	}
+	var wTuned int64
+	for _, q := range train {
+		p, err := b.Plan(q)
+		if err != nil {
+			return nil, err
+		}
+		wTuned += mustWork(env, p)
+	}
+	r.rowf("%-22s %-12s", "policy", "total work")
+	r.rowf("%-22s %-12d", "worst (all-NL)", wWorst)
+	r.rowf("%-22s %-12d", "sim-only balsa", wSim)
+	r.rowf("%-22s %-12d", "fine-tuned balsa", wTuned)
+	r.rowf("%-22s %-12d", "expert", wExpert)
+	r.rowf("executions stopped by safety timeout during fine-tune: %d", b.TimedOut)
+	r.Holds = wSim < wWorst && wTuned < wWorst && float64(wTuned) <= 3*float64(wExpert)
+	r.Metrics["sim_over_expert"] = float64(wSim) / float64(wExpert)
+	r.Metrics["tuned_over_expert"] = float64(wTuned) / float64(wExpert)
+	return r, nil
+}
+
+// E18 quantifies NEO's expert-bootstrap benefit against a cold-started twin.
+func E18(seed uint64) (*Report, error) {
+	r := newReport("E18", "NEO: value network bootstrapped from the expert (§3.2)",
+		"bootstrapping from expert plans yields far better plans than cold-start RL with the same budget")
+	env, gen, err := qoTestbed(seed, 3000)
+	if err != nil {
+		return nil, err
+	}
+	// 3-dimension joins give the search a real plan space, so a random
+	// value network cannot stumble into good plans; averaged over three
+	// model seeds.
+	var train []*plan.Query
+	for i := 0; i < 12; i++ {
+		train = append(train, gen.QueryWithDims(3))
+	}
+	var wBoot, wCold int64
+	const reps = 3
+	for rep := uint64(0); rep < reps; rep++ {
+		boot := neo.New(env, neo.Config{Hidden: 12}, mlmath.NewRNG(seed+7+rep))
+		if err := boot.Bootstrap(train, 25); err != nil {
+			return nil, err
+		}
+		cold := neo.New(env, neo.Config{Hidden: 12}, mlmath.NewRNG(seed+7+rep))
+		for _, q := range train {
+			pb, err := boot.Plan(q)
+			if err != nil {
+				return nil, err
+			}
+			wBoot += mustWork(env, pb)
+			pc, err := cold.Plan(q)
+			if err != nil {
+				return nil, err
+			}
+			wCold += mustWork(env, pc)
+		}
+	}
+	r.rowf("%-16s %-12s", "policy", "total work (3 seeds)")
+	r.rowf("%-16s %-12d", "cold start", wCold)
+	r.rowf("%-16s %-12d", "bootstrapped", wBoot)
+	r.Holds = wBoot < wCold
+	r.Metrics["boot_over_cold"] = float64(wBoot) / float64(wCold)
+	return r, nil
+}
+
+// E19 traces RTOS's two-phase curriculum.
+func E19(seed uint64) (*Report, error) {
+	r := newReport("E19", "RTOS: TreeLSTM join-order RL with cost+latency feedback (§3.2)",
+		"cheap cost-estimate training converges the policy, and latency fine-tuning keeps or improves it")
+	rng := mlmath.NewRNG(seed + 8)
+	sch, err := datagen.NewChainSchema(rng, []int{2500, 2000, 1200, 600, 400})
+	if err != nil {
+		return nil, err
+	}
+	env := qo.NewEnv(sch.Cat)
+	gen := workload.NewChainGen(sch, rng)
+	var train []*plan.Query
+	for i := 0; i < 8; i++ {
+		train = append(train, gen.Query(4))
+	}
+	rt := rtos.New(env, 12, mlmath.NewRNG(seed+9))
+	eval := func() int64 {
+		var w int64
+		for _, q := range train {
+			p, err := rt.Plan(q)
+			if err != nil {
+				panic(err)
+			}
+			w += mustWork(env, p)
+		}
+		return w
+	}
+	wCold := eval()
+	if err := rt.TrainCostPhase(train, 35); err != nil {
+		return nil, err
+	}
+	wCost := eval()
+	if err := rt.TrainLatencyPhase(train, 3, 20); err != nil {
+		return nil, err
+	}
+	wLat := eval()
+	var wExpert int64
+	for _, q := range train {
+		pe, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			return nil, err
+		}
+		wExpert += mustWork(env, pe)
+	}
+	r.rowf("%-22s %-12s", "phase", "total work")
+	r.rowf("%-22s %-12d", "cold", wCold)
+	r.rowf("%-22s %-12d", "after cost phase", wCost)
+	r.rowf("%-22s %-12d", "after latency phase", wLat)
+	r.rowf("%-22s %-12d", "expert", wExpert)
+	r.Holds = float64(wLat) <= 1.02*float64(wCost) && float64(wCost) <= 1.02*float64(wCold)
+	r.Metrics["final_over_expert"] = float64(wLat) / float64(wExpert)
+	return r, nil
+}

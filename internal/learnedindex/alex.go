@@ -1,0 +1,285 @@
+package learnedindex
+
+import (
+	"math"
+	"sort"
+)
+
+// Alex is an ALEX-style updatable adaptive learned index (Ding et al.):
+// leaves are gapped arrays addressed by per-leaf linear models, inserts go
+// to the model-predicted slot (shifting to the nearest gap on collision),
+// and leaves split with retrained models when they exceed a density bound.
+//
+// Simplification vs. the paper: the root directory is a binary-searched
+// sorted array of leaf boundary keys rather than an adaptive model tree; the
+// leaf mechanics (model-based placement, gapped arrays, splits) follow ALEX.
+type Alex struct {
+	leaves    []*alexLeaf
+	firstKeys []int64 // firstKeys[i] is the minimum key routed to leaves[i]
+	count     int
+}
+
+const (
+	alexLeafCap    = 256 // slots per fresh leaf
+	alexMaxDensity = 0.8 // split threshold
+	alexFillGap    = math.MinInt64
+)
+
+type alexLeaf struct {
+	slots    []int64 // keys; gaps hold the nearest occupied key to the left
+	vals     []int64
+	occupied []bool
+	n        int
+	slope    float64 // model: slot ≈ slope·key + bias
+	bias     float64
+}
+
+// NewAlex returns an empty index.
+func NewAlex() *Alex {
+	leaf := newAlexLeaf(alexLeafCap)
+	return &Alex{leaves: []*alexLeaf{leaf}, firstKeys: []int64{math.MinInt64}}
+}
+
+// BuildAlex bulk-loads sorted unique pairs.
+func BuildAlex(kvs []KV) *Alex {
+	a := &Alex{}
+	if len(kvs) == 0 {
+		return NewAlex()
+	}
+	per := alexLeafCap * 6 / 10 // 60% initial density
+	for i := 0; i < len(kvs); i += per {
+		end := i + per
+		if end > len(kvs) {
+			end = len(kvs)
+		}
+		leaf := buildAlexLeaf(kvs[i:end], alexLeafCap)
+		first := int64(math.MinInt64)
+		if i > 0 {
+			first = kvs[i].Key
+		}
+		a.leaves = append(a.leaves, leaf)
+		a.firstKeys = append(a.firstKeys, first)
+		a.count += end - i
+	}
+	return a
+}
+
+func newAlexLeaf(capacity int) *alexLeaf {
+	l := &alexLeaf{
+		slots:    make([]int64, capacity),
+		vals:     make([]int64, capacity),
+		occupied: make([]bool, capacity),
+	}
+	for i := range l.slots {
+		l.slots[i] = alexFillGap
+	}
+	return l
+}
+
+// buildAlexLeaf places elements at evenly spaced slots and fits the model.
+func buildAlexLeaf(kvs []KV, capacity int) *alexLeaf {
+	l := newAlexLeaf(capacity)
+	n := len(kvs)
+	if n == 0 {
+		return l
+	}
+	stride := float64(capacity) / float64(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, kv := range kvs {
+		slot := clampInt(int(float64(i)*stride), 0, capacity-1)
+		// Even spacing cannot collide while stride >= 1; guard anyway.
+		for l.occupied[slot] && slot+1 < capacity {
+			slot++
+		}
+		l.slots[slot] = kv.Key
+		l.vals[slot] = kv.Value
+		l.occupied[slot] = true
+		xs[i] = float64(kv.Key)
+		ys[i] = float64(slot)
+	}
+	l.n = n
+	l.slope, l.bias = linearFit(xs, ys)
+	l.refill(0, capacity)
+	return l
+}
+
+// refill restores the gap-fill invariant over [lo, hi): every gap holds the
+// nearest occupied key to its left (or the fill sentinel).
+func (l *alexLeaf) refill(lo, hi int) {
+	last := int64(alexFillGap)
+	if lo > 0 {
+		last = l.slots[lo-1]
+	}
+	for i := lo; i < hi; i++ {
+		if l.occupied[i] {
+			last = l.slots[i]
+		} else {
+			l.slots[i] = last
+		}
+	}
+}
+
+// get looks up key via model prediction then local search. The fill
+// invariant makes the slot array non-decreasing, so binary search is valid;
+// the model narrows the window first (ALEX's exponential search).
+func (l *alexLeaf) get(key int64) (int64, bool) {
+	if l.n == 0 {
+		return 0, false
+	}
+	c := len(l.slots)
+	pred := clampInt(int(l.slope*float64(key)+l.bias), 0, c-1)
+	// Exponential search for the bracketing window.
+	lo, hi := pred, pred+1
+	step := 1
+	for lo > 0 && l.slots[lo] > key {
+		lo -= step
+		step <<= 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	step = 1
+	for hi < c && l.slots[hi-1] < key {
+		hi += step
+		step <<= 1
+	}
+	if hi > c {
+		hi = c
+	}
+	i := lo + sort.Search(hi-lo, func(j int) bool { return l.slots[lo+j] >= key })
+	if i >= c || l.slots[i] != key {
+		return 0, false
+	}
+	// A matching slot may be a gap fill; the occupied element is the head of
+	// the equal-valued run (fills copy the nearest occupied key to the left).
+	for i > 0 && l.slots[i-1] == key {
+		i--
+	}
+	if l.occupied[i] {
+		return l.vals[i], true
+	}
+	return 0, false
+}
+
+// insert places key at (or near) the model-predicted slot, shifting to the
+// nearest gap when needed. It reports whether the leaf now needs a split.
+func (l *alexLeaf) insert(key, value int64) (added, needSplit bool) {
+	c := len(l.slots)
+	// Find the first slot with key >= target to locate the sorted position.
+	i := sort.Search(c, func(j int) bool { return l.slots[j] >= key })
+	if i < c && l.slots[i] == key && l.occupied[i] {
+		l.vals[i] = value
+		return false, false
+	}
+	// The new element belongs at slot i (before the first larger key).
+	s := i
+	switch {
+	case s < c && !l.occupied[s]:
+		// Target slot is a gap.
+	default:
+		// Find the nearest gap right, else left, and shift toward it.
+		g := -1
+		for j := s; j < c; j++ {
+			if !l.occupied[j] {
+				g = j
+				break
+			}
+		}
+		if g >= 0 {
+			// Shift occupied block [s, g) right by one.
+			copy(l.slots[s+1:g+1], l.slots[s:g])
+			copy(l.vals[s+1:g+1], l.vals[s:g])
+			copy(l.occupied[s+1:g+1], l.occupied[s:g])
+		} else {
+			for j := s - 1; j >= 0; j-- {
+				if !l.occupied[j] {
+					g = j
+					break
+				}
+			}
+			if g < 0 {
+				return false, true // completely full: split first
+			}
+			// Shift occupied block (g, s) left by one; insert lands at s-1.
+			copy(l.slots[g:s-1], l.slots[g+1:s])
+			copy(l.vals[g:s-1], l.vals[g+1:s])
+			copy(l.occupied[g:s-1], l.occupied[g+1:s])
+			s = s - 1
+		}
+	}
+	l.slots[s] = key
+	l.vals[s] = value
+	l.occupied[s] = true
+	l.n++
+	l.refill(0, c) // restore gap fills (spans at most the shifted region plus right run)
+	return true, float64(l.n) > alexMaxDensity*float64(c)
+}
+
+// items returns the leaf's occupied pairs in key order.
+func (l *alexLeaf) items() []KV {
+	out := make([]KV, 0, l.n)
+	for i, occ := range l.occupied {
+		if occ {
+			out = append(out, KV{l.slots[i], l.vals[i]})
+		}
+	}
+	return out
+}
+
+// Name implements Index.
+func (a *Alex) Name() string { return "alex" }
+
+// Len returns the number of stored keys.
+func (a *Alex) Len() int { return a.count }
+
+// NumLeaves returns the leaf count.
+func (a *Alex) NumLeaves() int { return len(a.leaves) }
+
+// SizeBytes implements Index.
+func (a *Alex) SizeBytes() int {
+	s := len(a.firstKeys) * 8
+	for _, l := range a.leaves {
+		s += len(l.slots)*17 + 16
+	}
+	return s
+}
+
+func (a *Alex) leafFor(key int64) int {
+	i := sort.Search(len(a.firstKeys), func(j int) bool { return a.firstKeys[j] > key })
+	return i - 1
+}
+
+// Get implements Index.
+func (a *Alex) Get(key int64) (int64, bool) {
+	return a.leaves[a.leafFor(key)].get(key)
+}
+
+// Insert implements Updatable.
+func (a *Alex) Insert(key, value int64) {
+	li := a.leafFor(key)
+	leaf := a.leaves[li]
+	added, split := leaf.insert(key, value)
+	if added {
+		a.count++
+	}
+	if split {
+		a.splitLeaf(li)
+	}
+}
+
+// splitLeaf replaces leaf li with two half-full leaves with fresh models —
+// ALEX's adaptive structural modification.
+func (a *Alex) splitLeaf(li int) {
+	items := a.leaves[li].items()
+	mid := len(items) / 2
+	left := buildAlexLeaf(items[:mid], alexLeafCap)
+	right := buildAlexLeaf(items[mid:], alexLeafCap)
+	a.leaves[li] = left
+	a.leaves = append(a.leaves, nil)
+	copy(a.leaves[li+2:], a.leaves[li+1:])
+	a.leaves[li+1] = right
+	a.firstKeys = append(a.firstKeys, 0)
+	copy(a.firstKeys[li+2:], a.firstKeys[li+1:])
+	a.firstKeys[li+1] = items[mid].Key
+}

@@ -1,0 +1,210 @@
+package learnedindex
+
+import "sort"
+
+// btreeOrder is the maximum number of keys per node.
+const btreeOrder = 64
+
+// BTree is an in-memory B+tree: the traditional index that RMI proposed to
+// replace. It supports point lookups, inserts, and bulk loading.
+type BTree struct {
+	root   *btreeNode
+	height int
+	count  int
+	nodes  int
+}
+
+type btreeNode struct {
+	keys []int64
+	// Leaf storage.
+	vals []int64
+	// Internal children: len(children) == len(keys)+1.
+	children []*btreeNode
+	leaf     bool
+}
+
+// NewBTree returns an empty B+tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{leaf: true}, height: 1, nodes: 1}
+}
+
+// BulkLoadBTree builds a B+tree from sorted unique pairs.
+func BulkLoadBTree(kvs []KV) *BTree {
+	t := NewBTree()
+	// Build leaves at ~70% fill.
+	const fill = btreeOrder * 7 / 10
+	var level []*btreeNode
+	for i := 0; i < len(kvs); i += fill {
+		end := i + fill
+		if end > len(kvs) {
+			end = len(kvs)
+		}
+		n := &btreeNode{leaf: true}
+		for _, kv := range kvs[i:end] {
+			n.keys = append(n.keys, kv.Key)
+			n.vals = append(n.vals, kv.Value)
+		}
+		level = append(level, n)
+	}
+	if len(level) == 0 {
+		return t
+	}
+	t.nodes = len(level)
+	t.height = 1
+	for len(level) > 1 {
+		var up []*btreeNode
+		for i := 0; i < len(level); i += fill {
+			end := i + fill
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &btreeNode{}
+			n.children = append(n.children, level[i])
+			for _, c := range level[i+1 : end] {
+				n.keys = append(n.keys, firstKey(c))
+				n.children = append(n.children, c)
+			}
+			up = append(up, n)
+		}
+		t.nodes += len(up)
+		t.height++
+		level = up
+	}
+	t.root = level[0]
+	t.count = len(kvs)
+	return t
+}
+
+func firstKey(n *btreeNode) int64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// Name implements Index.
+func (t *BTree) Name() string { return "btree" }
+
+// Len returns the number of stored keys.
+func (t *BTree) Len() int { return t.count }
+
+// Height returns the tree height (levels traversed per lookup).
+func (t *BTree) Height() int { return t.height }
+
+// SizeBytes implements Index: keys + values + child pointers.
+func (t *BTree) SizeBytes() int { return t.nodes * (btreeOrder*16 + (btreeOrder+1)*8) }
+
+// Get implements Index.
+func (t *BTree) Get(key int64) (int64, bool) {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert implements Updatable.
+func (t *BTree) Insert(key, value int64) {
+	mid, right := t.insert(t.root, key, value)
+	if right != nil {
+		newRoot := &btreeNode{keys: []int64{mid}, children: []*btreeNode{t.root, right}}
+		t.root = newRoot
+		t.height++
+		t.nodes++
+	}
+}
+
+// insert descends, inserting into the leaf; on overflow it splits and
+// returns the separator key and the new right sibling.
+func (t *BTree) insert(n *btreeNode, key, value int64) (int64, *btreeNode) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = value
+			return 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = value
+		t.count++
+		if len(n.keys) <= btreeOrder {
+			return 0, nil
+		}
+		// Split leaf.
+		mid := len(n.keys) / 2
+		right := &btreeNode{leaf: true}
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		t.nodes++
+		return right.keys[0], right
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	sep, right := t.insert(n.children[i], key, value)
+	if right == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.keys) <= btreeOrder {
+		return 0, nil
+	}
+	// Split internal node.
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	rn := &btreeNode{}
+	rn.keys = append(rn.keys, n.keys[mid+1:]...)
+	rn.children = append(rn.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	t.nodes++
+	return sepUp, rn
+}
+
+// Range returns up to limit values with keys in [lo, hi].
+func (t *BTree) Range(lo, hi int64, limit int) []int64 {
+	var out []int64
+	var walk func(n *btreeNode) bool
+	walk = func(n *btreeNode) bool {
+		if n.leaf {
+			for i, k := range n.keys {
+				if k < lo {
+					continue
+				}
+				if k > hi {
+					return false
+				}
+				out = append(out, n.vals[i])
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > lo })
+		for ; i < len(n.children); i++ {
+			if !walk(n.children[i]) {
+				return false
+			}
+			if i < len(n.keys) && n.keys[i] > hi {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	return out
+}

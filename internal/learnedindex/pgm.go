@@ -1,0 +1,224 @@
+package learnedindex
+
+import "sort"
+
+// PGM is a PGM-index-style piecewise geometric model: an optimal-ish greedy
+// segmentation of the key→rank function into linear segments, each
+// guaranteeing |prediction − rank| ≤ ε (the provable worst-case bound of
+// Ferragina & Vinciguerra). Segments are found in one pass with the
+// shrinking-cone algorithm; lookups binary-search the segment directory and
+// then probe a 2ε+1 window.
+//
+// Inserts go to a sorted delta buffer that is merged into the base when it
+// exceeds a fraction of the base size (the simplest of the PGM dynamization
+// strategies).
+type PGM struct {
+	Epsilon int
+
+	keys []int64
+	vals []int64
+	segs []pgmSegment
+
+	// Delta buffer for inserts (kept sorted).
+	deltaK []int64
+	deltaV []int64
+	// maxDelta triggers a merge when exceeded.
+	maxDelta int
+}
+
+type pgmSegment struct {
+	firstKey    int64
+	slope, bias float64 // rank ≈ slope·key + bias
+}
+
+// BuildPGM builds a PGM index with the given ε over sorted unique pairs.
+func BuildPGM(kvs []KV, epsilon int) *PGM {
+	if epsilon < 1 {
+		epsilon = 1
+	}
+	p := &PGM{Epsilon: epsilon}
+	p.keys = make([]int64, len(kvs))
+	p.vals = make([]int64, len(kvs))
+	for i, kv := range kvs {
+		p.keys[i] = kv.Key
+		p.vals[i] = kv.Value
+	}
+	p.segs = buildSegments(p.keys, epsilon)
+	p.maxDelta = len(kvs)/8 + 64
+	return p
+}
+
+// buildSegments runs the shrinking-cone greedy segmentation: maintain the
+// feasible slope interval [loSlope, hiSlope] through the current segment's
+// origin; start a new segment when it empties.
+func buildSegments(keys []int64, eps int) []pgmSegment {
+	var segs []pgmSegment
+	n := len(keys)
+	if n == 0 {
+		return segs
+	}
+	e := float64(eps)
+	start := 0
+	originX, originY := float64(keys[0]), 0.0
+	loSlope, hiSlope := -1e18, 1e18
+	// close emits the current segment using a slope from the feasible cone,
+	// which guarantees |slope·(x−origin) + originY − rank| ≤ ε for every
+	// point in the segment (the PGM worst-case bound).
+	close := func(endExclusive int) {
+		slope := 0.0
+		if endExclusive-start > 1 {
+			slope = (loSlope + hiSlope) / 2
+		}
+		segs = append(segs, pgmSegment{
+			firstKey: keys[start],
+			slope:    slope,
+			bias:     originY - slope*originX,
+		})
+	}
+	for i := 1; i < n; i++ {
+		x, y := float64(keys[i]), float64(i)
+		dx := x - originX
+		if dx <= 0 {
+			continue // duplicate key; callers pass unique keys
+		}
+		lo := (y - e - originY) / dx
+		hi := (y + e - originY) / dx
+		newLo, newHi := loSlope, hiSlope
+		if lo > newLo {
+			newLo = lo
+		}
+		if hi < newHi {
+			newHi = hi
+		}
+		if newLo > newHi {
+			// Cone is empty: close the segment at [start, i) and restart.
+			close(i)
+			start = i
+			originX, originY = x, y
+			loSlope, hiSlope = -1e18, 1e18
+		} else {
+			loSlope, hiSlope = newLo, newHi
+		}
+	}
+	close(n)
+	return segs
+}
+
+// Name implements Index.
+func (p *PGM) Name() string { return "pgm" }
+
+// SizeBytes implements Index.
+func (p *PGM) SizeBytes() int { return len(p.segs)*24 + len(p.deltaK)*16 }
+
+// NumSegments returns the segment count (size/accuracy tradeoff of ε).
+func (p *PGM) NumSegments() int { return len(p.segs) }
+
+// Get implements Index.
+func (p *PGM) Get(key int64) (int64, bool) {
+	// Check the delta buffer first (most recent wins).
+	if i := searchRange(p.deltaK, 0, len(p.deltaK), key); i >= 0 {
+		return p.deltaV[i], true
+	}
+	if len(p.keys) == 0 {
+		return 0, false
+	}
+	s := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].firstKey > key })
+	if s == 0 {
+		s = 1
+	}
+	seg := p.segs[s-1]
+	pred := int(seg.slope*float64(key) + seg.bias)
+	// ±1 beyond ε absorbs float truncation of the prediction.
+	lo := clampInt(pred-p.Epsilon-1, 0, len(p.keys))
+	hi := clampInt(pred+p.Epsilon+2, 0, len(p.keys))
+	if i := searchRange(p.keys, lo, hi, key); i >= 0 {
+		return p.vals[i], true
+	}
+	return 0, false
+}
+
+// LowerBound returns the number of base keys strictly less than key. The
+// learned model narrows the search window; a verification step falls back to
+// a global binary search when the model's window does not bracket the
+// answer (possible for keys absent from the data). The delta buffer is not
+// consulted — LowerBound serves the spatial indexes that use PGM as a
+// static learned CDF.
+func (p *PGM) LowerBound(key int64) int {
+	n := len(p.keys)
+	if n == 0 {
+		return 0
+	}
+	s := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].firstKey > key })
+	if s == 0 {
+		s = 1
+	}
+	seg := p.segs[s-1]
+	pred := int(seg.slope*float64(key) + seg.bias)
+	lo := clampInt(pred-p.Epsilon-1, 0, n)
+	hi := clampInt(pred+p.Epsilon+2, 0, n)
+	lb := lo + sort.Search(hi-lo, func(i int) bool { return p.keys[lo+i] >= key })
+	if (lb == 0 || p.keys[lb-1] < key) && (lb == n || p.keys[lb] >= key) {
+		return lb
+	}
+	return sort.Search(n, func(i int) bool { return p.keys[i] >= key })
+}
+
+// BaseKeyAt returns the i-th base key and value (for scan-based consumers).
+func (p *PGM) BaseKeyAt(i int) (int64, int64) { return p.keys[i], p.vals[i] }
+
+// BaseLen returns the number of base keys.
+func (p *PGM) BaseLen() int { return len(p.keys) }
+
+// Insert implements Updatable via the delta buffer.
+func (p *PGM) Insert(key, value int64) {
+	i := sort.Search(len(p.deltaK), func(i int) bool { return p.deltaK[i] >= key })
+	if i < len(p.deltaK) && p.deltaK[i] == key {
+		p.deltaV[i] = value
+		return
+	}
+	p.deltaK = append(p.deltaK, 0)
+	p.deltaV = append(p.deltaV, 0)
+	copy(p.deltaK[i+1:], p.deltaK[i:])
+	copy(p.deltaV[i+1:], p.deltaV[i:])
+	p.deltaK[i] = key
+	p.deltaV[i] = value
+	if len(p.deltaK) > p.maxDelta {
+		p.merge()
+	}
+}
+
+// merge folds the delta buffer into the base and rebuilds the segments.
+func (p *PGM) merge() {
+	merged := make([]KV, 0, len(p.keys)+len(p.deltaK))
+	i, j := 0, 0
+	for i < len(p.keys) || j < len(p.deltaK) {
+		switch {
+		case i >= len(p.keys):
+			merged = append(merged, KV{p.deltaK[j], p.deltaV[j]})
+			j++
+		case j >= len(p.deltaK):
+			merged = append(merged, KV{p.keys[i], p.vals[i]})
+			i++
+		case p.keys[i] < p.deltaK[j]:
+			merged = append(merged, KV{p.keys[i], p.vals[i]})
+			i++
+		case p.keys[i] > p.deltaK[j]:
+			merged = append(merged, KV{p.deltaK[j], p.deltaV[j]})
+			j++
+		default: // same key: delta wins
+			merged = append(merged, KV{p.deltaK[j], p.deltaV[j]})
+			i++
+			j++
+		}
+	}
+	p.keys = p.keys[:0]
+	p.vals = p.vals[:0]
+	for _, kv := range merged {
+		p.keys = append(p.keys, kv.Key)
+		p.vals = append(p.vals, kv.Value)
+	}
+	p.segs = buildSegments(p.keys, p.Epsilon)
+	p.deltaK = p.deltaK[:0]
+	p.deltaV = p.deltaV[:0]
+	p.maxDelta = len(p.keys)/8 + 64
+}

@@ -1,0 +1,171 @@
+package learnedindex
+
+import "sort"
+
+// RadixSpline is a RadixSpline-style single-pass learned index: a greedy
+// error-bounded linear spline over the CDF, plus a radix table over the top
+// bits of the key that narrows the spline-segment search to a small range.
+// Built in one pass over sorted data, as in Kipf et al.
+type RadixSpline struct {
+	MaxError int
+
+	keys []int64
+	vals []int64
+
+	splineX []int64   // spline point keys
+	splineY []float64 // spline point ranks
+
+	// Radix table: for prefix p, radix[p] is the index of the first spline
+	// point whose shifted key is >= p.
+	radix     []int32
+	shift     uint
+	minKey    int64
+	radixBits uint
+}
+
+// BuildRadixSpline builds the index with the given error bound and radix
+// table bits (e.g. 18).
+func BuildRadixSpline(kvs []KV, maxError int, radixBits uint) *RadixSpline {
+	if maxError < 1 {
+		maxError = 1
+	}
+	if radixBits == 0 || radixBits > 24 {
+		radixBits = 16
+	}
+	r := &RadixSpline{MaxError: maxError, radixBits: radixBits}
+	r.keys = make([]int64, len(kvs))
+	r.vals = make([]int64, len(kvs))
+	for i, kv := range kvs {
+		r.keys[i] = kv.Key
+		r.vals[i] = kv.Value
+	}
+	if len(kvs) == 0 {
+		return r
+	}
+	r.buildSpline()
+	r.buildRadix()
+	return r
+}
+
+// buildSpline runs the one-pass GreedySplineCorridor: a point i is accepted
+// into the current segment only if the interpolation slope base→i lies in
+// the intersection of every previous point's ±maxError corridor, which
+// guarantees all intermediate points stay within maxError of the final
+// segment line. Otherwise the previous point becomes a spline knot and the
+// corridor restarts.
+func (r *RadixSpline) buildSpline() {
+	n := len(r.keys)
+	e := float64(r.MaxError)
+	addPoint := func(i int) {
+		r.splineX = append(r.splineX, r.keys[i])
+		r.splineY = append(r.splineY, float64(i))
+	}
+	addPoint(0)
+	if n == 1 {
+		return
+	}
+	baseX, baseY := float64(r.keys[0]), 0.0
+	loSlope, hiSlope := -1e18, 1e18
+	last := 0
+	for i := 1; i < n; i++ {
+		x, y := float64(r.keys[i]), float64(i)
+		dx := x - baseX
+		if dx <= 0 {
+			continue
+		}
+		s := (y - baseY) / dx
+		if s < loSlope || s > hiSlope {
+			// base→i leaves the corridor: emit the previous point as a knot
+			// and restart the corridor from it.
+			addPoint(last)
+			baseX, baseY = float64(r.keys[last]), float64(last)
+			dx = x - baseX
+			loSlope, hiSlope = -1e18, 1e18
+		}
+		lo := (y - e - baseY) / dx
+		hi := (y + e - baseY) / dx
+		if lo > loSlope {
+			loSlope = lo
+		}
+		if hi < hiSlope {
+			hiSlope = hi
+		}
+		last = i
+	}
+	addPoint(n - 1)
+}
+
+func (r *RadixSpline) buildRadix() {
+	r.minKey = r.keys[0]
+	span := uint64(r.keys[len(r.keys)-1] - r.minKey)
+	r.shift = 0
+	for span>>r.shift >= uint64(1)<<r.radixBits {
+		r.shift++
+	}
+	size := int(span>>r.shift) + 2
+	r.radix = make([]int32, size+1)
+	// radix[p] = first spline index with prefix >= p.
+	si := 0
+	for p := 0; p <= size; p++ {
+		for si < len(r.splineX) && uint64(r.splineX[si]-r.minKey)>>r.shift < uint64(p) {
+			si++
+		}
+		r.radix[p] = int32(si)
+	}
+}
+
+// Name implements Index.
+func (r *RadixSpline) Name() string { return "radixspline" }
+
+// SizeBytes implements Index.
+func (r *RadixSpline) SizeBytes() int { return len(r.splineX)*16 + len(r.radix)*4 }
+
+// NumSplinePoints returns the spline size.
+func (r *RadixSpline) NumSplinePoints() int { return len(r.splineX) }
+
+// Get implements Index.
+func (r *RadixSpline) Get(key int64) (int64, bool) {
+	if len(r.keys) == 0 || key < r.minKey || key > r.keys[len(r.keys)-1] {
+		return 0, false
+	}
+	p := uint64(key-r.minKey) >> r.shift
+	lo := int(r.radix[p])
+	hi := int(r.radix[p+1])
+	if lo > 0 {
+		lo--
+	}
+	if hi >= len(r.splineX) {
+		hi = len(r.splineX) - 1
+	}
+	// Binary search the spline points in [lo, hi] for the segment.
+	s := lo + sort.Search(hi-lo+1, func(i int) bool { return r.splineX[lo+i] > key }) - 1
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(r.splineX)-1 {
+		s = len(r.splineX) - 2
+		if s < 0 {
+			// Single spline point: direct probe.
+			if i := searchRange(r.keys, 0, len(r.keys), key); i >= 0 {
+				return r.vals[i], true
+			}
+			return 0, false
+		}
+	}
+	x0, y0 := float64(r.splineX[s]), r.splineY[s]
+	x1, y1 := float64(r.splineX[s+1]), r.splineY[s+1]
+	var pred float64
+	if x1 > x0 {
+		pred = y0 + (y1-y0)*(float64(key)-x0)/(x1-x0)
+	} else {
+		pred = y0
+	}
+	pi := int(pred)
+	// ±1 beyond the bound absorbs float truncation of the prediction.
+	loI := clampInt(pi-r.MaxError-1, 0, len(r.keys))
+	hiI := clampInt(pi+r.MaxError+2, 0, len(r.keys))
+	if i := searchRange(r.keys, loI, hiI, key); i >= 0 {
+		return r.vals[i], true
+	}
+	return 0, false
+}

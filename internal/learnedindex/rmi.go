@@ -1,0 +1,176 @@
+package learnedindex
+
+// RMI is the two-stage Recursive Model Index of Kraska et al.: a root linear
+// model routes a key to one of many second-stage linear models, each of which
+// predicts the key's position in the sorted array; a recorded per-model error
+// bound turns the prediction into a guaranteed search window.
+//
+// RMI is static: it learns the CDF of a fixed dataset. Experiment E3 shows
+// what happens when the data moves underneath it (the robustness limitation
+// §3.2 discusses).
+type RMI struct {
+	keys []int64
+	vals []int64
+	// Root model: leaf = clamp(rootSlope·key + rootBias).
+	rootSlope, rootBias float64
+	// Second stage: position = slope[l]·key + bias[l], with error bounds.
+	slope, bias  []float64
+	errLo, errHi []int
+}
+
+// BuildRMI builds an RMI with numLeaves second-stage models over sorted
+// unique pairs.
+func BuildRMI(kvs []KV, numLeaves int) *RMI {
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+	r := &RMI{
+		keys:  make([]int64, len(kvs)),
+		vals:  make([]int64, len(kvs)),
+		slope: make([]float64, numLeaves),
+		bias:  make([]float64, numLeaves),
+		errLo: make([]int, numLeaves),
+		errHi: make([]int, numLeaves),
+	}
+	for i, kv := range kvs {
+		r.keys[i] = kv.Key
+		r.vals[i] = kv.Value
+	}
+	if len(kvs) == 0 {
+		return r
+	}
+	// Root: least-squares linear fit of the CDF, key → rank·L/n. A linear
+	// root fits uniform-ish CDFs well and degrades on heavily skewed ones —
+	// the fit-difficulty spectrum experiment E2 measures.
+	xs := make([]float64, len(r.keys))
+	ys := make([]float64, len(r.keys))
+	scale := float64(numLeaves) / float64(len(r.keys))
+	for i, k := range r.keys {
+		xs[i] = float64(k)
+		ys[i] = float64(i) * scale
+	}
+	r.rootSlope, r.rootBias = linearFit(xs, ys)
+	if r.rootSlope < 0 {
+		r.rootSlope = 0 // keys are sorted; a negative fit is numerical noise
+	}
+	// Partition keys by root prediction, fit a linear model per leaf.
+	starts := make([]int, numLeaves+1)
+	leafOf := func(k int64) int {
+		return clampInt(int(r.rootSlope*float64(k)+r.rootBias), 0, numLeaves-1)
+	}
+	idx := 0
+	for l := 0; l < numLeaves; l++ {
+		starts[l] = idx
+		for idx < len(r.keys) && leafOf(r.keys[idx]) <= l {
+			idx++
+		}
+	}
+	starts[numLeaves] = len(r.keys)
+	for l := 0; l < numLeaves; l++ {
+		lo, hi := starts[l], starts[l+1]
+		r.fitLeaf(l, lo, hi)
+	}
+	return r
+}
+
+func (r *RMI) fitLeaf(l, lo, hi int) {
+	n := hi - lo
+	switch {
+	case n == 0:
+		r.slope[l], r.bias[l] = 0, float64(lo)
+	case n == 1:
+		r.slope[l], r.bias[l] = 0, float64(lo)
+	default:
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(r.keys[lo+i])
+			ys[i] = float64(lo + i)
+		}
+		r.slope[l], r.bias[l] = linearFit(xs, ys)
+	}
+	// Record worst-case prediction error over the leaf's keys.
+	for i := lo; i < hi; i++ {
+		pred := int(r.slope[l]*float64(r.keys[i]) + r.bias[l])
+		if d := i - pred; d < r.errLo[l] {
+			r.errLo[l] = d
+		} else if d > r.errHi[l] {
+			r.errHi[l] = d
+		}
+	}
+}
+
+func linearFit(xs, ys []float64) (slope, bias float64) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx < 1e-12 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// Name implements Index.
+func (r *RMI) Name() string { return "rmi" }
+
+// SizeBytes implements Index: two stages of float64 models plus error ints.
+func (r *RMI) SizeBytes() int { return 16 + len(r.slope)*(8+8+8+8) }
+
+// NumLeaves returns the second-stage fanout.
+func (r *RMI) NumLeaves() int { return len(r.slope) }
+
+// Get implements Index.
+func (r *RMI) Get(key int64) (int64, bool) {
+	if len(r.keys) == 0 {
+		return 0, false
+	}
+	l := clampInt(int(r.rootSlope*float64(key)+r.rootBias), 0, len(r.slope)-1)
+	pred := int(r.slope[l]*float64(key) + r.bias[l])
+	lo := clampInt(pred+r.errLo[l], 0, len(r.keys))
+	hi := clampInt(pred+r.errHi[l]+1, 0, len(r.keys))
+	if i := searchRange(r.keys, lo, hi, key); i >= 0 {
+		return r.vals[i], true
+	}
+	return 0, false
+}
+
+// MaxError returns the largest search-window width across leaves — the
+// quality of the learned CDF fit.
+func (r *RMI) MaxError() int {
+	m := 0
+	for l := range r.slope {
+		if w := r.errHi[l] - r.errLo[l]; w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// StaleLookup performs a lookup against possibly updated external data using
+// the *original* model — this simulates the robustness failure of a static
+// learned index after inserts (E3): the model's error bounds no longer hold,
+// so the window search can miss keys.
+func (r *RMI) StaleLookup(keys []int64, vals []int64, key int64) (int64, bool) {
+	if len(keys) == 0 {
+		return 0, false
+	}
+	l := clampInt(int(r.rootSlope*float64(key)+r.rootBias), 0, len(r.slope)-1)
+	pred := int(r.slope[l]*float64(key) + r.bias[l])
+	lo := clampInt(pred+r.errLo[l], 0, len(keys))
+	hi := clampInt(pred+r.errHi[l]+1, 0, len(keys))
+	if i := searchRange(keys, lo, hi, key); i >= 0 {
+		return vals[i], true
+	}
+	return 0, false
+}

@@ -1,0 +1,249 @@
+package mlindex
+
+import (
+	"sort"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/spatial"
+)
+
+// PiecewiseCurve is a learned piecewise space-filling curve (Li et al.,
+// "Towards Designing and Learning Piecewise Space-Filling Curves"): instead
+// of a fixed Z-curve, the cell visiting order is *learned from the query
+// workload* so that the cells a typical query touches sit close together on
+// the curve. The storage model is scan-between-extremes: a range query reads
+// the contiguous curve span covering its cells, so the optimization target
+// is the expected span length.
+type PiecewiseCurve struct {
+	gridSide int
+	// rankOf[cell] is the learned curve position of the cell.
+	rankOf []int
+	// cellAt[rank] is the inverse permutation.
+	cellAt []int
+	// Points sorted by (cell rank, intra-cell Z).
+	pts    []spatial.Point
+	ids    []int
+	ranks  []int // curve rank per stored point
+	starts []int // starts[r] = first point index of rank r
+}
+
+// BuildPiecewiseCurve learns a cell ordering for the workload (via greedy
+// improvement over the Z-order initialization) and lays out the points.
+func BuildPiecewiseCurve(pts []spatial.Point, workload []spatial.Rect, gridSide, iters int, rng *mlmath.RNG) *PiecewiseCurve {
+	c := &PiecewiseCurve{gridSide: gridSide}
+	n := gridSide * gridSide
+	// Initialize with Z-order over the grid.
+	type cz struct {
+		cell int
+		z    int64
+	}
+	czs := make([]cz, n)
+	for cell := 0; cell < n; cell++ {
+		x, y := cell%gridSide, cell/gridSide
+		czs[cell] = cz{cell, mortonSmall(uint32(x), uint32(y))}
+	}
+	sort.Slice(czs, func(i, j int) bool { return czs[i].z < czs[j].z })
+	c.rankOf = make([]int, n)
+	c.cellAt = make([]int, n)
+	for r, e := range czs {
+		c.rankOf[e.cell] = r
+		c.cellAt[r] = e.cell
+	}
+	// Learn: greedy swaps of curve-adjacent cells that reduce workload span.
+	cellLists := c.workloadCells(workload)
+	cost := c.spanCost(cellLists)
+	for it := 0; it < iters; it++ {
+		r := rng.Intn(n - 1)
+		c.swapRanks(r, r+1)
+		if nc := c.spanCost(cellLists); nc <= cost {
+			cost = nc
+		} else {
+			c.swapRanks(r, r+1) // revert
+		}
+	}
+	c.layout(pts)
+	return c
+}
+
+// mortonSmall interleaves small grid coordinates.
+func mortonSmall(x, y uint32) int64 {
+	var z int64
+	for b := 0; b < 16; b++ {
+		z |= int64(x>>b&1) << (2 * b)
+		z |= int64(y>>b&1) << (2*b + 1)
+	}
+	return z
+}
+
+func (c *PiecewiseCurve) swapRanks(r1, r2 int) {
+	c1, c2 := c.cellAt[r1], c.cellAt[r2]
+	c.cellAt[r1], c.cellAt[r2] = c2, c1
+	c.rankOf[c1], c.rankOf[c2] = r2, r1
+}
+
+// workloadCells precomputes, per query, the covered cell list.
+func (c *PiecewiseCurve) workloadCells(workload []spatial.Rect) [][]int {
+	out := make([][]int, len(workload))
+	for i, q := range workload {
+		out[i] = c.coveredCells(q)
+	}
+	return out
+}
+
+func (c *PiecewiseCurve) cellOf(v float64) int {
+	g := c.gridSide
+	i := int(v * float64(g))
+	if i < 0 {
+		i = 0
+	}
+	if i >= g {
+		i = g - 1
+	}
+	return i
+}
+
+func (c *PiecewiseCurve) coveredCells(q spatial.Rect) []int {
+	x0, x1 := c.cellOf(q.MinX), c.cellOf(q.MaxX)
+	y0, y1 := c.cellOf(q.MinY), c.cellOf(q.MaxY)
+	var cells []int
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			cells = append(cells, y*c.gridSide+x)
+		}
+	}
+	return cells
+}
+
+// spanCost is the learning objective: Σ over queries of (max rank − min
+// rank + 1) of covered cells — the contiguous span a scan must read.
+func (c *PiecewiseCurve) spanCost(cellLists [][]int) int {
+	total := 0
+	for _, cells := range cellLists {
+		lo, hi := c.gridSide*c.gridSide, -1
+		for _, cell := range cells {
+			r := c.rankOf[cell]
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		if hi >= lo {
+			total += hi - lo + 1
+		}
+	}
+	return total
+}
+
+// layout sorts points by curve position.
+func (c *PiecewiseCurve) layout(pts []spatial.Point) {
+	type pr struct {
+		rank int
+		z    int64
+		id   int
+	}
+	prs := make([]pr, len(pts))
+	for i, p := range pts {
+		cell := c.cellOf(p.Y)*c.gridSide + c.cellOf(p.X)
+		prs[i] = pr{c.rankOf[cell], mortonSmall(uint32(p.X*1e4), uint32(p.Y*1e4)), i}
+	}
+	sort.Slice(prs, func(i, j int) bool {
+		if prs[i].rank != prs[j].rank {
+			return prs[i].rank < prs[j].rank
+		}
+		return prs[i].z < prs[j].z
+	})
+	c.pts = make([]spatial.Point, len(pts))
+	c.ids = make([]int, len(pts))
+	c.ranks = make([]int, len(pts))
+	for i, e := range prs {
+		c.pts[i] = pts[e.id]
+		c.ids[i] = e.id
+		c.ranks[i] = e.rank
+	}
+	nRanks := c.gridSide * c.gridSide
+	c.starts = make([]int, nRanks+1)
+	pos := 0
+	for r := 0; r < nRanks; r++ {
+		c.starts[r] = pos
+		for pos < len(prs) && prs[pos].rank == r {
+			pos++
+		}
+	}
+	c.starts[nRanks] = len(pts)
+}
+
+// Name identifies the index.
+func (c *PiecewiseCurve) Name() string { return "piecewise-curve" }
+
+// SizeBytes reports the permutation tables.
+func (c *PiecewiseCurve) SizeBytes() int { return 8*2*len(c.rankOf) + 8*len(c.starts) }
+
+// Range scans the curve span covering the query's cells and filters — the
+// access pattern whose length the curve was learned to minimize. work
+// counts points scanned.
+func (c *PiecewiseCurve) Range(q spatial.Rect) (ids []int, work int) {
+	cells := c.coveredCells(q)
+	lo, hi := len(c.starts), -1
+	for _, cell := range cells {
+		r := c.rankOf[cell]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi < 0 {
+		return nil, 0
+	}
+	for i := c.starts[lo]; i < c.starts[hi+1]; i++ {
+		work++
+		if q.Contains(c.pts[i]) {
+			ids = append(ids, c.ids[i])
+		}
+	}
+	return ids, work
+}
+
+// SpanCostFor reports the curve's span cost on a workload — the metric the
+// learned permutation improves over plain Z-order.
+func (c *PiecewiseCurve) SpanCostFor(workload []spatial.Rect) int {
+	return c.spanCost(c.workloadCells(workload))
+}
+
+// KNN scans an expanding curve window around the query point's cell rank and
+// is approximate, like other curve-based indexes.
+func (c *PiecewiseCurve) KNN(p spatial.Point, k int) (ids []int, work int) {
+	if len(c.pts) == 0 || k <= 0 {
+		return nil, 0
+	}
+	cell := c.cellOf(p.Y)*c.gridSide + c.cellOf(p.X)
+	center := c.starts[c.rankOf[cell]]
+	window := 8 * k
+	lo, hi := center-window, center+window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(c.pts) {
+		hi = len(c.pts)
+	}
+	type cand struct {
+		d  float64
+		id int
+	}
+	cands := make([]cand, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		work++
+		cands = append(cands, cand{spatial.DistSq(p, c.pts[i]), c.ids[i]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	for _, cd := range cands {
+		ids = append(ids, cd.id)
+	}
+	return ids, work
+}

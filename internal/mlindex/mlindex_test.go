@@ -1,0 +1,241 @@
+package mlindex
+
+import (
+	"sort"
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/spatial"
+)
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func clusteredData(seed uint64, n int) ([]spatial.Point, []spatial.Item, []spatial.Rect) {
+	rng := mlmath.NewRNG(seed)
+	pts := spatial.GenPoints(rng, spatial.PointsClustered, n)
+	items := spatial.PointItems(pts)
+	queries := spatial.GenQueryRects(rng, pts, 60, 0.06)
+	return pts, items, queries
+}
+
+func totalWork(ix interface {
+	Range(spatial.Rect) ([]int, int)
+}, queries []spatial.Rect) int {
+	w := 0
+	for _, q := range queries {
+		_, wi := ix.Range(q)
+		w += wi
+	}
+	return w
+}
+
+func TestRLRTreeCorrectness(t *testing.T) {
+	pts, items, queries := clusteredData(1, 3000)
+	_ = pts
+	rng := mlmath.NewRNG(2)
+	rlr := NewRLRTree(16, rng)
+	rlr.Train(items, queries, 2)
+	if !rlr.Tree.CheckInvariants() {
+		t.Fatal("RLR-tree violates R-tree invariants")
+	}
+	for _, q := range queries[:20] {
+		got, _ := rlr.Range(q)
+		want := spatial.BruteForceRange(items, q)
+		if !sameIDs(got, want) {
+			t.Fatalf("range mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestRLRTreeCompetitiveWithGuttman(t *testing.T) {
+	_, items, queries := clusteredData(3, 4000)
+	rng := mlmath.NewRNG(4)
+	rlr := NewRLRTree(16, rng)
+	rlr.Train(items, queries, 3)
+
+	base := spatial.NewRTree(16)
+	for _, it := range items {
+		base.Insert(it.Rect, it.ID)
+	}
+	wRLR := totalWork(rlr, queries)
+	wBase := totalWork(base, queries)
+	// The learned policy must not be materially worse than Guttman on the
+	// training workload; the benchmark records the actual ratio.
+	if float64(wRLR) > 1.15*float64(wBase) {
+		t.Errorf("RLR-tree work %d vs Guttman %d (ratio %.2f)", wRLR, wBase, float64(wRLR)/float64(wBase))
+	}
+}
+
+func TestPlatonCorrectnessAndWorkloadAwareness(t *testing.T) {
+	rng := mlmath.NewRNG(5)
+	pts := spatial.GenPoints(rng, spatial.PointsSkewed, 3000)
+	items := spatial.PointItems(pts)
+	// Workload concentrated in a hot sub-region.
+	var workload []spatial.Rect
+	for i := 0; i < 40; i++ {
+		cx, cy := rng.Float64()*0.2, rng.Float64()*0.2
+		workload = append(workload, spatial.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.05, MaxY: cy + 0.05})
+	}
+	p := NewPlaton(16, 64, rng)
+	tree := p.Pack(items, workload)
+	if !tree.CheckInvariants() {
+		t.Fatal("PLATON tree violates invariants")
+	}
+	if tree.Len() != len(items) {
+		t.Fatalf("packed %d items, want %d", tree.Len(), len(items))
+	}
+	for _, q := range workload[:10] {
+		got, _ := tree.Range(q)
+		want := spatial.BruteForceRange(items, q)
+		if !sameIDs(got, want) {
+			t.Fatalf("PLATON range mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+	// Workload-aware packing should beat STR on its training workload.
+	str := spatial.STRBulkLoad(items, 16)
+	wP := totalWork(tree, workload)
+	wS := totalWork(str, workload)
+	if float64(wP) > 1.1*float64(wS) {
+		t.Errorf("PLATON work %d vs STR %d on trained workload", wP, wS)
+	}
+}
+
+func TestRWTreeCorrectnessAndAwareness(t *testing.T) {
+	rng := mlmath.NewRNG(6)
+	pts := spatial.GenPoints(rng, spatial.PointsClustered, 3000)
+	items := spatial.PointItems(pts)
+	workload := spatial.GenQueryRects(rng, pts, 80, 0.05)
+	rw := NewRWTree(16, workload)
+	for _, it := range items {
+		rw.Insert(it.Rect, it.ID)
+	}
+	if !rw.Tree.CheckInvariants() {
+		t.Fatal("RW-tree violates invariants")
+	}
+	for _, q := range workload[:15] {
+		got, _ := rw.Range(q)
+		want := spatial.BruteForceRange(items, q)
+		if !sameIDs(got, want) {
+			t.Fatalf("RW-tree range mismatch")
+		}
+	}
+	base := spatial.NewRTree(16)
+	for _, it := range items {
+		base.Insert(it.Rect, it.ID)
+	}
+	wRW := totalWork(rw, workload)
+	wBase := totalWork(base, workload)
+	if float64(wRW) > 1.15*float64(wBase) {
+		t.Errorf("RW-tree work %d vs base %d", wRW, wBase)
+	}
+}
+
+func TestAIRTreeRoutingAndCorrectness(t *testing.T) {
+	rng := mlmath.NewRNG(7)
+	items := spatial.GenRects(rng, 4000, 0.04) // overlapping rectangles
+	air := NewAIRTree(items, 16, 48, rng)
+	// Training queries: mix of large (high-overlap) and small.
+	var trainQ []spatial.Rect
+	for i := 0; i < 60; i++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		side := 0.01
+		if i%2 == 0 {
+			side = 0.3
+		}
+		trainQ = append(trainQ, spatial.Rect{MinX: cx, MinY: cy, MaxX: cx + side, MaxY: cy + side})
+	}
+	air.TrainRouter(trainQ, 60, rng)
+	// Correctness on both paths.
+	for _, q := range trainQ[:10] {
+		want := spatial.BruteForceRange(items, q)
+		gotAI, _ := air.RangeForced(q, true)
+		gotR, _ := air.RangeForced(q, false)
+		gotRouted, _ := air.Range(q)
+		if !sameIDs(gotAI, want) || !sameIDs(gotR, want) || !sameIDs(gotRouted, want) {
+			t.Fatalf("AI+R path results disagree with brute force")
+		}
+	}
+	// The routed path should be no worse than always-R-tree overall.
+	var wRouted, wR int
+	for _, q := range trainQ {
+		_, w1 := air.Range(q)
+		_, w2 := air.RangeForced(q, false)
+		wRouted += w1
+		wR += w2
+	}
+	if float64(wRouted) > 1.05*float64(wR) {
+		t.Errorf("routing work %d worse than pure R-tree %d", wRouted, wR)
+	}
+}
+
+func TestAIRTreeHighOverlapBenefit(t *testing.T) {
+	rng := mlmath.NewRNG(8)
+	items := spatial.GenRects(rng, 5000, 0.05)
+	air := NewAIRTree(items, 16, 48, rng)
+	// Large queries: the AI path should beat the R-tree path on average.
+	var wAI, wR int
+	for i := 0; i < 30; i++ {
+		cx, cy := rng.Float64()*0.6, rng.Float64()*0.6
+		q := spatial.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.25, MaxY: cy + 0.25}
+		_, w1 := air.RangeForced(q, true)
+		_, w2 := air.RangeForced(q, false)
+		wAI += w1
+		wR += w2
+	}
+	if wAI >= wR {
+		t.Errorf("AI path work %d should beat R-tree %d on high-overlap queries", wAI, wR)
+	}
+}
+
+func TestPiecewiseCurveLearningReducesSpan(t *testing.T) {
+	rng := mlmath.NewRNG(9)
+	pts := spatial.GenPoints(rng, spatial.PointsUniform, 3000)
+	// Workload: thin horizontal slabs (hostile to plain Z-order).
+	var workload []spatial.Rect
+	for i := 0; i < 40; i++ {
+		y := rng.Float64() * 0.9
+		workload = append(workload, spatial.Rect{MinX: 0.05, MinY: y, MaxX: 0.95, MaxY: y + 0.04})
+	}
+	zOnly := BuildPiecewiseCurve(pts, workload, 8, 0, rng) // no learning
+	learned := BuildPiecewiseCurve(pts, workload, 8, 4000, mlmath.NewRNG(10))
+	if learned.SpanCostFor(workload) >= zOnly.SpanCostFor(workload) {
+		t.Errorf("learned span %d not below Z-order %d",
+			learned.SpanCostFor(workload), zOnly.SpanCostFor(workload))
+	}
+	// Correctness preserved.
+	items := spatial.PointItems(pts)
+	for _, q := range workload[:10] {
+		got, _ := learned.Range(q)
+		want := spatial.BruteForceRange(items, q)
+		if !sameIDs(got, want) {
+			t.Fatal("learned curve range mismatch")
+		}
+	}
+}
+
+func TestPiecewiseCurveWorkTracksSpan(t *testing.T) {
+	rng := mlmath.NewRNG(11)
+	pts := spatial.GenPoints(rng, spatial.PointsUniform, 2000)
+	workload := []spatial.Rect{{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.15}}
+	zOnly := BuildPiecewiseCurve(pts, workload, 8, 0, rng)
+	learned := BuildPiecewiseCurve(pts, workload, 8, 3000, mlmath.NewRNG(12))
+	_, wz := zOnly.Range(workload[0])
+	_, wl := learned.Range(workload[0])
+	if wl > wz {
+		t.Errorf("learned scan work %d exceeds Z-order %d", wl, wz)
+	}
+}

@@ -1,0 +1,300 @@
+// Package mlindex implements the ML-enhanced index systems of §3.2 — the
+// paradigm that keeps the traditional index structure and uses machine
+// learning to improve specific operations:
+//
+//   - RLRTree: reinforcement-learned chooseSubtree and splitNode (insertion)
+//   - RWTree: workload-aware construction with a learned cost model
+//   - Platon: top-down R-tree packing with an MCTS partition policy
+//     (bulk-loading)
+//   - AIRTree: a learned router + leaf-classification access path (search)
+//   - PiecewiseCurve: a workload-learned piecewise space-filling curve
+//
+// Every system degrades gracefully to its classical host structure — the
+// robustness property the paper credits the ML-enhanced paradigm with.
+package mlindex
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/rl"
+	"ml4db/internal/spatial"
+)
+
+// RLRTree is an RLR-tree (Gu et al.): an ordinary R-tree whose chooseSubtree
+// and splitNode decisions are made by reinforcement-learned action-value
+// functions over decision features. The tree structure, query algorithms,
+// and exactness guarantees are untouched — only the insertion heuristics are
+// learned.
+type RLRTree struct {
+	Tree *spatial.RTree
+	// ChooseAgent scores candidate subtrees; SplitAgent scores candidate
+	// split plans.
+	ChooseAgent *rl.ActionValue
+	SplitAgent  *rl.ActionValue
+
+	rng *mlmath.RNG
+	// refQueries are sampled reference queries used for reward signals
+	// during training.
+	refQueries []spatial.Rect
+	training   bool
+	// pendingChoices/pendingSplits buffer the current insert's decision
+	// features so the post-insert reward can update all of them.
+	pendingChoices [][]float64
+	pendingSplits  [][]float64
+}
+
+const (
+	chooseFeatDim = 5
+	splitFeatDim  = 4
+)
+
+// NewRLRTree returns an RLR-tree with the given node capacity. The agents
+// are initialized to imitate the classical heuristics (minimum enlargement
+// for chooseSubtree, minimum overlap+area for splitNode), so the untrained
+// policy matches Guttman and learning adjusts the weighting — the safe
+// bootstrap the ML-enhanced paradigm affords.
+func NewRLRTree(maxEntries int, rng *mlmath.RNG) *RLRTree {
+	r := &RLRTree{
+		Tree:        spatial.NewRTree(maxEntries),
+		ChooseAgent: rl.NewActionValue(chooseFeatDim, rng),
+		SplitAgent:  rl.NewActionValue(splitFeatDim, rng),
+		rng:         rng,
+	}
+	// Guttman prior: features are negated costs, so positive weights prefer
+	// low cost; enlargement dominates, then overlap, then area.
+	copy(r.ChooseAgent.W, []float64{100, 50, 1, 0.1, 1})
+	copy(r.SplitAgent.W, []float64{50, 100, 10, 1})
+	r.ChooseAgent.Eps = 0.05
+	r.SplitAgent.Eps = 0.05
+	r.ChooseAgent.Alpha = 0.01
+	r.SplitAgent.Alpha = 0.01
+	r.Tree.Choose = r.chooseSubtree
+	r.Tree.Split = r.splitNode
+	return r
+}
+
+// chooseFeatures builds the per-candidate feature vector: area enlargement,
+// resulting overlap increase with siblings, current area, occupancy, and
+// perimeter increase — the signals classical heuristics weigh by fiat and
+// the agent weighs by learning.
+func chooseFeatures(n *spatial.RNode, r spatial.Rect) [][]float64 {
+	feats := make([][]float64, len(n.Entries))
+	for i, e := range n.Entries {
+		grown := e.Rect.Union(r)
+		overlapInc := 0.0
+		for j, o := range n.Entries {
+			if j == i {
+				continue
+			}
+			overlapInc += grown.OverlapArea(o.Rect) - e.Rect.OverlapArea(o.Rect)
+		}
+		occ := 0.0
+		if e.Child != nil {
+			occ = float64(len(e.Child.Entries))
+		}
+		feats[i] = []float64{
+			-e.Rect.Enlargement(r),
+			-overlapInc,
+			-e.Rect.Area(),
+			-occ / 64,
+			-(grown.Perimeter() - e.Rect.Perimeter()),
+		}
+	}
+	return feats
+}
+
+func (t *RLRTree) chooseSubtree(n *spatial.RNode, r spatial.Rect) int {
+	feats := chooseFeatures(n, r)
+	if t.training {
+		a := t.ChooseAgent.Choose(feats)
+		t.pendingChoices = append(t.pendingChoices, feats[a])
+		return a
+	}
+	return t.ChooseAgent.Best(feats)
+}
+
+// splitPlans enumerates candidate splits: sort by x or y center, cut at 40%,
+// 50%, or 60%.
+func splitPlans(entries []spatial.REntry) ([][2][]spatial.REntry, [][]float64) {
+	var plans [][2][]spatial.REntry
+	var feats [][]float64
+	for _, byX := range []bool{true, false} {
+		sorted := append([]spatial.REntry(nil), entries...)
+		sortEntriesByCenter(sorted, byX)
+		for _, frac := range []float64{0.4, 0.5, 0.6} {
+			cut := int(frac * float64(len(sorted)))
+			if cut < 1 {
+				cut = 1
+			}
+			if cut >= len(sorted) {
+				cut = len(sorted) - 1
+			}
+			l := append([]spatial.REntry(nil), sorted[:cut]...)
+			r := append([]spatial.REntry(nil), sorted[cut:]...)
+			lm, rm := entriesMBR(l), entriesMBR(r)
+			plans = append(plans, [2][]spatial.REntry{l, r})
+			feats = append(feats, []float64{
+				-(lm.Area() + rm.Area()),
+				-lm.OverlapArea(rm),
+				-(lm.Perimeter() + rm.Perimeter()),
+				-absf(float64(len(l)-len(r))) / float64(len(entries)),
+			})
+		}
+	}
+	return plans, feats
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sortEntriesByCenter(es []spatial.REntry, byX bool) {
+	key := func(e spatial.REntry) float64 {
+		c := e.Rect.Center()
+		if byX {
+			return c.X
+		}
+		return c.Y
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && key(es[j]) < key(es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func entriesMBR(es []spatial.REntry) spatial.Rect {
+	m := es[0].Rect
+	for _, e := range es[1:] {
+		m = m.Union(e.Rect)
+	}
+	return m
+}
+
+func (t *RLRTree) splitNode(entries []spatial.REntry) ([]spatial.REntry, []spatial.REntry) {
+	plans, feats := splitPlans(entries)
+	var a int
+	if t.training {
+		a = t.SplitAgent.Choose(feats)
+		t.pendingSplits = append(t.pendingSplits, feats[a])
+	} else {
+		a = t.SplitAgent.Best(feats)
+	}
+	return plans[a][0], plans[a][1]
+}
+
+// Insert adds an item using the learned policies.
+func (t *RLRTree) Insert(r spatial.Rect, id int) { t.Tree.Insert(r, id) }
+
+// Range and KNN delegate to the host R-tree.
+func (t *RLRTree) Range(q spatial.Rect) ([]int, int) { return t.Tree.Range(q) }
+
+// KNN delegates to the host R-tree.
+func (t *RLRTree) KNN(p spatial.Point, k int) ([]int, int) { return t.Tree.KNN(p, k) }
+
+// Name implements part of the SpatialIndex surface.
+func (t *RLRTree) Name() string { return "rlrtree" }
+
+// SizeBytes reports the host structure plus the two weight vectors.
+func (t *RLRTree) SizeBytes() int { return t.Tree.SizeBytes() + (chooseFeatDim+splitFeatDim)*8 }
+
+// Train builds the tree over training items while learning the insertion
+// policies: after each insert, the negative node-access count of a sampled
+// reference query near the inserted item is the reward for every decision
+// that insert made. This couples the policy to the actual query cost it
+// causes — the RLR-tree objective.
+func (t *RLRTree) Train(items []spatial.Item, refQueries []spatial.Rect, epochs int) {
+	t.refQueries = refQueries
+	for e := 0; e < epochs; e++ {
+		t.Tree = spatial.NewRTree(t.Tree.MaxEntries)
+		t.Tree.Choose = t.chooseSubtree
+		t.Tree.Split = t.splitNode
+		t.training = true
+		// baseline is an exponential moving average of query work; rewards
+		// are advantages against it so only better/worse-than-usual
+		// decisions move the weights.
+		baseline := 0.0
+		seen := 0
+		for _, it := range items {
+			t.pendingChoices = t.pendingChoices[:0]
+			t.pendingSplits = t.pendingSplits[:0]
+			t.Insert(it.Rect, it.ID)
+			// Reward signal: work of a reference query intersecting the
+			// inserted item's region (the insert's structural damage shows
+			// up exactly there).
+			q := t.relevantQuery(it.Rect)
+			_, work := t.Tree.Range(q)
+			w := float64(work)
+			if seen == 0 {
+				baseline = w
+			}
+			seen++
+			advantage := (baseline - w) / (baseline + 1)
+			baseline = 0.95*baseline + 0.05*w
+			for _, f := range t.pendingChoices {
+				t.ChooseAgent.Update(f, t.ChooseAgent.Score(f)+advantage, 0)
+			}
+			for _, f := range t.pendingSplits {
+				t.SplitAgent.Update(f, t.SplitAgent.Score(f)+advantage, 0)
+			}
+		}
+		t.training = false
+		// Decay exploration between epochs.
+		t.ChooseAgent.Eps *= 0.5
+		t.SplitAgent.Eps *= 0.5
+	}
+	// Greedy rebuild with the learned weights (no exploration noise), then
+	// validate against the classical prior and fall back if the learned
+	// policy lost — the safety property ML-enhanced methods retain.
+	learned := t.rebuild(items)
+	learnedWork := workloadWork(learned, refQueries)
+	priorChoose, priorSplit := mlmath.Clone(t.ChooseAgent.W), mlmath.Clone(t.SplitAgent.W)
+	copy(t.ChooseAgent.W, []float64{100, 50, 1, 0.1, 1})
+	copy(t.SplitAgent.W, []float64{50, 100, 10, 1})
+	prior := t.rebuild(items)
+	if workloadWork(prior, refQueries) < learnedWork {
+		t.Tree = prior
+		return
+	}
+	copy(t.ChooseAgent.W, priorChoose)
+	copy(t.SplitAgent.W, priorSplit)
+	t.Tree = learned
+}
+
+// rebuild constructs a fresh tree with the current (greedy) policies.
+func (t *RLRTree) rebuild(items []spatial.Item) *spatial.RTree {
+	tree := spatial.NewRTree(t.Tree.MaxEntries)
+	tree.Choose = t.chooseSubtree
+	tree.Split = t.splitNode
+	old := t.Tree
+	t.Tree = tree
+	for _, it := range items {
+		tree.Insert(it.Rect, it.ID)
+	}
+	t.Tree = old
+	return tree
+}
+
+func workloadWork(tree *spatial.RTree, queries []spatial.Rect) int {
+	w := 0
+	for _, q := range queries {
+		_, wi := tree.Range(q)
+		w += wi
+	}
+	return w
+}
+
+// relevantQuery picks a reference query overlapping r when one exists.
+func (t *RLRTree) relevantQuery(r spatial.Rect) spatial.Rect {
+	for tries := 0; tries < 8; tries++ {
+		q := t.refQueries[t.rng.Intn(len(t.refQueries))]
+		if q.Intersects(r) {
+			return q
+		}
+	}
+	// Fall back to a window around the item.
+	c := r.Center()
+	return spatial.Rect{MinX: c.X - 0.05, MinY: c.Y - 0.05, MaxX: c.X + 0.05, MaxY: c.Y + 0.05}
+}

@@ -1,0 +1,130 @@
+package mlindex
+
+import (
+	"sort"
+
+	"ml4db/internal/spatial"
+)
+
+// RWTree is an RW-tree-style workload-aware R-tree (Dong et al.): the
+// chooseSubtree and splitNode functions are optimized for a *historical
+// query workload* using a cost model learned from that workload. Here the
+// learned component is a query-boundary density model (an empirical
+// histogram of where workload query edges fall): splits prefer cut lines
+// that few historical queries straddle, and chooseSubtree penalizes
+// enlargement into densely queried regions.
+type RWTree struct {
+	Tree *spatial.RTree
+	// xDensity/yDensity estimate, for a coordinate, how many historical
+	// queries straddle a cut at that coordinate.
+	xEdges, yEdges []float64 // sorted query-interval endpoints
+	xLo, xHi       []float64 // per-query x intervals (sorted by lo)
+	yLo, yHi       []float64
+	queryWeight    float64
+}
+
+// NewRWTree builds a workload-aware tree from the historical workload.
+func NewRWTree(maxEntries int, workload []spatial.Rect) *RWTree {
+	w := &RWTree{Tree: spatial.NewRTree(maxEntries), queryWeight: 4}
+	for _, q := range workload {
+		w.xLo = append(w.xLo, q.MinX)
+		w.xHi = append(w.xHi, q.MaxX)
+		w.yLo = append(w.yLo, q.MinY)
+		w.yHi = append(w.yHi, q.MaxY)
+	}
+	sort.Float64s(w.xLo)
+	sort.Float64s(w.xHi)
+	sort.Float64s(w.yLo)
+	sort.Float64s(w.yHi)
+	w.Tree.Choose = w.chooseSubtree
+	w.Tree.Split = w.splitNode
+	return w
+}
+
+// straddleCount returns how many workload queries straddle coordinate v on
+// the given axis: lo < v < hi ⇔ (#lo < v) − (#hi ≤ v).
+func (w *RWTree) straddleCount(v float64, xAxis bool) float64 {
+	lo, hi := w.xLo, w.xHi
+	if !xAxis {
+		lo, hi = w.yLo, w.yHi
+	}
+	nLo := sort.SearchFloat64s(lo, v)
+	nHi := sort.Search(len(hi), func(i int) bool { return hi[i] > v })
+	return float64(nLo - nHi)
+}
+
+// queryOverlap estimates how many workload queries intersect a rect,
+// using the interval counts per axis as an upper-bound product proxy.
+func (w *RWTree) queryOverlap(r spatial.Rect) float64 {
+	if len(w.xLo) == 0 {
+		return 0
+	}
+	// Queries whose x interval intersects [r.MinX, r.MaxX]:
+	// total − (hi < MinX) − (lo > MaxX).
+	nx := float64(len(w.xLo)) -
+		float64(sort.SearchFloat64s(w.xHi, r.MinX)) -
+		float64(len(w.xLo)-sort.Search(len(w.xLo), func(i int) bool { return w.xLo[i] > r.MaxX }))
+	ny := float64(len(w.yLo)) -
+		float64(sort.SearchFloat64s(w.yHi, r.MinY)) -
+		float64(len(w.yLo)-sort.Search(len(w.yLo), func(i int) bool { return w.yLo[i] > r.MaxY }))
+	return nx * ny / float64(len(w.xLo))
+}
+
+// chooseSubtree: minimum enlargement, weighted by how queried the enlarged
+// region is — enlarging into hot regions is costlier.
+func (w *RWTree) chooseSubtree(n *spatial.RNode, r spatial.Rect) int {
+	best := 0
+	bestCost := -1.0
+	for i, e := range n.Entries {
+		grown := e.Rect.Union(r)
+		enl := grown.Area() - e.Rect.Area()
+		hot := w.queryOverlap(grown)
+		cost := enl*(1+w.queryWeight*hot) + 0.01*e.Rect.Area()
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// splitNode picks the axis/cut whose boundary the fewest historical queries
+// straddle (each straddling query pays an extra node access), breaking ties
+// by overlap area.
+func (w *RWTree) splitNode(entries []spatial.REntry) ([]spatial.REntry, []spatial.REntry) {
+	plans, _ := splitPlans(entries)
+	best := 0
+	bestCost := -1.0
+	for i, plan := range plans {
+		lm, rm := entriesMBR(plan[0]), entriesMBR(plan[1])
+		// Cut coordinate: the boundary between the two MBRs.
+		var straddle float64
+		if lm.MaxX <= rm.MinX { // x cut
+			straddle = w.straddleCount((lm.MaxX+rm.MinX)/2, true)
+		} else if lm.MaxY <= rm.MinY { // y cut
+			straddle = w.straddleCount((lm.MaxY+rm.MinY)/2, false)
+		} else {
+			// Overlapping halves: approximate with overlap-weighted queries.
+			straddle = w.queryOverlap(lm.Union(rm))
+		}
+		cost := straddle*w.queryWeight + lm.OverlapArea(rm)*100 + lm.Area() + rm.Area()
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return plans[best][0], plans[best][1]
+}
+
+// Insert adds an item.
+func (w *RWTree) Insert(r spatial.Rect, id int) { w.Tree.Insert(r, id) }
+
+// Range delegates to the host tree.
+func (w *RWTree) Range(q spatial.Rect) ([]int, int) { return w.Tree.Range(q) }
+
+// KNN delegates to the host tree.
+func (w *RWTree) KNN(p spatial.Point, k int) ([]int, int) { return w.Tree.KNN(p, k) }
+
+// Name identifies the index.
+func (w *RWTree) Name() string { return "rwtree" }
+
+// SizeBytes reports the host structure plus the workload model.
+func (w *RWTree) SizeBytes() int { return w.Tree.SizeBytes() + 8*4*len(w.xLo) }

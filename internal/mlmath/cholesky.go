@@ -1,0 +1,71 @@
+package mlmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite matrix. It returns an error if A is not SPD (within a
+// small tolerance).
+func Cholesky(a *Mat) (*Mat, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mlmath: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 1e-12 {
+					return nil, fmt.Errorf("mlmath: matrix not positive definite at %d (pivot %g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Mat, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ·x = b for lower-triangular L by back substitution.
+func SolveUpperT(l *Mat, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b via Cholesky for symmetric positive-definite A.
+func SolveSPD(a *Mat, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperT(l, SolveLower(l, b)), nil
+}

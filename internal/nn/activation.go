@@ -1,0 +1,75 @@
+package nn
+
+import "math"
+
+// Activation is an element-wise nonlinearity. Deriv receives both the
+// pre-activation input x and the activation output y so that each concrete
+// activation can use whichever is cheaper.
+type Activation interface {
+	Apply(x float64) float64
+	Deriv(x, y float64) float64
+	Name() string
+}
+
+// ReLU is max(0, x).
+type ReLU struct{}
+
+func (ReLU) Apply(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+func (ReLU) Deriv(x, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+func (ReLU) Name() string { return "relu" }
+
+// LeakyReLU is x for x>0 and 0.01x otherwise; avoids dead units in the small
+// networks used by learned index and optimizer models.
+type LeakyReLU struct{}
+
+func (LeakyReLU) Apply(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0.01 * x
+}
+func (LeakyReLU) Deriv(x, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0.01
+}
+func (LeakyReLU) Name() string { return "leaky_relu" }
+
+// Tanh is the hyperbolic tangent.
+type Tanh struct{}
+
+func (Tanh) Apply(x float64) float64    { return math.Tanh(x) }
+func (Tanh) Deriv(_, y float64) float64 { return 1 - y*y }
+func (Tanh) Name() string               { return "tanh" }
+
+// Sigmoid is the logistic function.
+type Sigmoid struct{}
+
+func (Sigmoid) Apply(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+func (Sigmoid) Deriv(_, y float64) float64 { return y * (1 - y) }
+func (Sigmoid) Name() string               { return "sigmoid" }
+
+// Identity is the linear activation used on regression output layers.
+type Identity struct{}
+
+func (Identity) Apply(x float64) float64    { return x }
+func (Identity) Deriv(_, _ float64) float64 { return 1 }
+func (Identity) Name() string               { return "identity" }

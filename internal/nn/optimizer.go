@@ -1,0 +1,94 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to parameters and clears them.
+type Optimizer interface {
+	// Step updates all parameters of the module from their gradients and
+	// zeroes the gradients afterwards.
+	Step(m Module)
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	LR   float64
+	Clip float64 // per-element clip; 0 disables
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(m Module) {
+	for _, p := range m.Params() {
+		for i, g := range p.Grad {
+			if s.Clip > 0 {
+				if g > s.Clip {
+					g = s.Clip
+				} else if g < -s.Clip {
+					g = -s.Clip
+				}
+			}
+			p.Val[i] -= s.LR * g
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). Per-parameter moment
+// buffers are allocated lazily on first use.
+type Adam struct {
+	LR          float64
+	Beta1       float64 // default 0.9
+	Beta2       float64 // default 0.999
+	Eps         float64 // default 1e-8
+	Clip        float64 // per-element gradient clip; 0 disables
+	t           int
+	WeightDecay float64
+}
+
+// NewAdam returns an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(m Module) {
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range m.Params() {
+		if p.m == nil {
+			p.m = make([]float64, len(p.Val))
+			p.v = make([]float64, len(p.Val))
+		}
+		for i, g := range p.Grad {
+			if a.Clip > 0 {
+				if g > a.Clip {
+					g = a.Clip
+				} else if g < -a.Clip {
+					g = -a.Clip
+				}
+			}
+			if a.WeightDecay > 0 {
+				g += a.WeightDecay * p.Val[i]
+			}
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / b1c
+			vh := p.v[i] / b2c
+			p.Val[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// ModuleGroup lets several modules be optimized jointly (e.g. a plan encoder
+// plus a task head, as in the end-to-end cost estimators of §3.1).
+type ModuleGroup []Module
+
+// Params implements Module.
+func (g ModuleGroup) Params() []*Param {
+	var out []*Param
+	for _, m := range g {
+		out = append(out, m.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package nn implements the neural-network substrate used by every learned
+// component in the repository: dense layers, activations, losses, SGD and
+// Adam optimizers, and a multi-layer perceptron with full backpropagation.
+//
+// The design follows the needs of ML4DB systems surveyed in the paper: models
+// are small (hidden widths of tens, not thousands), trained on CPUs, and must
+// expose gradients with respect to their *inputs* so that upstream plan
+// encoders (TreeLSTM, TreeCNN, ...) can be trained end-to-end through a task
+// head.
+package nn
+
+import "ml4db/internal/mlmath"
+
+// Param is a flat learnable tensor together with its gradient accumulator
+// and the optimizer state slots (first/second Adam moments).
+type Param struct {
+	Val  []float64
+	Grad []float64
+	m, v []float64 // Adam moments, allocated lazily
+}
+
+// NewParam allocates a parameter of length n with zero value and gradient.
+func NewParam(n int) *Param {
+	return &Param{Val: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return len(p.Val) }
+
+// InitUniform fills the parameter with U(-scale, scale) values.
+func (p *Param) InitUniform(rng *mlmath.RNG, scale float64) {
+	for i := range p.Val {
+		p.Val[i] = (2*rng.Float64() - 1) * scale
+	}
+}
+
+// Module is anything that owns parameters. Optimizers walk modules through
+// this interface, so composite models (an encoder feeding an MLP head) can be
+// optimized jointly by concatenating their Params slices.
+type Module interface {
+	Params() []*Param
+}
+
+// ParamCount sums the scalar parameter counts of a module — the "model size"
+// metric used by the paper's model-efficiency discussion (§3.3).
+func ParamCount(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}

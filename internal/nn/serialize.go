@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// SaveParams writes a module's parameter values to w (gob-encoded). The
+// module's architecture is not serialized: loading requires constructing an
+// identical architecture first, then calling LoadParams — the usual
+// checkpoint workflow for the small models in this repository.
+func SaveParams(w io.Writer, m Module) error {
+	params := m.Params()
+	vals := make([][]float64, len(params))
+	for i, p := range params {
+		vals[i] = p.Val
+	}
+	if err := gob.NewEncoder(w).Encode(vals); err != nil {
+		return fmt.Errorf("nn: encoding parameters: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads parameter values written by SaveParams into m. It errors
+// when the stored shapes do not match m's architecture.
+func LoadParams(r io.Reader, m Module) error {
+	var vals [][]float64
+	if err := gob.NewDecoder(r).Decode(&vals); err != nil {
+		return fmt.Errorf("nn: decoding parameters: %w", err)
+	}
+	params := m.Params()
+	if len(vals) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", len(vals), len(params))
+	}
+	for i, p := range params {
+		if len(vals[i]) != len(p.Val) {
+			return fmt.Errorf("nn: tensor %d has %d values, model expects %d", i, len(vals[i]), len(p.Val))
+		}
+	}
+	for i, p := range params {
+		copy(p.Val, vals[i])
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := mlmath.NewRNG(1)
+	src := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, rng)
+	// Train a little so the weights are non-trivial.
+	xs := [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}}
+	ys := [][]float64{{1, 0}, {0, 1}}
+	src.Fit(xs, ys, FitOptions{Epochs: 20, Optimizer: NewAdam(0.01), RNG: rng})
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, mlmath.NewRNG(99))
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2, 0.7, 0.1}
+	a, b := src.Forward(probe), dst.Forward(probe)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	src := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong layer width.
+	badWidth := NewMLP([]int{4, 6, 2}, Tanh{}, Identity{}, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), badWidth); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+	// Wrong layer count.
+	badDepth := NewMLP([]int{4, 2}, Tanh{}, Identity{}, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), badDepth); err == nil {
+		t.Error("expected tensor-count mismatch error")
+	}
+}
+
+func TestLoadDoesNotPartiallyMutateOnError(t *testing.T) {
+	rng := mlmath.NewRNG(3)
+	src := NewMLP([]int{3, 5, 1}, Tanh{}, Identity{}, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP([]int{3, 5, 2}, Tanh{}, Identity{}, rng) // mismatched output
+	before := dst.Forward([]float64{1, 2, 3})
+	if err := LoadParams(&buf, dst); err == nil {
+		t.Fatal("expected error")
+	}
+	after := dst.Forward([]float64{1, 2, 3})
+	for i := range before {
+		if before[i] != after[i] {
+			t.Error("failed load mutated the model")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package study
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/datagen"
+)
+
+func buildSmall(t *testing.T) (*datagen.StarSchema, *Dataset) {
+	t.Helper()
+	rng := mlmath.NewRNG(3)
+	sch, err := datagen.NewStarSchema(rng, 1500, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := BuildCostDataset(sch, rng, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, ds
+}
+
+func TestBuildCostDataset(t *testing.T) {
+	_, ds := buildSmall(t)
+	if ds.NumQueries != 12 {
+		t.Errorf("NumQueries = %d", ds.NumQueries)
+	}
+	if len(ds.Samples) < ds.NumQueries {
+		t.Fatalf("samples = %d", len(ds.Samples))
+	}
+	for _, s := range ds.Samples {
+		if s.LogWork <= 0 {
+			t.Errorf("non-positive log work %v", s.LogWork)
+		}
+		if s.Plan == nil || s.Query == nil {
+			t.Fatal("nil plan/query in sample")
+		}
+	}
+	// Plans of the same query should be deduplicated by structure.
+	seen := map[string]bool{}
+	for _, s := range ds.Samples {
+		if s.QueryIdx == 0 {
+			key := s.Plan.String()
+			if seen[key] {
+				t.Error("duplicate plan retained in dataset")
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestSplitByQueryDisjoint(t *testing.T) {
+	_, ds := buildSmall(t)
+	train, test := splitByQuery(ds, 0.75, mlmath.NewRNG(1))
+	trainQ := map[int]bool{}
+	for _, i := range train {
+		trainQ[ds.Samples[i].QueryIdx] = true
+	}
+	for _, i := range test {
+		if trainQ[ds.Samples[i].QueryIdx] {
+			t.Fatal("query leaks across split")
+		}
+	}
+	if len(train)+len(test) != len(ds.Samples) {
+		t.Error("split loses samples")
+	}
+}
+
+func TestNewEncoderNames(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	for _, n := range ModelNames {
+		e, err := NewEncoder(n, 8, 8, rng)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if e.Name() != n {
+			t.Errorf("encoder name %q != requested %q", e.Name(), n)
+		}
+	}
+	if _, err := NewEncoder("nope", 8, 8, rng); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+// TestRunSmallStudy runs a reduced version of E1 and checks outputs are sane
+// and the headline finding direction holds (features matter at least as a
+// real effect; the full-size check lives in the bench harness).
+func TestRunSmallStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training study in -short mode")
+	}
+	sch, ds := buildSmall(t)
+	cfg := Config{Hidden: 8, Epochs: 8, TrainFrac: 0.75, Seed: 7}
+	results, err := Run(sch, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCombos := len(ModelNames) * len(FeatureConfigs())
+	if len(results) != wantCombos {
+		t.Fatalf("results = %d, want %d", len(results), wantCombos)
+	}
+	for _, r := range results {
+		if r.MAE < 0 || r.RankAcc < 0 || r.RankAcc > 1 {
+			t.Errorf("%s/%s: bad metrics %+v", r.Feature, r.Model, r)
+		}
+		if r.Model != "flat" && r.Params == 0 {
+			t.Errorf("%s/%s: zero params", r.Feature, r.Model)
+		}
+	}
+	sa := AnalyzeSpread(results)
+	if sa.MeanFeatureSpread <= 0 || sa.MeanModelSpread <= 0 {
+		t.Errorf("degenerate spread analysis %+v", sa)
+	}
+}
+
+func TestAnalyzeSpread(t *testing.T) {
+	results := []Result{
+		{Feature: "a", Model: "m1", MAE: 1},
+		{Feature: "a", Model: "m2", MAE: 1.1},
+		{Feature: "b", Model: "m1", MAE: 3},
+		{Feature: "b", Model: "m2", MAE: 3.1},
+	}
+	sa := AnalyzeSpread(results)
+	// Feature spread (per model): |3−1| = 2. Model spread (per feature): 0.1.
+	if sa.MeanFeatureSpread < 1.9 || sa.MeanFeatureSpread > 2.1 {
+		t.Errorf("feature spread = %v", sa.MeanFeatureSpread)
+	}
+	if sa.MeanModelSpread < 0.05 || sa.MeanModelSpread > 0.15 {
+		t.Errorf("model spread = %v", sa.MeanModelSpread)
+	}
+}

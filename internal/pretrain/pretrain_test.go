@@ -1,0 +1,147 @@
+package pretrain
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/planrep"
+	"ml4db/internal/sqlkit/datagen"
+)
+
+// corpus builds samples from several differently-shaped schemas.
+func corpus(t *testing.T, seed uint64, perSchema int) ([]Sample, int) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	shapes := []struct{ fact, dim, dims int }{
+		{2000, 100, 2},
+		{4000, 200, 3},
+		{1500, 80, 2},
+	}
+	var all []Sample
+	featDim := 0
+	for _, sh := range shapes {
+		sch, err := datagen.NewStarSchema(rng, sh.fact, sh.dim, sh.dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := planrep.NewPlanEncoder(sch.Cat, planrep.TransferFeatures())
+		featDim = pe.FeatDim()
+		ss, err := BuildSamples(sch, rng, perSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ss...)
+	}
+	return all, featDim
+}
+
+func newSchemaSamples(t *testing.T, seed uint64, n int) []Sample {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 6000, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := BuildSamples(sch, rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestBuildSamplesLabels(t *testing.T) {
+	ss := newSchemaSamples(t, 1, 5)
+	if len(ss) < 5 {
+		t.Fatalf("samples = %d", len(ss))
+	}
+	for _, s := range ss {
+		if s.LogWork <= 0 {
+			t.Error("non-positive work label")
+		}
+		if s.Tree == nil || s.Tree.NumNodes() < 1 {
+			t.Error("bad sample tree")
+		}
+	}
+}
+
+func TestTransferFeaturesUniformAcrossSchemas(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	a, err := datagen.NewStarSchema(rng, 1000, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datagen.NewStarSchema(rng, 2000, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := planrep.NewPlanEncoder(a.Cat, planrep.TransferFeatures())
+	pb := planrep.NewPlanEncoder(b.Cat, planrep.TransferFeatures())
+	if pa.FeatDim() != pb.FeatDim() {
+		t.Errorf("transfer feature dims differ: %d vs %d", pa.FeatDim(), pb.FeatDim())
+	}
+}
+
+func TestMultiTaskTrainingReducesBothMAEs(t *testing.T) {
+	samples, featDim := corpus(t, 3, 6)
+	m := NewModel(featDim, 12, mlmath.NewRNG(4))
+	c0, k0 := m.EvalMAE(samples)
+	m.Train(samples, 15, 3e-3, false)
+	c1, k1 := m.EvalMAE(samples)
+	if c1 >= c0 {
+		t.Errorf("cost MAE did not improve: %v → %v", c0, c1)
+	}
+	if k1 >= k0 {
+		t.Errorf("card MAE did not improve: %v → %v", k0, k1)
+	}
+}
+
+// TestFewShotTransferBeatsScratch is E15's core claim: pretrain on 3 schemas
+// then fine-tune on k samples of a new schema beats training from scratch on
+// the same k samples.
+func TestFewShotTransferBeatsScratch(t *testing.T) {
+	samples, featDim := corpus(t, 5, 8)
+	pre := NewModel(featDim, 12, mlmath.NewRNG(6))
+	pre.Train(samples, 20, 3e-3, false)
+
+	target := newSchemaSamples(t, 7, 12)
+	k := 16
+	few, test := target[:k], target[k:]
+
+	pre.Train(few, 20, 2e-3, true) // head-only fine-tune
+	scratch := NewModel(featDim, 12, mlmath.NewRNG(6))
+	scratch.Train(few, 20, 2e-3, false)
+
+	preCost, _ := pre.EvalMAE(test)
+	scrCost, _ := scratch.EvalMAE(test)
+	if preCost >= scrCost {
+		t.Errorf("few-shot pretrained MAE %v not below scratch %v", preCost, scrCost)
+	}
+}
+
+func TestHeadOnlyTrainingFreezesEncoder(t *testing.T) {
+	samples, featDim := corpus(t, 8, 3)
+	m := NewModel(featDim, 8, mlmath.NewRNG(9))
+	before := snapshot(m)
+	m.Train(samples[:10], 2, 1e-2, true)
+	for i, p := range m.Enc.Params() {
+		for j := range p.Val {
+			if p.Val[j] != before[i][j] {
+				t.Fatal("encoder parameter moved during head-only training")
+			}
+		}
+	}
+	// Heads must have moved.
+	h0 := m.CostHead.Params()[0].Val[0]
+	m.Train(samples[:10], 2, 1e-2, true)
+	if m.CostHead.Params()[0].Val[0] == h0 {
+		t.Error("head parameters did not move during head-only training")
+	}
+}
+
+func snapshot(m *Model) [][]float64 {
+	var out [][]float64
+	for _, p := range m.Enc.Params() {
+		out = append(out, append([]float64{}, p.Val...))
+	}
+	return out
+}

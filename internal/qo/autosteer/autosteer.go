@@ -1,0 +1,87 @@
+// Package autosteer implements AutoSteer-style hint-set discovery (Anneser
+// et al., VLDB 2023): where BAO requires a hand-crafted collection of hint
+// sets per database system, AutoSteer explores the space of atomic knob
+// combinations greedily and keeps only those that actually change the
+// query's plan and look promising under the cost model — generating the arm
+// collection automatically, per query.
+package autosteer
+
+import (
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// Discover greedily builds hint sets for q: starting from the default, it
+// tries extending each frontier hint set with every atomic knob; extensions
+// that produce a structurally different plan with estimated cost no worse
+// than failFactor× the default's are kept, up to maxDepth knobs and maxSets
+// total. The default (empty) hint set is always included, so steering can
+// never remove the expert's own plan from the candidate set.
+func Discover(env *qo.Env, q *plan.Query, maxDepth, maxSets int, failFactor float64) ([]optimizer.HintSet, error) {
+	if failFactor <= 0 {
+		failFactor = 10
+	}
+	def := optimizer.NoHint()
+	defPlan, err := env.Opt.Plan(q, def)
+	if err != nil {
+		return nil, err
+	}
+	result := []optimizer.HintSet{def}
+	seenPlans := map[string]bool{defPlan.String(): true}
+	frontier := []optimizer.HintSet{def}
+	atomic := optimizer.AtomicHints()
+	for depth := 0; depth < maxDepth && len(result) < maxSets; depth++ {
+		var next []optimizer.HintSet
+		for _, base := range frontier {
+			for _, knob := range atomic {
+				combined := optimizer.Combine(base, knob)
+				if !combined.Viable() {
+					continue
+				}
+				p, err := env.Opt.Plan(q, combined)
+				if err != nil {
+					continue // hint admits no plan for this query shape
+				}
+				key := p.String()
+				if seenPlans[key] {
+					continue // knob did not change the plan
+				}
+				if p.EstCost > failFactor*defPlan.EstCost {
+					continue // cost model flags it as unpromising
+				}
+				seenPlans[key] = true
+				result = append(result, combined)
+				next = append(next, combined)
+				if len(result) >= maxSets {
+					return result, nil
+				}
+			}
+		}
+		frontier = next
+	}
+	return result, nil
+}
+
+// DiscoverForWorkload merges per-query discoveries into one deduplicated
+// collection usable as BAO arms.
+func DiscoverForWorkload(env *qo.Env, queries []*plan.Query, maxDepth, maxSets int) ([]optimizer.HintSet, error) {
+	seen := map[string]bool{}
+	var out []optimizer.HintSet
+	for _, q := range queries {
+		hs, err := Discover(env, q, maxDepth, maxSets, 10)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hs {
+			if !seen[h.Name] {
+				seen[h.Name] = true
+				out = append(out, h)
+				if len(out) >= maxSets {
+					return out, nil
+				}
+			}
+		}
+	}
+	return out, nil
+}

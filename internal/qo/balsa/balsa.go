@@ -1,0 +1,100 @@
+// Package balsa implements a Balsa-style learned optimizer (Yang et al.,
+// SIGMOD 2022) that learns *without expert demonstrations*: a simulation
+// phase trains the value network purely on the classical cost model's
+// estimates of self-generated plans (avoiding disastrous plans before ever
+// touching the database), and a real-execution phase fine-tunes with a
+// safety timeout that bounds the damage any exploratory plan can do — the
+// model-efficiency technique §3.3 highlights.
+package balsa
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/planrep"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/tree"
+)
+
+// Balsa is the sim-to-real learned optimizer.
+type Balsa struct {
+	Search *qo.ValueSearch
+	// Timeout bounds real executions to Timeout× the best work seen so far
+	// for the query (per-query safety budget).
+	Timeout float64
+	// bestWork tracks the best observed work per query signature.
+	bestWork map[string]int64
+	// TimedOut counts fine-tuning executions stopped by the safety budget.
+	TimedOut int
+	rng      *mlmath.RNG
+}
+
+// New constructs a Balsa instance.
+func New(env *qo.Env, hidden int, rng *mlmath.RNG) *Balsa {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	pe := planrep.NewPlanEncoder(env.Cat, planrep.FullFeatures())
+	enc := tree.NewTreeCNNEncoder(pe.FeatDim(), hidden, rng)
+	reg := tree.NewRegressor(enc, []int{32}, rng)
+	return &Balsa{
+		Search:   &qo.ValueSearch{Env: env, Enc: pe, Reg: reg, Eps: 0.3, RNG: rng},
+		Timeout:  4,
+		bestWork: map[string]int64{},
+		rng:      rng,
+	}
+}
+
+// Simulate is the simulation phase: build plans with heavy exploration and
+// label them with the cost model's estimate — no execution at all.
+func (b *Balsa) Simulate(queries []*plan.Query, rounds, epochs int) error {
+	var exps []qo.Experience
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			p, err := b.Search.BuildPlan(q, true)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(int64(p.EstCost))})
+		}
+	}
+	b.Search.TrainValue(exps, epochs, 3e-3)
+	return nil
+}
+
+// FineTune is the real-execution phase with safe timeouts: each query's work
+// budget is Timeout× its best observed work (or unlimited on first sight).
+// Timed-out plans are labeled with the budget (a pessimistic-but-bounded
+// signal), exactly Balsa's safe execution strategy.
+func (b *Balsa) FineTune(queries []*plan.Query, episodes, epochs int) error {
+	var exps []qo.Experience
+	for e := 0; e < episodes; e++ {
+		for _, q := range queries {
+			p, err := b.Search.BuildPlan(q, true)
+			if err != nil {
+				return err
+			}
+			sig := q.Signature()
+			var budget int64
+			if best, ok := b.bestWork[sig]; ok {
+				budget = int64(b.Timeout * float64(best))
+			}
+			work, timedOut, err := b.Search.Env.Run(p, budget)
+			if err != nil {
+				return err
+			}
+			if timedOut {
+				b.TimedOut++
+			} else if best, ok := b.bestWork[sig]; !ok || work < best {
+				b.bestWork[sig] = work
+			}
+			exps = append(exps, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
+		}
+	}
+	b.Search.TrainValue(exps, epochs, 1e-3)
+	return nil
+}
+
+// Plan produces Balsa's plan for q.
+func (b *Balsa) Plan(q *plan.Query) (*plan.Node, error) {
+	return b.Search.BuildPlan(q, false)
+}

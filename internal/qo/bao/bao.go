@@ -1,0 +1,125 @@
+// Package bao implements a BAO-style bandit optimizer (Marcus et al.,
+// SIGMOD 2021): instead of replacing the expert optimizer, BAO steers it —
+// per query, each hint set yields a candidate plan from the expert, a
+// learned model predicts each plan's latency, and Thompson sampling picks
+// the plan to execute, balancing exploration of unproven hint sets against
+// exploitation. The observed latency updates the model.
+//
+// This is the ML-enhanced design the paper credits with production adoption:
+// training cost is tiny (one observation per query), the worst case is
+// bounded by the expert's plan space, and the model adapts to workload and
+// data change automatically.
+package bao
+
+import (
+	"math"
+
+	"ml4db/internal/bandit"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// planFeatDim is the width of the plan feature vector.
+const planFeatDim = 9
+
+// PlanFeatures summarizes a candidate plan for the bandit's reward model:
+// bias, log estimated cost, log estimated rows, operator counts, tree depth
+// and size. (BAO uses a tree convolution; a linear model over these summary
+// features keeps Thompson sampling exact.)
+func PlanFeatures(p *plan.Node) []float64 {
+	var nHash, nNL, nMerge, nScan float64
+	p.Walk(func(n *plan.Node) {
+		switch n.Op {
+		case plan.OpHashJoin:
+			nHash++
+		case plan.OpNLJoin:
+			nNL++
+		case plan.OpMergeJoin:
+			nMerge++
+		case plan.OpSeqScan:
+			nScan++
+		}
+	})
+	return []float64{
+		1,
+		math.Log(p.EstCost + 1),
+		math.Log(p.EstRows + 1),
+		nHash, nNL, nMerge, nScan,
+		float64(p.Depth()),
+		float64(p.NumNodes()) / 16,
+	}
+}
+
+// Bao steers the expert optimizer with a Thompson-sampling bandit. As in
+// the published system, ONE reward model predicts plan latency from plan
+// features and is shared across arms: every executed query trains it, no
+// matter which hint produced the plan, so convergence is fast.
+type Bao struct {
+	Env   *qo.Env
+	Hints []optimizer.HintSet
+	// Bandit holds the shared Bayesian linear latency model over plan
+	// features; reward is negative log work.
+	Bandit *bandit.ThompsonLinear
+	rng    *mlmath.RNG
+	// Queries counts processed queries (the training cost metric).
+	Queries int
+}
+
+// New constructs BAO over the given hint collection.
+func New(env *qo.Env, hints []optimizer.HintSet, rng *mlmath.RNG) *Bao {
+	return &Bao{
+		Env:    env,
+		Hints:  hints,
+		Bandit: bandit.NewThompsonLinear(1, planFeatDim, 0.3, 1),
+		rng:    rng,
+	}
+}
+
+// SelectPlan plans q under every hint set, draws one posterior sample of the
+// latency model, and returns the plan the sampled model predicts best — the
+// Thompson step over correlated arms.
+func (b *Bao) SelectPlan(q *plan.Query) (*plan.Node, int, error) {
+	plans, _, err := b.Env.Opt.CheapestHint(q, b.Hints)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := b.Bandit.SampleWeights(0, b.rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	bestArm, bestVal := 0, math.Inf(-1)
+	for arm, p := range plans {
+		if v := mlmath.Dot(w, PlanFeatures(p)); v > bestVal {
+			bestArm, bestVal = arm, v
+		}
+	}
+	return plans[bestArm], bestArm, nil
+}
+
+// RunQuery selects, executes, and learns from one query, returning the work
+// and the chosen hint index.
+func (b *Bao) RunQuery(q *plan.Query) (int64, int, error) {
+	p, arm, err := b.SelectPlan(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	work, _, err := b.Env.Run(p, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	b.Bandit.Update(0, PlanFeatures(p), -qo.LogWork(work))
+	b.Queries++
+	return work, arm, nil
+}
+
+// ExpertWork executes the unhinted expert plan (the baseline BAO improves).
+func (b *Bao) ExpertWork(q *plan.Query) (int64, error) {
+	p, err := b.Env.Opt.Plan(q, optimizer.NoHint())
+	if err != nil {
+		return 0, err
+	}
+	work, _, err := b.Env.Run(p, 0)
+	return work, err
+}

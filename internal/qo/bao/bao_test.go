@@ -1,0 +1,110 @@
+package bao
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.StarGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 4000, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng)
+}
+
+func TestPlanFeaturesShape(t *testing.T) {
+	env, gen := setup(t, 1)
+	q := gen.QueryWithDims(2)
+	p, err := env.Opt.Plan(q, optimizer.NoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := PlanFeatures(p)
+	if len(f) != planFeatDim {
+		t.Fatalf("feature dim %d, want %d", len(f), planFeatDim)
+	}
+	if f[0] != 1 {
+		t.Error("bias feature missing")
+	}
+	// 3 scans for a 2-dim star query.
+	if f[6] != 3 {
+		t.Errorf("scan count feature = %v, want 3", f[6])
+	}
+}
+
+func TestBaoLearnsToAvoidBadArms(t *testing.T) {
+	env, gen := setup(t, 2)
+	rng := mlmath.NewRNG(3)
+	// Arm set includes the pathological nl-only arm.
+	hints := []optimizer.HintSet{
+		{Name: "default"},
+		{Name: "nl-only", JoinOps: []plan.OpType{plan.OpNLJoin}},
+		{Name: "hash-only", JoinOps: []plan.OpType{plan.OpHashJoin}},
+	}
+	b := New(env, hints, rng)
+	nlPicks := 0
+	const rounds = 60
+	for i := 0; i < rounds; i++ {
+		q := gen.QueryWithDims(2)
+		_, arm, err := b.RunQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= rounds/2 && hints[arm].Name == "nl-only" {
+			nlPicks++
+		}
+	}
+	if nlPicks > 4 {
+		t.Errorf("BAO still picked nl-only %d times in the second half", nlPicks)
+	}
+}
+
+func TestBaoNoWorseThanExpertInAggregate(t *testing.T) {
+	env, gen := setup(t, 4)
+	rng := mlmath.NewRNG(5)
+	b := New(env, optimizer.StandardHintSets(), rng)
+	var wBao, wExp int64
+	// Warmup phase lets the bandit explore.
+	for i := 0; i < 40; i++ {
+		if _, _, err := b.RunQuery(gen.Query()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		q := gen.Query()
+		w, _, err := b.RunQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wBao += w
+		we, err := b.ExpertWork(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wExp += we
+	}
+	if float64(wBao) > 1.3*float64(wExp) {
+		t.Errorf("post-warmup BAO work %d far above expert %d", wBao, wExp)
+	}
+}
+
+func TestSelectPlanReturnsValidArm(t *testing.T) {
+	env, gen := setup(t, 6)
+	b := New(env, optimizer.StandardHintSets(), mlmath.NewRNG(7))
+	p, arm, err := b.SelectPlan(gen.QueryWithDims(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || arm < 0 || arm >= len(b.Hints) {
+		t.Errorf("SelectPlan = (%v, %d)", p, arm)
+	}
+}

@@ -1,0 +1,88 @@
+package leon
+
+import (
+	"math"
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.StarGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 3000, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng)
+}
+
+func TestLeonTrainAndPlan(t *testing.T) {
+	env, gen := setup(t, 1)
+	l := New(env, 8, mlmath.NewRNG(2))
+	var train []*plan.Query
+	for i := 0; i < 10; i++ {
+		train = append(train, gen.QueryWithDims(2))
+	}
+	if err := l.Train(train, 3); err != nil {
+		t.Fatal(err)
+	}
+	if l.Calibrated <= 0 || l.Calibrated > 1 {
+		t.Errorf("calibration = %v", l.Calibrated)
+	}
+	p, err := l.Plan(gen.QueryWithDims(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.Run(p, 0); err != nil {
+		t.Fatalf("LEON plan failed to execute: %v", err)
+	}
+}
+
+func TestLeonLearnedRankingBeatsRandom(t *testing.T) {
+	env, gen := setup(t, 3)
+	l := New(env, 8, mlmath.NewRNG(4))
+	var train, test []*plan.Query
+	for i := 0; i < 12; i++ {
+		train = append(train, gen.QueryWithDims(2))
+	}
+	for i := 0; i < 6; i++ {
+		test = append(test, gen.QueryWithDims(2))
+	}
+	if err := l.Train(train, 4); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := l.RankAccuracy(test, ScoreMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.55 {
+		t.Errorf("mixed ranking accuracy %v barely above chance", acc)
+	}
+}
+
+func TestLeonFallbackActivates(t *testing.T) {
+	env, gen := setup(t, 5)
+	l := New(env, 8, mlmath.NewRNG(6))
+	l.Calibrated = 0.4 // force distrust
+	if !l.UsesFallback() {
+		t.Fatal("fallback should be active")
+	}
+	q := gen.QueryWithDims(2)
+	p, err := l.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := env.Opt.Plan(q, optimizer.NoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.EstCost-pe.EstCost) > 1e-9 {
+		t.Error("fallback plan differs from expert plan")
+	}
+}

@@ -1,0 +1,105 @@
+// Package neo implements a NEO-style end-to-end learned query optimizer
+// (Marcus et al., VLDB 2019): a value network trained to predict final query
+// latency from (partial) plans, bootstrapped from an existing expert
+// optimizer's plans and refined from its own execution experience, with a
+// greedy value-guided plan search producing complete execution plans.
+//
+// NEO follows the "replacement" paradigm: at inference time the expert
+// optimizer is gone, and plan quality rests entirely on the network — which
+// is exactly why experiment E8 measures its degradation on unseen query
+// templates and its cold-start behavior.
+package neo
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/planrep"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/tree"
+)
+
+// Neo is the learned optimizer.
+type Neo struct {
+	Search *qo.ValueSearch
+	// Experience is the replay buffer of executed plans.
+	Experience []qo.Experience
+	rng        *mlmath.RNG
+}
+
+// Config controls model shape and training.
+type Config struct {
+	Hidden int     // tree-model hidden width (default 16)
+	Eps    float64 // exploration rate during RL episodes (default 0.2)
+}
+
+// New constructs a NEO instance over the environment. NEO's published model
+// uses tree convolution; the encoder here matches that choice.
+func New(env *qo.Env, cfg Config, rng *mlmath.RNG) *Neo {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 16
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.2
+	}
+	pe := planrep.NewPlanEncoder(env.Cat, planrep.FullFeatures())
+	enc := tree.NewTreeCNNEncoder(pe.FeatDim(), cfg.Hidden, rng)
+	reg := tree.NewRegressor(enc, []int{32}, rng)
+	return &Neo{
+		Search: &qo.ValueSearch{Env: env, Enc: pe, Reg: reg, Eps: cfg.Eps, RNG: rng},
+		rng:    rng,
+	}
+}
+
+// Bootstrap seeds the experience buffer with the expert optimizer's plans
+// for the training queries — the default plan plus the structurally distinct
+// plans under each standard hint set, all executed for real latency labels —
+// and trains the value network. This is NEO's "bootstrap from PostgreSQL"
+// phase: the hinted variants give the value network contrast between good
+// and bad operator choices before any self-driven exploration.
+func (n *Neo) Bootstrap(queries []*plan.Query, epochs int) error {
+	for _, q := range queries {
+		seen := map[string]bool{}
+		for _, h := range optimizer.StandardHintSets() {
+			p, err := n.Search.Env.Opt.Plan(q, h)
+			if err != nil {
+				return err
+			}
+			if key := p.String(); seen[key] {
+				continue
+			} else {
+				seen[key] = true
+			}
+			work, _, err := n.Search.Env.Run(p, 0)
+			if err != nil {
+				return err
+			}
+			n.Experience = append(n.Experience, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
+		}
+	}
+	n.Search.TrainValue(n.Experience, epochs, 3e-3)
+	return nil
+}
+
+// Episode runs one RL iteration over the queries: plan with exploration,
+// execute, append experience, retrain.
+func (n *Neo) Episode(queries []*plan.Query, epochs int) error {
+	for _, q := range queries {
+		p, err := n.Search.BuildPlan(q, true)
+		if err != nil {
+			return err
+		}
+		work, _, err := n.Search.Env.Run(p, 0)
+		if err != nil {
+			return err
+		}
+		n.Experience = append(n.Experience, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
+	}
+	n.Search.TrainValue(n.Experience, epochs, 1e-3)
+	return nil
+}
+
+// Plan produces the learned optimizer's plan for q (no exploration).
+func (n *Neo) Plan(q *plan.Query) (*plan.Node, error) {
+	return n.Search.BuildPlan(q, false)
+}

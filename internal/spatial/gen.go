@@ -1,0 +1,145 @@
+package spatial
+
+import "ml4db/internal/mlmath"
+
+// PointDist names a point distribution for spatial experiments.
+type PointDist int
+
+// Point distributions used by E4–E7.
+const (
+	// PointsUniform scatters points uniformly over the unit square.
+	PointsUniform PointDist = iota
+	// PointsClustered draws points from Gaussian clusters with random
+	// centers — the skew that stresses space-filling-curve indexes.
+	PointsClustered
+	// PointsSkewed concentrates points near the origin with exponential
+	// falloff.
+	PointsSkewed
+)
+
+// String implements fmt.Stringer.
+func (d PointDist) String() string {
+	switch d {
+	case PointsUniform:
+		return "uniform"
+	case PointsClustered:
+		return "clustered"
+	case PointsSkewed:
+		return "skewed"
+	default:
+		return "unknown"
+	}
+}
+
+// GenPoints generates n points of the distribution in the unit square.
+func GenPoints(rng *mlmath.RNG, dist PointDist, n int) []Point {
+	pts := make([]Point, 0, n)
+	clamp := func(v float64) float64 { return mlmath.Clamp(v, 0, 1) }
+	switch dist {
+	case PointsUniform:
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{rng.Float64(), rng.Float64()})
+		}
+	case PointsClustered:
+		const clusters = 12
+		cx := make([]float64, clusters)
+		cy := make([]float64, clusters)
+		for i := range cx {
+			cx[i], cy[i] = rng.Float64(), rng.Float64()
+		}
+		for i := 0; i < n; i++ {
+			c := rng.Intn(clusters)
+			pts = append(pts, Point{
+				clamp(cx[c] + 0.03*rng.NormFloat64()),
+				clamp(cy[c] + 0.03*rng.NormFloat64()),
+			})
+		}
+	case PointsSkewed:
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{
+				clamp(rng.ExpFloat64() * 0.15),
+				clamp(rng.ExpFloat64() * 0.15),
+			})
+		}
+	}
+	return pts
+}
+
+// PointItems converts points to items with sequential IDs.
+func PointItems(pts []Point) []Item {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{Rect: RectFromPoint(p), ID: i}
+	}
+	return items
+}
+
+// GenRects generates n random rectangles with the given mean side length —
+// used by the AI+R tree overlap experiments.
+func GenRects(rng *mlmath.RNG, n int, meanSide float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		cx, cy := rng.Float64(), rng.Float64()
+		w := meanSide * (0.5 + rng.Float64())
+		h := meanSide * (0.5 + rng.Float64())
+		items[i] = Item{Rect: Rect{
+			MinX: mlmath.Clamp(cx-w/2, 0, 1),
+			MinY: mlmath.Clamp(cy-h/2, 0, 1),
+			MaxX: mlmath.Clamp(cx+w/2, 0, 1),
+			MaxY: mlmath.Clamp(cy+h/2, 0, 1),
+		}, ID: i}
+	}
+	return items
+}
+
+// GenQueryRects generates range queries of the given side length centered on
+// data points (guaranteeing non-empty results on clustered data).
+func GenQueryRects(rng *mlmath.RNG, pts []Point, n int, side float64) []Rect {
+	qs := make([]Rect, n)
+	for i := range qs {
+		c := pts[rng.Intn(len(pts))]
+		qs[i] = Rect{
+			MinX: c.X - side/2, MinY: c.Y - side/2,
+			MaxX: c.X + side/2, MaxY: c.Y + side/2,
+		}
+	}
+	return qs
+}
+
+// BruteForceRange returns the exact result of a range query by scanning.
+func BruteForceRange(items []Item, q Rect) []int {
+	var out []int
+	for _, it := range items {
+		if it.Rect.Intersects(q) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+// BruteForceKNN returns the exact k nearest point IDs to p.
+func BruteForceKNN(pts []Point, p Point, k int) []int {
+	type dp struct {
+		d  float64
+		id int
+	}
+	ds := make([]dp, len(pts))
+	for i, q := range pts {
+		ds[i] = dp{DistSq(p, q), i}
+	}
+	// Selection of k smallest (n is test-sized).
+	for i := 0; i < k && i < len(ds); i++ {
+		min := i
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].d < ds[min].d {
+				min = j
+			}
+		}
+		ds[i], ds[min] = ds[min], ds[i]
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k && i < len(ds); i++ {
+		out = append(out, ds[i].id)
+	}
+	return out
+}

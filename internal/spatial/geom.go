@@ -1,0 +1,102 @@
+// Package spatial implements the spatial index family of §3.2: the R-tree
+// baseline with pluggable chooseSubtree/splitNode strategies (the surface
+// the ML-enhanced RLR-tree hooks into), STR bulk loading (PLATON's
+// baseline), and the "replacement"-paradigm learned spatial indexes —
+// ZM index (Z-curve + learned CDF), LISA-style learned mapping, and an
+// RSMI-style rank-space index.
+package spatial
+
+import "math"
+
+// Point is a 2-d point.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle (MinX ≤ MaxX, MinY ≤ MaxY).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// RectFromPoint returns the degenerate rectangle at p.
+func RectFromPoint(p Point) Rect { return Rect{p.X, p.Y, p.X, p.Y} }
+
+// Contains reports whether the rectangle contains p (boundaries inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether two rectangles overlap (boundaries inclusive).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// ContainsRect reports whether r fully contains o.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.MinX >= r.MinX && o.MaxX <= r.MaxX && o.MinY >= r.MinY && o.MaxY <= r.MaxY
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// Perimeter returns half the perimeter (the R*-tree margin metric).
+func (r Rect) Perimeter() float64 { return (r.MaxX - r.MinX) + (r.MaxY - r.MinY) }
+
+// Union returns the minimum bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Enlargement returns the area increase of r needed to cover o.
+func (r Rect) Enlargement(o Rect) float64 { return r.Union(o).Area() - r.Area() }
+
+// OverlapArea returns the area of the intersection (0 when disjoint).
+func (r Rect) OverlapArea(o Rect) float64 {
+	w := math.Min(r.MaxX, o.MaxX) - math.Max(r.MinX, o.MinX)
+	h := math.Min(r.MaxY, o.MaxY) - math.Max(r.MinY, o.MinY)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point { return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// MinDistSq returns the squared minimum distance from p to the rectangle
+// (0 if inside) — the KNN branch-and-bound lower bound.
+func (r Rect) MinDistSq(p Point) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return dx*dx + dy*dy
+}
+
+// DistSq returns the squared distance between two points.
+func DistSq(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Item is an indexed spatial object.
+type Item struct {
+	Rect Rect
+	ID   int
+}
+
+// SpatialIndex answers range and KNN queries and reports the work performed
+// (node accesses for trees, candidate points scanned for scan-based learned
+// indexes) — the efficiency metric of the E4/E5 experiments.
+type SpatialIndex interface {
+	Name() string
+	// Range returns the IDs of items intersecting q and the work performed.
+	Range(q Rect) (ids []int, work int)
+	// KNN returns up to k item IDs nearest to p and the work performed.
+	// Learned indexes may return approximate results (a §3.2 limitation).
+	KNN(p Point, k int) (ids []int, work int)
+	SizeBytes() int
+}

@@ -1,0 +1,232 @@
+package spatial
+
+import "sort"
+
+// LISA is a LISA-style learned spatial index (Li et al.): instead of a
+// space-filling curve, it learns a direct mapping from points to a
+// one-dimensional order — here, equi-depth stripes on x with a per-stripe
+// linear model over y. Range queries locate the overlapping stripes and use
+// each stripe's model to jump to the y-interval; results are exact. KNN is
+// exact via expanding range search (LISA supports exact KNN, unlike
+// curve-based indexes).
+type LISA struct {
+	// stripeLoX[s] is the minimum x of stripe s; stripes partition the data
+	// by x rank.
+	stripeLoX []float64
+	// Per stripe: points sorted by y, original IDs, and a linear model
+	// y → in-stripe rank with a recorded error bound.
+	stripes []lisaStripe
+	// orig holds the input points; IDs are positions into it.
+	orig  []Point
+	count int
+}
+
+type lisaStripe struct {
+	pts   []Point
+	ids   []int
+	slope float64
+	bias  float64
+	err   int
+}
+
+// BuildLISA builds the index with the given number of stripes.
+func BuildLISA(pts []Point, numStripes int) *LISA {
+	l := &LISA{count: len(pts), orig: pts}
+	if len(pts) == 0 {
+		l.stripeLoX = []float64{0}
+		l.stripes = make([]lisaStripe, 1)
+		return l
+	}
+	if numStripes < 1 {
+		numStripes = 1
+	}
+	if numStripes > len(pts) {
+		numStripes = len(pts)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pts[idx[a]].X < pts[idx[b]].X })
+	per := (len(pts) + numStripes - 1) / numStripes
+	for s := 0; s < len(pts); s += per {
+		end := s + per
+		if end > len(pts) {
+			end = len(pts)
+		}
+		stripe := lisaStripe{}
+		for _, i := range idx[s:end] {
+			stripe.pts = append(stripe.pts, pts[i])
+			stripe.ids = append(stripe.ids, i)
+		}
+		sort.Sort(&stripeByY{&stripe})
+		stripe.fit()
+		l.stripeLoX = append(l.stripeLoX, pts[idx[s]].X)
+		l.stripes = append(l.stripes, stripe)
+	}
+	return l
+}
+
+type stripeByY struct{ s *lisaStripe }
+
+func (b *stripeByY) Len() int           { return len(b.s.pts) }
+func (b *stripeByY) Less(i, j int) bool { return b.s.pts[i].Y < b.s.pts[j].Y }
+func (b *stripeByY) Swap(i, j int) {
+	b.s.pts[i], b.s.pts[j] = b.s.pts[j], b.s.pts[i]
+	b.s.ids[i], b.s.ids[j] = b.s.ids[j], b.s.ids[i]
+}
+
+// fit learns the stripe's y → rank model and its worst-case error.
+func (s *lisaStripe) fit() {
+	n := len(s.pts)
+	if n < 2 {
+		s.slope, s.bias, s.err = 0, 0, n
+		return
+	}
+	var sx, sy, sxx, sxy float64
+	for i, p := range s.pts {
+		sx += p.Y
+		sy += float64(i)
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	for i, p := range s.pts {
+		dx := p.Y - mx
+		sxx += dx * dx
+		sxy += dx * (float64(i) - my)
+	}
+	if sxx < 1e-18 {
+		s.slope, s.bias, s.err = 0, my, n
+		return
+	}
+	s.slope = sxy / sxx
+	s.bias = my - s.slope*mx
+	for i, p := range s.pts {
+		pred := int(s.slope*p.Y + s.bias)
+		if d := i - pred; d > s.err {
+			s.err = d
+		} else if -d > s.err {
+			s.err = -d
+		}
+	}
+}
+
+// lowerBoundY returns the first in-stripe position with y >= v, using the
+// model-predicted window with a verified fallback.
+func (s *lisaStripe) lowerBoundY(v float64) int {
+	n := len(s.pts)
+	if n == 0 {
+		return 0
+	}
+	pred := int(s.slope*v + s.bias)
+	lo, hi := pred-s.err-1, pred+s.err+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo < hi {
+		lb := lo + sort.Search(hi-lo, func(i int) bool { return s.pts[lo+i].Y >= v })
+		if (lb == 0 || s.pts[lb-1].Y < v) && (lb == n || s.pts[lb].Y >= v) {
+			return lb
+		}
+	}
+	return sort.Search(n, func(i int) bool { return s.pts[i].Y >= v })
+}
+
+// Name implements SpatialIndex.
+func (l *LISA) Name() string { return "lisa" }
+
+// SizeBytes implements SpatialIndex.
+func (l *LISA) SizeBytes() int { return len(l.stripes)*32 + len(l.stripeLoX)*8 }
+
+// Range implements SpatialIndex; work counts candidate points scanned.
+func (l *LISA) Range(q Rect) (ids []int, work int) {
+	// Stripes overlapping [q.MinX, q.MaxX]: stripe s covers x ∈
+	// [stripeLoX[s], stripeLoX[s+1]).
+	first := sort.Search(len(l.stripeLoX), func(i int) bool { return l.stripeLoX[i] > q.MinX }) - 1
+	if first < 0 {
+		first = 0
+	}
+	for s := first; s < len(l.stripes); s++ {
+		if l.stripeLoX[s] > q.MaxX {
+			break
+		}
+		st := &l.stripes[s]
+		for i := st.lowerBoundY(q.MinY); i < len(st.pts) && st.pts[i].Y <= q.MaxY; i++ {
+			work++
+			if st.pts[i].X >= q.MinX && st.pts[i].X <= q.MaxX {
+				ids = append(ids, st.ids[i])
+			}
+		}
+	}
+	return ids, work
+}
+
+// KNN implements SpatialIndex exactly by expanding range search: grow a
+// square window until it provably contains the k nearest neighbors.
+func (l *LISA) KNN(p Point, k int) (ids []int, work int) {
+	if l.count == 0 || k <= 0 {
+		return nil, 0
+	}
+	if k > l.count {
+		k = l.count
+	}
+	side := 0.02
+	for {
+		q := Rect{p.X - side, p.Y - side, p.X + side, p.Y + side}
+		cand, w := l.Range(q)
+		work += w
+		if len(cand) >= k {
+			type dc struct {
+				d  float64
+				id int
+			}
+			ds := make([]dc, len(cand))
+			for i, id := range cand {
+				ds[i] = dc{DistSq(p, l.pointByID(id)), id}
+			}
+			sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+			kth := ds[k-1].d
+			// The square of half-side `side` contains the full disk of
+			// radius √kth only if kth ≤ side².
+			if kth <= side*side {
+				for i := 0; i < k; i++ {
+					ids = append(ids, ds[i].id)
+				}
+				return ids, work
+			}
+		}
+		side *= 2
+		if side > 4 { // window covers the whole unit square with margin
+			q := Rect{p.X - side, p.Y - side, p.X + side, p.Y + side}
+			cand, w := l.Range(q)
+			work += w
+			ids = nearestOf(l, p, cand, k)
+			return ids, work
+		}
+	}
+}
+
+func nearestOf(l *LISA, p Point, cand []int, k int) []int {
+	type dc struct {
+		d  float64
+		id int
+	}
+	ds := make([]dc, len(cand))
+	for i, id := range cand {
+		ds[i] = dc{DistSq(p, l.pointByID(id)), id}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	out := make([]int, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.id)
+	}
+	return out
+}
+
+// pointByID resolves an ID to its point (IDs index the input slice).
+func (l *LISA) pointByID(id int) Point { return l.orig[id] }

@@ -1,0 +1,149 @@
+package spatial
+
+import (
+	"sort"
+
+	"ml4db/internal/learnedindex"
+)
+
+// RSMI is an RSMI-style learned spatial index (Qi et al.): points are mapped
+// to *rank space* (each coordinate replaced by its rank) before Z-order
+// linearization, which makes the curve distribution uniform regardless of
+// data skew, and a learned model indexes the rank-space curve.
+//
+// Simplification vs. the paper: RSMI's recursive partitioning into sub-
+// models is flattened into a single PGM over the rank-space curve (the PGM's
+// piecewise segments play the role of the partitions). Range queries are
+// exact; KNN inspects a curve window and is approximate, as the paper notes
+// for learned spatial indexes.
+type RSMI struct {
+	xs, ys []float64 // sorted coordinate arrays for rank lookup
+	pts    []Point   // in rank-space Z order
+	ids    []int
+	zs     []int64
+	model  *learnedindex.PGM
+}
+
+// BuildRSMI builds the index over the points.
+func BuildRSMI(pts []Point, epsilon int) *RSMI {
+	n := len(pts)
+	ix := &RSMI{
+		xs: make([]float64, n),
+		ys: make([]float64, n),
+	}
+	for i, p := range pts {
+		ix.xs[i] = p.X
+		ix.ys[i] = p.Y
+	}
+	sort.Float64s(ix.xs)
+	sort.Float64s(ix.ys)
+	type zp struct {
+		z  int64
+		id int
+	}
+	tmp := make([]zp, n)
+	for i, p := range pts {
+		tmp[i] = zp{ix.rankZ(p), i}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].z < tmp[j].z })
+	ix.pts = make([]Point, n)
+	ix.ids = make([]int, n)
+	ix.zs = make([]int64, n)
+	var uniq []learnedindex.KV
+	for i, t := range tmp {
+		ix.pts[i] = pts[t.id]
+		ix.ids[i] = t.id
+		ix.zs[i] = t.z
+		if i == 0 || t.z != tmp[i-1].z {
+			uniq = append(uniq, learnedindex.KV{Key: t.z, Value: int64(i)})
+		}
+	}
+	ix.model = learnedindex.BuildPGM(uniq, epsilon)
+	return ix
+}
+
+// rankScale maps a rank in [0, n] onto the zmBits grid.
+func (ix *RSMI) rankScale(rank int) uint32 {
+	n := len(ix.xs)
+	if n <= 1 {
+		return 0
+	}
+	return uint32(int64(rank) * ((int64(1) << zmBits) - 1) / int64(n))
+}
+
+// rankZ computes the rank-space Z-value of a point.
+func (ix *RSMI) rankZ(p Point) int64 {
+	rx := sort.SearchFloat64s(ix.xs, p.X)
+	ry := sort.SearchFloat64s(ix.ys, p.Y)
+	return morton(ix.rankScale(rx), ix.rankScale(ry))
+}
+
+// rankZUpper computes the Z-value upper bound for a query corner: the rank
+// AFTER all equal coordinates, so points equal to the query max are covered.
+func (ix *RSMI) rankZUpper(p Point) int64 {
+	rx := sort.Search(len(ix.xs), func(i int) bool { return ix.xs[i] > p.X })
+	ry := sort.Search(len(ix.ys), func(i int) bool { return ix.ys[i] > p.Y })
+	return morton(ix.rankScale(rx), ix.rankScale(ry))
+}
+
+func (ix *RSMI) rankOf(z int64) int {
+	lb := ix.model.LowerBound(z)
+	if lb >= ix.model.BaseLen() {
+		return len(ix.pts)
+	}
+	_, first := ix.model.BaseKeyAt(lb)
+	return int(first)
+}
+
+// Name implements SpatialIndex.
+func (ix *RSMI) Name() string { return "rsmi" }
+
+// SizeBytes implements SpatialIndex: the model plus the rank arrays.
+func (ix *RSMI) SizeBytes() int { return ix.model.SizeBytes() + len(ix.xs)*16 }
+
+// Range implements SpatialIndex; work counts candidates scanned.
+func (ix *RSMI) Range(q Rect) (ids []int, work int) {
+	zlo := ix.rankZ(Point{q.MinX, q.MinY})
+	zhi := ix.rankZUpper(Point{q.MaxX, q.MaxY})
+	for i := ix.rankOf(zlo); i < len(ix.pts) && ix.zs[i] <= zhi; i++ {
+		work++
+		if q.Contains(ix.pts[i]) {
+			ids = append(ids, ix.ids[i])
+		}
+	}
+	return ids, work
+}
+
+// KNN implements SpatialIndex approximately via a rank-space curve window.
+func (ix *RSMI) KNN(p Point, k int) (ids []int, work int) {
+	if len(ix.pts) == 0 || k <= 0 {
+		return nil, 0
+	}
+	center := ix.rankOf(ix.rankZ(p))
+	window := 8 * k
+	lo := center - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := center + window
+	if hi > len(ix.pts) {
+		hi = len(ix.pts)
+	}
+	type cand struct {
+		d  float64
+		id int
+	}
+	cands := make([]cand, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		work++
+		cands = append(cands, cand{DistSq(p, ix.pts[i]), ix.ids[i]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	for _, c := range cands {
+		ids = append(ids, c.id)
+	}
+	return ids, work
+}

@@ -1,0 +1,298 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ml4db/internal/mlmath"
+)
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	o := Rect{1, 1, 3, 3}
+	if !r.Intersects(o) || !o.Intersects(r) {
+		t.Error("overlap not detected")
+	}
+	if r.OverlapArea(o) != 1 {
+		t.Errorf("overlap area = %v", r.OverlapArea(o))
+	}
+	if r.Union(o) != (Rect{0, 0, 3, 3}) {
+		t.Errorf("union = %v", r.Union(o))
+	}
+	if r.Enlargement(o) != 5 {
+		t.Errorf("enlargement = %v", r.Enlargement(o))
+	}
+	if r.Contains(Point{3, 3}) {
+		t.Error("contains point outside")
+	}
+	if !r.Contains(Point{2, 2}) {
+		t.Error("boundary point not contained")
+	}
+	far := Rect{10, 10, 11, 11}
+	if r.Intersects(far) || r.OverlapArea(far) != 0 {
+		t.Error("disjoint rects misreported")
+	}
+	if d := far.MinDistSq(Point{0, 0}); d != 200 {
+		t.Errorf("MinDistSq = %v, want 200", d)
+	}
+	if d := r.MinDistSq(Point{1, 1}); d != 0 {
+		t.Errorf("inside MinDistSq = %v", d)
+	}
+}
+
+func sortedCopy(v []int) []int {
+	out := append([]int(nil), v...)
+	sort.Ints(out)
+	return out
+}
+
+func sameIDs(a, b []int) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRTreeInsertRangeMatchesBruteForce(t *testing.T) {
+	rng := mlmath.NewRNG(1)
+	for _, dist := range []PointDist{PointsUniform, PointsClustered, PointsSkewed} {
+		pts := GenPoints(rng, dist, 3000)
+		items := PointItems(pts)
+		tr := NewRTree(16)
+		for _, it := range items {
+			tr.Insert(it.Rect, it.ID)
+		}
+		if !tr.CheckInvariants() {
+			t.Fatalf("%v: invariants violated", dist)
+		}
+		for _, q := range GenQueryRects(rng, pts, 25, 0.1) {
+			got, work := tr.Range(q)
+			want := BruteForceRange(items, q)
+			if !sameIDs(got, want) {
+				t.Fatalf("%v: range mismatch: got %d want %d", dist, len(got), len(want))
+			}
+			if work <= 0 {
+				t.Fatal("no work reported")
+			}
+		}
+	}
+}
+
+func TestRTreeKNNExact(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	pts := GenPoints(rng, PointsClustered, 2000)
+	tr := STRBulkLoad(PointItems(pts), 16)
+	for i := 0; i < 20; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		got, _ := tr.KNN(p, 10)
+		want := BruteForceKNN(pts, p, 10)
+		// Compare by distance (ties may reorder IDs).
+		for j := range got {
+			dg := DistSq(p, pts[got[j]])
+			dw := DistSq(p, pts[want[j]])
+			if dg != dw {
+				t.Fatalf("query %d: kth=%d dist %v != brute %v", i, j, dg, dw)
+			}
+		}
+	}
+}
+
+func TestSTRBulkLoadStructure(t *testing.T) {
+	rng := mlmath.NewRNG(3)
+	pts := GenPoints(rng, PointsUniform, 5000)
+	tr := STRBulkLoad(PointItems(pts), 16)
+	if tr.Len() != 5000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.CheckInvariants() {
+		t.Error("STR tree invariants violated")
+	}
+	got, _ := tr.Range(Rect{0.2, 0.2, 0.4, 0.4})
+	want := BruteForceRange(PointItems(pts), Rect{0.2, 0.2, 0.4, 0.4})
+	if !sameIDs(got, want) {
+		t.Errorf("STR range: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestSTRBeatsInsertionTreeOnRangeWork(t *testing.T) {
+	rng := mlmath.NewRNG(4)
+	pts := GenPoints(rng, PointsUniform, 8000)
+	items := PointItems(pts)
+	ins := NewRTree(16)
+	for _, it := range items {
+		ins.Insert(it.Rect, it.ID)
+	}
+	str := STRBulkLoad(items, 16)
+	queries := GenQueryRects(rng, pts, 50, 0.05)
+	var wIns, wSTR int
+	for _, q := range queries {
+		_, w1 := ins.Range(q)
+		_, w2 := str.Range(q)
+		wIns += w1
+		wSTR += w2
+	}
+	if wSTR >= wIns {
+		t.Errorf("STR work %d should beat one-by-one insertion %d", wSTR, wIns)
+	}
+}
+
+func TestMortonMonotoneInEachArg(t *testing.T) {
+	f := func(a, b uint16, y uint16) bool {
+		x1, x2 := uint32(a), uint32(b)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return morton(x1, uint32(y)) <= morton(x2, uint32(y)) &&
+			morton(uint32(y), x1) <= morton(uint32(y), x2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func learnedIndexes(pts []Point) []SpatialIndex {
+	return []SpatialIndex{
+		BuildZM(pts, 32),
+		BuildLISA(pts, 32),
+		BuildRSMI(pts, 32),
+	}
+}
+
+func TestLearnedSpatialRangeExact(t *testing.T) {
+	rng := mlmath.NewRNG(5)
+	for _, dist := range []PointDist{PointsUniform, PointsClustered, PointsSkewed} {
+		pts := GenPoints(rng, dist, 3000)
+		items := PointItems(pts)
+		for _, ix := range learnedIndexes(pts) {
+			for _, q := range GenQueryRects(rng, pts, 20, 0.08) {
+				got, work := ix.Range(q)
+				want := BruteForceRange(items, q)
+				if !sameIDs(got, want) {
+					t.Fatalf("%s/%v: range mismatch got %d want %d", ix.Name(), dist, len(got), len(want))
+				}
+				if len(want) > 0 && work < len(want) {
+					t.Fatalf("%s: work %d below result size %d", ix.Name(), work, len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestLISAKNNExact(t *testing.T) {
+	rng := mlmath.NewRNG(6)
+	pts := GenPoints(rng, PointsClustered, 2000)
+	l := BuildLISA(pts, 24)
+	for i := 0; i < 20; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		got, _ := l.KNN(p, 8)
+		want := BruteForceKNN(pts, p, 8)
+		if len(got) != len(want) {
+			t.Fatalf("KNN size %d != %d", len(got), len(want))
+		}
+		for j := range got {
+			if DistSq(p, pts[got[j]]) != DistSq(p, pts[want[j]]) {
+				t.Fatalf("query %d: LISA KNN not exact at position %d", i, j)
+			}
+		}
+	}
+}
+
+// TestZMKNNApproximate quantifies the approximation: recall must be high but
+// is allowed below 1 (the paper's point about curve-based KNN).
+func TestZMKNNApproximateRecall(t *testing.T) {
+	rng := mlmath.NewRNG(7)
+	pts := GenPoints(rng, PointsUniform, 5000)
+	for _, ix := range []SpatialIndex{BuildZM(pts, 32), BuildRSMI(pts, 32)} {
+		hits, total := 0, 0
+		for i := 0; i < 50; i++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			got, _ := ix.KNN(p, 10)
+			want := BruteForceKNN(pts, p, 10)
+			wantSet := map[int]bool{}
+			for _, id := range want {
+				wantSet[id] = true
+			}
+			for _, id := range got {
+				if wantSet[id] {
+					hits++
+				}
+			}
+			total += len(want)
+		}
+		recall := float64(hits) / float64(total)
+		if recall < 0.6 {
+			t.Errorf("%s: KNN recall %.2f too low", ix.Name(), recall)
+		}
+		if recall > 1 {
+			t.Errorf("%s: recall > 1?", ix.Name())
+		}
+	}
+}
+
+func TestLearnedIndexesSmallerThanRTree(t *testing.T) {
+	rng := mlmath.NewRNG(8)
+	pts := GenPoints(rng, PointsUniform, 20000)
+	rt := STRBulkLoad(PointItems(pts), 16)
+	for _, ix := range learnedIndexes(pts) {
+		if ix.SizeBytes() >= rt.SizeBytes() {
+			t.Errorf("%s size %d not below R-tree %d", ix.Name(), ix.SizeBytes(), rt.SizeBytes())
+		}
+	}
+}
+
+func TestRangeWorkProperty(t *testing.T) {
+	// Property: all indexes return identical results on random inputs.
+	f := func(seed uint64) bool {
+		rng := mlmath.NewRNG(seed)
+		pts := GenPoints(rng, PointDist(rng.Intn(3)), 300+rng.Intn(500))
+		items := PointItems(pts)
+		rt := NewRTree(8)
+		for _, it := range items {
+			rt.Insert(it.Rect, it.ID)
+		}
+		idxs := append(learnedIndexes(pts), rt)
+		for i := 0; i < 5; i++ {
+			q := GenQueryRects(rng, pts, 1, 0.05+rng.Float64()*0.2)[0]
+			want := BruteForceRange(items, q)
+			for _, ix := range idxs {
+				got, _ := ix.Range(q)
+				if !sameIDs(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	for _, ix := range learnedIndexes(nil) {
+		if ids, _ := ix.Range(Rect{0, 0, 1, 1}); len(ids) != 0 {
+			t.Errorf("%s: results from empty index", ix.Name())
+		}
+		if ids, _ := ix.KNN(Point{0.5, 0.5}, 3); len(ids) != 0 {
+			t.Errorf("%s: KNN results from empty index", ix.Name())
+		}
+	}
+	one := []Point{{0.5, 0.5}}
+	for _, ix := range learnedIndexes(one) {
+		ids, _ := ix.Range(Rect{0, 0, 1, 1})
+		if len(ids) != 1 {
+			t.Errorf("%s: single-point range = %v", ix.Name(), ids)
+		}
+		ids, _ = ix.KNN(Point{0.1, 0.1}, 5)
+		if len(ids) != 1 {
+			t.Errorf("%s: single-point knn = %v", ix.Name(), ids)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+)
+
+// STRBulkLoad builds an R-tree by Sort-Tile-Recursive packing: sort by x,
+// slice into vertical strips of √(n/B) tiles, sort each strip by y, and pack
+// leaves bottom-up. STR is the classical packing baseline that PLATON's
+// learned partition policy competes against (§3.2).
+func STRBulkLoad(items []Item, maxEntries int) *RTree {
+	t := NewRTree(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	leaves := strPackLeaves(items, maxEntries)
+	t.count = len(items)
+	t.nNodes = len(leaves)
+	// Pack upper levels.
+	level := leaves
+	for len(level) > 1 {
+		entries := make([]Item, len(level))
+		for i, n := range level {
+			entries[i] = Item{Rect: nodeMBR(n), ID: i}
+		}
+		groups := strGroup(entries, maxEntries)
+		var up []*RNode
+		for _, g := range groups {
+			n := &RNode{}
+			for _, it := range g {
+				child := level[it.ID]
+				n.Entries = append(n.Entries, REntry{Rect: nodeMBR(child), Child: child})
+			}
+			up = append(up, n)
+		}
+		t.nNodes += len(up)
+		level = up
+	}
+	t.root = level[0]
+	return t
+}
+
+func strPackLeaves(items []Item, maxEntries int) []*RNode {
+	groups := strGroup(items, maxEntries)
+	leaves := make([]*RNode, 0, len(groups))
+	for _, g := range groups {
+		n := &RNode{Leaf: true}
+		for _, it := range g {
+			n.Entries = append(n.Entries, REntry{Rect: it.Rect, ID: it.ID})
+		}
+		leaves = append(leaves, n)
+	}
+	return leaves
+}
+
+// STRGroups tiles items into leaf-sized groups using STR — exposed for
+// packing algorithms that mix learned and classical partitioning.
+func STRGroups(items []Item, maxEntries int) [][]Item { return strGroup(items, maxEntries) }
+
+// strGroup tiles items into groups of at most maxEntries using STR.
+func strGroup(items []Item, maxEntries int) [][]Item {
+	n := len(items)
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X })
+	numLeaves := (n + maxEntries - 1) / maxEntries
+	numStrips := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	perStrip := (n + numStrips - 1) / numStrips
+	var groups [][]Item
+	for s := 0; s < n; s += perStrip {
+		end := s + perStrip
+		if end > n {
+			end = n
+		}
+		strip := sorted[s:end]
+		sort.Slice(strip, func(i, j int) bool { return strip[i].Rect.Center().Y < strip[j].Rect.Center().Y })
+		for i := 0; i < len(strip); i += maxEntries {
+			e := i + maxEntries
+			if e > len(strip) {
+				e = len(strip)
+			}
+			groups = append(groups, strip[i:e])
+		}
+	}
+	return groups
+}

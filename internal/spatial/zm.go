@@ -1,0 +1,145 @@
+package spatial
+
+import (
+	"sort"
+
+	"ml4db/internal/learnedindex"
+)
+
+// zmBits is the per-dimension quantization resolution of the Z-curve.
+const zmBits = 16
+
+// morton interleaves two 16-bit coordinates into a 32-bit Z-value.
+func morton(x, y uint32) int64 {
+	return int64(spread(x) | spread(y)<<1)
+}
+
+// spread inserts a zero bit between each of the low 16 bits.
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<8) & 0x00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+// quantize maps a unit-square coordinate to the zmBits grid.
+func quantize(v float64) uint32 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return uint32(v * float64((int64(1)<<zmBits)-1))
+}
+
+// ZMIndex is the ZM index of Wang et al.: points are linearized by a Z-order
+// curve and a learned CDF (a PGM over Z-values) replaces the B-tree over the
+// curve. Range queries scan the Z-interval [z(min), z(max)] and filter; KNN
+// inspects a Z-rank window around the query point and is therefore
+// approximate — the §3.2 limitation of curve-based learned spatial indexes.
+type ZMIndex struct {
+	pts   []Point // in Z order
+	zs    []int64 // Z-value per position
+	ids   []int   // original ID per position
+	model *learnedindex.PGM
+}
+
+// BuildZM builds a ZM index over the points with the given model ε.
+func BuildZM(pts []Point, epsilon int) *ZMIndex {
+	type zp struct {
+		z  int64
+		id int
+	}
+	tmp := make([]zp, len(pts))
+	for i, p := range pts {
+		tmp[i] = zp{morton(quantize(p.X), quantize(p.Y)), i}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].z < tmp[j].z })
+	ix := &ZMIndex{
+		pts: make([]Point, len(pts)),
+		zs:  make([]int64, len(pts)),
+		ids: make([]int, len(pts)),
+	}
+	var uniq []learnedindex.KV
+	for i, t := range tmp {
+		ix.pts[i] = pts[t.id]
+		ix.zs[i] = t.z
+		ix.ids[i] = t.id
+		if i == 0 || t.z != tmp[i-1].z {
+			uniq = append(uniq, learnedindex.KV{Key: t.z, Value: int64(i)})
+		}
+	}
+	ix.model = learnedindex.BuildPGM(uniq, epsilon)
+	return ix
+}
+
+// rankOf returns the position of the first stored point with Z-value >= z.
+func (ix *ZMIndex) rankOf(z int64) int {
+	lb := ix.model.LowerBound(z)
+	if lb >= ix.model.BaseLen() {
+		return len(ix.pts)
+	}
+	_, first := ix.model.BaseKeyAt(lb)
+	return int(first)
+}
+
+// Name implements SpatialIndex.
+func (ix *ZMIndex) Name() string { return "zm" }
+
+// SizeBytes implements SpatialIndex (the learned model; points are data).
+func (ix *ZMIndex) SizeBytes() int { return ix.model.SizeBytes() }
+
+// Range implements SpatialIndex; work counts candidate points scanned. The
+// result is exact: every point inside q has a Z-value within
+// [z(q.Min), z(q.Max)].
+func (ix *ZMIndex) Range(q Rect) (ids []int, work int) {
+	zlo := morton(quantize(q.MinX), quantize(q.MinY))
+	zhi := morton(quantize(q.MaxX), quantize(q.MaxY))
+	for i := ix.rankOf(zlo); i < len(ix.pts) && ix.zs[i] <= zhi; i++ {
+		work++
+		if q.Contains(ix.pts[i]) {
+			ids = append(ids, ix.ids[i])
+		}
+	}
+	return ids, work
+}
+
+// KNN implements SpatialIndex approximately: it examines a window of
+// curve-adjacent points around the query's Z-rank and returns the k nearest
+// among them. Curve discontinuities can make the result miss true
+// neighbors — the approximation the paper attributes to ZM-style indexes.
+func (ix *ZMIndex) KNN(p Point, k int) (ids []int, work int) {
+	if len(ix.pts) == 0 || k <= 0 {
+		return nil, 0
+	}
+	center := ix.rankOf(morton(quantize(p.X), quantize(p.Y)))
+	window := 8 * k
+	lo := center - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := center + window
+	if hi > len(ix.pts) {
+		hi = len(ix.pts)
+	}
+	type cand struct {
+		d  float64
+		id int
+	}
+	cands := make([]cand, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		work++
+		cands = append(cands, cand{DistSq(p, ix.pts[i]), ix.ids[i]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	for _, c := range cands {
+		ids = append(ids, c.id)
+	}
+	return ids, work
+}

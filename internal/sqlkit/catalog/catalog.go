@@ -1,0 +1,212 @@
+// Package catalog implements the storage and metadata layer of the
+// from-scratch relational engine: column-major in-memory tables, column
+// statistics (min/max, distinct counts, equi-depth histograms, reservoir
+// samples), and a catalog mapping names to tables.
+//
+// It stands in for the PostgreSQL storage/statistics subsystem that the
+// surveyed ML4DB systems depend on. All values are int64; categorical data
+// is dictionary-encoded by the generators.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	// Stats are computed by AnalyzeTable and may be nil before analysis.
+	Stats *ColumnStats
+}
+
+// Table is a column-major in-memory relation.
+type Table struct {
+	Name    string
+	Columns []Column
+	// Data[c][r] is the value of column c in row r.
+	Data [][]int64
+	// indexes holds secondary indexes by column (see secondary.go).
+	indexes map[int]*SecondaryIndex
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return len(t.Data[0])
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AppendRow adds one row; vals must have one entry per column.
+func (t *Table) AppendRow(vals []int64) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("catalog: row width %d != %d columns of %s", len(vals), len(t.Columns), t.Name)
+	}
+	for c, v := range vals {
+		t.Data[c] = append(t.Data[c], v)
+	}
+	return nil
+}
+
+// NewTable constructs an empty table with the given column names.
+func NewTable(name string, colNames ...string) *Table {
+	t := &Table{Name: name}
+	for _, cn := range colNames {
+		t.Columns = append(t.Columns, Column{Name: cn})
+	}
+	t.Data = make([][]int64, len(colNames))
+	return t
+}
+
+// Catalog is a named collection of tables — the database.
+type Catalog struct {
+	Tables []*Table
+	byName map[string]int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]int)}
+}
+
+// Add registers a table and returns its ID. Adding a duplicate name is an
+// error.
+func (c *Catalog) Add(t *Table) (int, error) {
+	if _, dup := c.byName[t.Name]; dup {
+		return 0, fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	id := len(c.Tables)
+	c.Tables = append(c.Tables, t)
+	c.byName[t.Name] = id
+	return id, nil
+}
+
+// MustAdd is Add for construction-time code where duplicates are bugs.
+func (c *Catalog) MustAdd(t *Table) int {
+	id, err := c.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Table returns the table with the given ID.
+func (c *Catalog) Table(id int) *Table { return c.Tables[id] }
+
+// ByName returns the table ID for name.
+func (c *Catalog) ByName(name string) (int, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// AnalyzeAll computes statistics for every column of every table, like a
+// database-wide ANALYZE.
+func (c *Catalog) AnalyzeAll(buckets, sampleSize int) {
+	for _, t := range c.Tables {
+		AnalyzeTable(t, buckets, sampleSize)
+	}
+}
+
+// AnalyzeTable computes per-column statistics for one table.
+func AnalyzeTable(t *Table, buckets, sampleSize int) {
+	for i := range t.Columns {
+		t.Columns[i].Stats = BuildStats(t.Data[i], buckets, sampleSize)
+	}
+}
+
+// ColumnStats summarizes a column's value distribution, mirroring the
+// statistics a classical optimizer keeps (and that ML4DB systems consume as
+// "database statistics" features, §3.1).
+type ColumnStats struct {
+	Count    int
+	Min, Max int64
+	// Distinct is an exact distinct count (tables are in memory).
+	Distinct int
+	// Hist is an equi-depth histogram over the column.
+	Hist *Histogram
+	// Sample is a deterministic systematic sample of column values.
+	Sample []int64
+}
+
+// BuildStats computes statistics over the values.
+func BuildStats(vals []int64, buckets, sampleSize int) *ColumnStats {
+	s := &ColumnStats{Count: len(vals)}
+	if len(vals) == 0 {
+		s.Hist = &Histogram{}
+		return s
+	}
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	s.Distinct = distinct
+	s.Hist = BuildHistogram(sorted, buckets)
+	if sampleSize > 0 {
+		if sampleSize > len(vals) {
+			sampleSize = len(vals)
+		}
+		step := len(vals) / sampleSize
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(vals) && len(s.Sample) < sampleSize; i += step {
+			s.Sample = append(s.Sample, vals[i])
+		}
+	}
+	return s
+}
+
+// SelectivityEq estimates the fraction of rows equal to v using the uniform
+// frequency assumption within the histogram bucket containing v.
+func (s *ColumnStats) SelectivityEq(v int64) float64 {
+	if s.Count == 0 || v < s.Min || v > s.Max {
+		return 0
+	}
+	if s.Distinct <= 0 {
+		return 0
+	}
+	// Classical assumption: each distinct value is equally frequent within
+	// its bucket; approximate globally by 1/distinct weighted by the
+	// bucket's share of rows.
+	frac := s.Hist.FracInBucketOf(v)
+	perValue := frac / maxf(1, s.Hist.DistinctInBucketOf(v))
+	if perValue <= 0 {
+		return 1 / float64(s.Distinct)
+	}
+	return perValue
+}
+
+// SelectivityRange estimates the fraction of rows with lo ≤ value ≤ hi.
+func (s *ColumnStats) SelectivityRange(lo, hi int64) float64 {
+	if s.Count == 0 || hi < lo {
+		return 0
+	}
+	return s.Hist.FracRange(lo, hi)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

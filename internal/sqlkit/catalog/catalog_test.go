@@ -1,0 +1,213 @@
+package catalog
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ml4db/internal/mlmath"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("users", "id", "age")
+	if tb.NumRows() != 0 || tb.NumCols() != 2 {
+		t.Fatalf("fresh table: rows=%d cols=%d", tb.NumRows(), tb.NumCols())
+	}
+	if err := tb.AppendRow([]int64{1, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendRow([]int64{2, 40}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", tb.NumRows())
+	}
+	if tb.Data[1][1] != 40 {
+		t.Errorf("Data[1][1] = %d, want 40", tb.Data[1][1])
+	}
+	if err := tb.AppendRow([]int64{1}); err == nil {
+		t.Error("expected width-mismatch error")
+	}
+	if tb.ColIndex("age") != 1 || tb.ColIndex("nope") != -1 {
+		t.Error("ColIndex wrong")
+	}
+}
+
+func TestCatalogRegistration(t *testing.T) {
+	c := NewCatalog()
+	id := c.MustAdd(NewTable("a", "x"))
+	if id != 0 {
+		t.Errorf("first id = %d", id)
+	}
+	if _, err := c.Add(NewTable("a", "y")); err == nil {
+		t.Error("expected duplicate error")
+	}
+	got, ok := c.ByName("a")
+	if !ok || got != 0 {
+		t.Errorf("ByName = (%d, %v)", got, ok)
+	}
+	if _, ok := c.ByName("zz"); ok {
+		t.Error("ByName found missing table")
+	}
+}
+
+func TestBuildStatsExactCounts(t *testing.T) {
+	vals := []int64{5, 1, 3, 3, 2, 5, 5}
+	s := BuildStats(vals, 4, 10)
+	if s.Count != 7 || s.Min != 1 || s.Max != 5 || s.Distinct != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if len(s.Sample) == 0 {
+		t.Error("no sample taken")
+	}
+}
+
+func TestBuildStatsEmpty(t *testing.T) {
+	s := BuildStats(nil, 4, 10)
+	if s.Count != 0 {
+		t.Errorf("empty stats count = %d", s.Count)
+	}
+	if s.SelectivityEq(5) != 0 || s.SelectivityRange(1, 2) != 0 {
+		t.Error("empty stats should give 0 selectivity")
+	}
+}
+
+func TestHistogramBucketsPartitionRows(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mlmath.NewRNG(seed)
+		n := 1 + rng.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(500))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		h := BuildHistogram(vals, 8)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		// Bounds must be non-decreasing.
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] < h.Bounds[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramNoValueStraddlesBuckets(t *testing.T) {
+	// Heavy duplicates: all equal values must land in one bucket.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i / 25) // 4 distinct values, 25 each
+	}
+	h := BuildHistogram(vals, 10)
+	for i := 1; i < len(h.Bounds); i++ {
+		if h.Bounds[i] == h.Bounds[i-1] {
+			t.Errorf("value %d appears as bound of two buckets", h.Bounds[i])
+		}
+	}
+}
+
+func TestFracRangeFullAndEmpty(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h := BuildHistogram(vals, 16)
+	if got := h.FracRange(0, 999); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full range frac = %v, want 1", got)
+	}
+	if got := h.FracRange(2000, 3000); got != 0 {
+		t.Errorf("out-of-range frac = %v, want 0", got)
+	}
+	if got := h.FracRange(10, 5); got != 0 {
+		t.Errorf("inverted range frac = %v, want 0", got)
+	}
+}
+
+func TestFracRangeAccuracyOnUniform(t *testing.T) {
+	rng := mlmath.NewRNG(9)
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	h := BuildHistogram(vals, 32)
+	// True selectivity of [100, 299] is ~0.2 on uniform data.
+	got := h.FracRange(100, 299)
+	if math.Abs(got-0.2) > 0.03 {
+		t.Errorf("FracRange(100,299) = %v, want ~0.2", got)
+	}
+}
+
+func TestSelectivityEqOnSkewedData(t *testing.T) {
+	rng := mlmath.NewRNG(10)
+	z := mlmath.NewZipf(rng, 1.3, 100)
+	vals := make([]int64, 50000)
+	counts := map[int64]int{}
+	for i := range vals {
+		v := int64(z.Draw())
+		vals[i] = v
+		counts[v]++
+	}
+	s := BuildStats(vals, 32, 100)
+	// The hottest value should get a much higher eq-selectivity estimate
+	// than a cold one.
+	hot := s.SelectivityEq(0)
+	cold := s.SelectivityEq(90)
+	trueHot := float64(counts[0]) / 50000
+	if hot < trueHot/5 {
+		t.Errorf("hot-value selectivity %v far below truth %v", hot, trueHot)
+	}
+	if cold >= hot {
+		t.Errorf("cold (%v) >= hot (%v) selectivity", cold, hot)
+	}
+}
+
+func TestSelectivityRangeMatchesTruth(t *testing.T) {
+	rng := mlmath.NewRNG(11)
+	vals := make([]int64, 30000)
+	for i := range vals {
+		vals[i] = int64(500 + 100*rng.NormFloat64())
+	}
+	s := BuildStats(vals, 32, 100)
+	trueCount := 0
+	for _, v := range vals {
+		if v >= 450 && v <= 550 {
+			trueCount++
+		}
+	}
+	truth := float64(trueCount) / 30000
+	got := s.SelectivityRange(450, 550)
+	if q := mlmath.QError(got*30000, truth*30000); q > 1.2 {
+		t.Errorf("range selectivity %v vs truth %v (q-error %v)", got, truth, q)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	c := NewCatalog()
+	tb := NewTable("t", "x", "y")
+	for i := 0; i < 100; i++ {
+		if err := tb.AppendRow([]int64{int64(i), int64(i % 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MustAdd(tb)
+	c.AnalyzeAll(8, 16)
+	if tb.Columns[0].Stats == nil || tb.Columns[1].Stats == nil {
+		t.Fatal("stats missing after AnalyzeAll")
+	}
+	if tb.Columns[0].Stats.Distinct != 100 || tb.Columns[1].Stats.Distinct != 10 {
+		t.Errorf("distinct = %d, %d; want 100, 10",
+			tb.Columns[0].Stats.Distinct, tb.Columns[1].Stats.Distinct)
+	}
+}

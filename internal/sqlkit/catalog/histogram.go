@@ -1,0 +1,126 @@
+package catalog
+
+import "sort"
+
+// Histogram is an equi-depth histogram: each bucket covers roughly the same
+// number of rows. Buckets store their value bounds, row counts, and distinct
+// counts, exactly the information a classical optimizer keeps.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of bucket i; buckets partition
+	// [min, max]. Lower bound of bucket 0 is Lo.
+	Lo       int64
+	Bounds   []int64
+	Counts   []int
+	Distinct []int
+	Total    int
+}
+
+// BuildHistogram builds an equi-depth histogram over sorted values.
+// values must be sorted ascending; buckets must be >= 1.
+func BuildHistogram(sorted []int64, buckets int) *Histogram {
+	h := &Histogram{Total: len(sorted)}
+	if len(sorted) == 0 {
+		return h
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	h.Lo = sorted[0]
+	per := (len(sorted) + buckets - 1) / buckets
+	i := 0
+	for i < len(sorted) {
+		end := i + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		// Extend the bucket so equal values never straddle a boundary —
+		// required for the uniform-within-bucket assumption to be coherent.
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		bound := sorted[end-1]
+		cnt := end - i
+		d := 1
+		for j := i + 1; j < end; j++ {
+			if sorted[j] != sorted[j-1] {
+				d++
+			}
+		}
+		h.Bounds = append(h.Bounds, bound)
+		h.Counts = append(h.Counts, cnt)
+		h.Distinct = append(h.Distinct, d)
+		i = end
+	}
+	return h
+}
+
+// bucketOf returns the index of the bucket containing v, or -1 if v is
+// outside the histogram's range.
+func (h *Histogram) bucketOf(v int64) int {
+	if h.Total == 0 || v < h.Lo || len(h.Bounds) == 0 || v > h.Bounds[len(h.Bounds)-1] {
+		return -1
+	}
+	return sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i] >= v })
+}
+
+// FracInBucketOf returns the fraction of all rows that fall in v's bucket.
+func (h *Histogram) FracInBucketOf(v int64) float64 {
+	b := h.bucketOf(v)
+	if b < 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.Total)
+}
+
+// DistinctInBucketOf returns the distinct count of v's bucket (0 if outside).
+func (h *Histogram) DistinctInBucketOf(v int64) float64 {
+	b := h.bucketOf(v)
+	if b < 0 {
+		return 0
+	}
+	return float64(h.Distinct[b])
+}
+
+// FracRange estimates the fraction of rows in [lo, hi] assuming uniformity
+// within buckets.
+func (h *Histogram) FracRange(lo, hi int64) float64 {
+	if h.Total == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if hi < lo {
+		return 0
+	}
+	hiBound := h.Bounds[len(h.Bounds)-1]
+	if hi < h.Lo || lo > hiBound {
+		return 0
+	}
+	if lo < h.Lo {
+		lo = h.Lo
+	}
+	if hi > hiBound {
+		hi = hiBound
+	}
+	frac := 0.0
+	bLo := h.Lo
+	for i, bound := range h.Bounds {
+		bucketLo, bucketHi := bLo, bound
+		bLo = bound + 1
+		if hi < bucketLo || lo > bucketHi {
+			continue
+		}
+		overlapLo, overlapHi := lo, hi
+		if overlapLo < bucketLo {
+			overlapLo = bucketLo
+		}
+		if overlapHi > bucketHi {
+			overlapHi = bucketHi
+		}
+		width := float64(bucketHi-bucketLo) + 1
+		cover := float64(overlapHi-overlapLo) + 1
+		frac += float64(h.Counts[i]) / float64(h.Total) * cover / width
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}

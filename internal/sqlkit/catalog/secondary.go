@@ -1,0 +1,88 @@
+package catalog
+
+import "sort"
+
+// SecondaryIndex is a sorted (value, row) index over one column of a table —
+// the access path an index advisor recommends building. Lookups cost one
+// binary-search probe plus one fetch per matching row, which the executor
+// charges separately from sequential scans (random fetches are the classic
+// reason what-if advisors overestimate index benefit).
+type SecondaryIndex struct {
+	Col  int
+	vals []int64
+	rows []int32
+}
+
+// BuildSecondaryIndex constructs the index over t's column col.
+func BuildSecondaryIndex(t *Table, col int) *SecondaryIndex {
+	n := t.NumRows()
+	ix := &SecondaryIndex{
+		Col:  col,
+		vals: make([]int64, n),
+		rows: make([]int32, n),
+	}
+	for r := 0; r < n; r++ {
+		ix.vals[r] = t.Data[col][r]
+		ix.rows[r] = int32(r)
+	}
+	sort.Sort(byVal{ix})
+	return ix
+}
+
+type byVal struct{ ix *SecondaryIndex }
+
+func (b byVal) Len() int { return len(b.ix.vals) }
+func (b byVal) Less(i, j int) bool {
+	if b.ix.vals[i] != b.ix.vals[j] {
+		return b.ix.vals[i] < b.ix.vals[j]
+	}
+	return b.ix.rows[i] < b.ix.rows[j]
+}
+func (b byVal) Swap(i, j int) {
+	b.ix.vals[i], b.ix.vals[j] = b.ix.vals[j], b.ix.vals[i]
+	b.ix.rows[i], b.ix.rows[j] = b.ix.rows[j], b.ix.rows[i]
+}
+
+// Len returns the number of indexed entries.
+func (ix *SecondaryIndex) Len() int { return len(ix.vals) }
+
+// RangeRows returns the row ids with column value in [lo, hi], in index
+// order.
+func (ix *SecondaryIndex) RangeRows(lo, hi int64) []int32 {
+	start := sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i] >= lo })
+	end := sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i] > hi })
+	if end <= start {
+		return nil
+	}
+	return ix.rows[start:end]
+}
+
+// SizeBytes reports the index footprint.
+func (ix *SecondaryIndex) SizeBytes() int { return len(ix.vals) * 12 }
+
+// AddIndex attaches a secondary index to the table, replacing any previous
+// index on the same column.
+func (t *Table) AddIndex(ix *SecondaryIndex) {
+	if t.indexes == nil {
+		t.indexes = map[int]*SecondaryIndex{}
+	}
+	t.indexes[ix.Col] = ix
+}
+
+// DropIndex removes the index on col, if any.
+func (t *Table) DropIndex(col int) { delete(t.indexes, col) }
+
+// Index returns the secondary index on col, or nil.
+func (t *Table) Index(col int) *SecondaryIndex {
+	return t.indexes[col]
+}
+
+// IndexedCols lists the columns with secondary indexes.
+func (t *Table) IndexedCols() []int {
+	var out []int
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

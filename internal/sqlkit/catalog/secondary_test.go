@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ml4db/internal/mlmath"
+)
+
+func buildIndexedTable(t *testing.T, n int, seed uint64) *Table {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	tb := NewTable("t", "a", "b")
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow([]int64{int64(rng.Intn(500)), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	AnalyzeTable(tb, 16, 64)
+	tb.AddIndex(BuildSecondaryIndex(tb, 0))
+	return tb
+}
+
+func TestSecondaryIndexRangeMatchesBruteForce(t *testing.T) {
+	tb := buildIndexedTable(t, 3000, 1)
+	ix := tb.Index(0)
+	if ix == nil {
+		t.Fatal("index missing")
+	}
+	f := func(a, b int16) bool {
+		lo, hi := int64(a)%500, int64(b)%500
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := map[int32]bool{}
+		for _, r := range ix.RangeRows(lo, hi) {
+			got[r] = true
+		}
+		want := 0
+		for r := 0; r < tb.NumRows(); r++ {
+			v := tb.Data[0][r]
+			in := v >= lo && v <= hi
+			if in {
+				want++
+			}
+			if in != got[int32(r)] {
+				return false
+			}
+		}
+		return want == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexManagement(t *testing.T) {
+	tb := buildIndexedTable(t, 100, 2)
+	if got := tb.IndexedCols(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("IndexedCols = %v", got)
+	}
+	if tb.Index(1) != nil {
+		t.Error("found index on unindexed column")
+	}
+	tb.DropIndex(0)
+	if tb.Index(0) != nil {
+		t.Error("index survives drop")
+	}
+	if tb.Index(0) != nil || len(tb.IndexedCols()) != 0 {
+		t.Error("IndexedCols after drop")
+	}
+}
+
+func TestSecondaryIndexEmptyRange(t *testing.T) {
+	tb := buildIndexedTable(t, 100, 3)
+	ix := tb.Index(0)
+	if rows := ix.RangeRows(1000, 2000); len(rows) != 0 {
+		t.Errorf("out-of-domain range returned %d rows", len(rows))
+	}
+	if rows := ix.RangeRows(10, 5); len(rows) != 0 {
+		t.Errorf("inverted range returned %d rows", len(rows))
+	}
+}
+
+func TestSecondaryIndexSize(t *testing.T) {
+	tb := buildIndexedTable(t, 1000, 4)
+	if tb.Index(0).SizeBytes() != 12000 {
+		t.Errorf("SizeBytes = %d", tb.Index(0).SizeBytes())
+	}
+	if tb.Index(0).Len() != 1000 {
+		t.Errorf("Len = %d", tb.Index(0).Len())
+	}
+}

@@ -1,0 +1,219 @@
+// Package datagen generates synthetic relations with controllable
+// distributions — uniform, Zipf, Gaussian, and cross-column correlation.
+// Correlated columns deliberately violate the optimizer's independence
+// assumption, reproducing the estimation errors that motivate the learned
+// cardinality estimators and steered optimizers surveyed in the paper.
+package datagen
+
+import (
+	"fmt"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/catalog"
+)
+
+// DistKind selects a column value distribution.
+type DistKind int
+
+// Supported column distributions.
+const (
+	// Sequential yields 0, 1, 2, ... (primary keys).
+	Sequential DistKind = iota
+	// Uniform yields uniform integers in [0, Domain).
+	Uniform
+	// Zipf yields Zipf-distributed ranks in [0, Domain) with exponent Skew.
+	Zipf
+	// Normal yields rounded Gaussians centered at Domain/2 with standard
+	// deviation Domain*Spread, clamped to [0, Domain).
+	Normal
+	// Correlated yields BaseCol's value plus bounded uniform noise in
+	// [-Noise, +Noise], clamped to [0, Domain). It creates the cross-column
+	// correlation that breaks independence-based estimation.
+	Correlated
+	// FK yields uniform references into [0, Domain) where Domain is the
+	// referenced table's row count.
+	FK
+	// FKZipf yields Zipf-skewed references (popular dimension rows).
+	FKZipf
+)
+
+// ColSpec describes one generated column.
+type ColSpec struct {
+	Name   string
+	Kind   DistKind
+	Domain int64   // value domain size (or referenced row count for FK kinds)
+	Skew   float64 // Zipf exponent for Zipf/FKZipf (default 1.1)
+	Spread float64 // Normal: stddev as a fraction of Domain (default 0.15)
+	// BaseCol is the index of the column a Correlated column follows.
+	BaseCol int
+	// Noise is the half-width of the Correlated noise band (default Domain/20).
+	Noise int64
+}
+
+// GenTable builds a table of rows rows following the column specs.
+func GenTable(rng *mlmath.RNG, name string, rows int, specs []ColSpec) (*catalog.Table, error) {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	t := catalog.NewTable(name, names...)
+	samplers := make([]func(row int, vals []int64) int64, len(specs))
+	for i, s := range specs {
+		sam, err := makeSampler(rng, s)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: column %s of %s: %w", s.Name, name, err)
+		}
+		samplers[i] = sam
+	}
+	vals := make([]int64, len(specs))
+	for r := 0; r < rows; r++ {
+		for c := range specs {
+			vals[c] = samplers[c](r, vals)
+		}
+		if err := t.AppendRow(vals); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func makeSampler(rng *mlmath.RNG, s ColSpec) (func(int, []int64) int64, error) {
+	dom := s.Domain
+	if dom <= 0 && s.Kind != Sequential {
+		return nil, fmt.Errorf("domain must be positive, got %d", dom)
+	}
+	clampDom := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= dom {
+			return dom - 1
+		}
+		return v
+	}
+	switch s.Kind {
+	case Sequential:
+		return func(row int, _ []int64) int64 { return int64(row) }, nil
+	case Uniform, FK:
+		return func(_ int, _ []int64) int64 { return int64(rng.Intn(int(dom))) }, nil
+	case Zipf, FKZipf:
+		skew := s.Skew
+		if skew <= 0 {
+			skew = 1.1
+		}
+		z := mlmath.NewZipf(rng, skew, int(dom))
+		return func(_ int, _ []int64) int64 { return int64(z.Draw()) }, nil
+	case Normal:
+		spread := s.Spread
+		if spread <= 0 {
+			spread = 0.15
+		}
+		sd := float64(dom) * spread
+		mean := float64(dom) / 2
+		return func(_ int, _ []int64) int64 {
+			return clampDom(int64(mean + sd*rng.NormFloat64()))
+		}, nil
+	case Correlated:
+		noise := s.Noise
+		if noise <= 0 {
+			noise = dom / 20
+			if noise < 1 {
+				noise = 1
+			}
+		}
+		base := s.BaseCol
+		return func(_ int, vals []int64) int64 {
+			d := int64(rng.Intn(int(2*noise+1))) - noise
+			return clampDom(vals[base] + d)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %d", s.Kind)
+	}
+}
+
+// StarSchema describes a generated star schema: one fact table referencing
+// numDims dimension tables, with correlated filter columns on the fact table.
+type StarSchema struct {
+	Cat    *catalog.Catalog
+	FactID int
+	DimIDs []int
+	// FKCol[i] is the fact-table column referencing dimension i's id column.
+	FKCol []int
+	// AttrCols are the positions of the fact table's filterable measure
+	// columns (attr0 and attr1 are correlated with each other).
+	AttrCols []int
+}
+
+// NewStarSchema generates a star schema: fact(fk0..fk{d-1}, attr0, attr1,
+// attr2) and dims dim_i(id, a, b). attr1 is correlated with attr0; attr2 is
+// independent Zipf. Dimension attribute a is Normal, b Uniform.
+func NewStarSchema(rng *mlmath.RNG, factRows, dimRows, numDims int) (*StarSchema, error) {
+	cat := catalog.NewCatalog()
+	s := &StarSchema{Cat: cat}
+	for d := 0; d < numDims; d++ {
+		t, err := GenTable(rng, fmt.Sprintf("dim%d", d), dimRows, []ColSpec{
+			{Name: "id", Kind: Sequential},
+			{Name: "a", Kind: Normal, Domain: 1000},
+			{Name: "b", Kind: Uniform, Domain: 100},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.DimIDs = append(s.DimIDs, cat.MustAdd(t))
+	}
+	specs := make([]ColSpec, 0, numDims+3)
+	for d := 0; d < numDims; d++ {
+		kind := FK
+		if d%2 == 1 {
+			kind = FKZipf // odd dimensions get skewed references
+		}
+		specs = append(specs, ColSpec{Name: fmt.Sprintf("fk%d", d), Kind: kind, Domain: int64(dimRows)})
+		s.FKCol = append(s.FKCol, d)
+	}
+	attrBase := numDims
+	specs = append(specs,
+		ColSpec{Name: "attr0", Kind: Normal, Domain: 1000},
+		ColSpec{Name: "attr1", Kind: Correlated, Domain: 1000, BaseCol: attrBase, Noise: 25},
+		ColSpec{Name: "attr2", Kind: Zipf, Domain: 1000, Skew: 1.2},
+	)
+	s.AttrCols = []int{attrBase, attrBase + 1, attrBase + 2}
+	fact, err := GenTable(rng, "fact", factRows, specs)
+	if err != nil {
+		return nil, err
+	}
+	s.FactID = cat.MustAdd(fact)
+	cat.AnalyzeAll(32, 512)
+	return s, nil
+}
+
+// ChainSchema generates a linear chain of tables t0 — t1 — ... — t{n-1},
+// where t{i} has a foreign key into t{i+1}. Used by join-order experiments.
+type ChainSchema struct {
+	Cat      *catalog.Catalog
+	TableIDs []int
+}
+
+// NewChainSchema builds a chain of n tables with the given row counts
+// (len(rows) == n). Each table has columns (id, next, attr): next references
+// the following table's id; attr is a filterable Normal column.
+func NewChainSchema(rng *mlmath.RNG, rows []int) (*ChainSchema, error) {
+	cat := catalog.NewCatalog()
+	s := &ChainSchema{Cat: cat}
+	for i, r := range rows {
+		nextDom := int64(1)
+		if i+1 < len(rows) {
+			nextDom = int64(rows[i+1])
+		}
+		t, err := GenTable(rng, fmt.Sprintf("t%d", i), r, []ColSpec{
+			{Name: "id", Kind: Sequential},
+			{Name: "next", Kind: FK, Domain: nextDom},
+			{Name: "attr", Kind: Normal, Domain: 1000},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.TableIDs = append(s.TableIDs, cat.MustAdd(t))
+	}
+	cat.AnalyzeAll(32, 512)
+	return s, nil
+}

@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+func TestGenTableShapes(t *testing.T) {
+	rng := mlmath.NewRNG(1)
+	tb, err := GenTable(rng, "t", 1000, []ColSpec{
+		{Name: "id", Kind: Sequential},
+		{Name: "u", Kind: Uniform, Domain: 50},
+		{Name: "z", Kind: Zipf, Domain: 50, Skew: 1.3},
+		{Name: "n", Kind: Normal, Domain: 100},
+		{Name: "c", Kind: Correlated, Domain: 100, BaseCol: 3, Noise: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1000 || tb.NumCols() != 5 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	for r := 0; r < 1000; r++ {
+		if tb.Data[0][r] != int64(r) {
+			t.Fatal("sequential column broken")
+		}
+		if v := tb.Data[1][r]; v < 0 || v >= 50 {
+			t.Fatalf("uniform out of domain: %d", v)
+		}
+		if d := tb.Data[4][r] - tb.Data[3][r]; d < -5 || d > 5 {
+			// Clamping at domain edges can exceed the band only toward 0/99.
+			if tb.Data[4][r] != 0 && tb.Data[4][r] != 99 {
+				t.Fatalf("correlated column outside noise band: base=%d corr=%d", tb.Data[3][r], tb.Data[4][r])
+			}
+		}
+	}
+}
+
+func TestGenTableCorrelationIsStrong(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	tb, err := GenTable(rng, "t", 5000, []ColSpec{
+		{Name: "a", Kind: Normal, Domain: 1000},
+		{Name: "b", Kind: Correlated, Domain: 1000, BaseCol: 0, Noise: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pearson correlation should be near 1.
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := 0; i < 5000; i++ {
+		xs[i] = float64(tb.Data[0][i])
+		ys[i] = float64(tb.Data[1][i])
+	}
+	mx, my := mlmath.Mean(xs), mlmath.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		syy += (ys[i] - my) * (ys[i] - my)
+	}
+	r := sxy / (mlmath.Clamp(sxx, 1e-9, 1e18) * mlmath.Clamp(syy, 1e-9, 1e18))
+	r = sxy * sxy / (sxx * syy)
+	if r < 0.9 {
+		t.Errorf("correlation r² = %.3f, want > 0.9", r)
+	}
+}
+
+func TestGenTableErrors(t *testing.T) {
+	rng := mlmath.NewRNG(3)
+	if _, err := GenTable(rng, "t", 10, []ColSpec{{Name: "x", Kind: Uniform, Domain: 0}}); err == nil {
+		t.Error("expected error for zero domain")
+	}
+	if _, err := GenTable(rng, "t", 10, []ColSpec{{Name: "x", Kind: DistKind(99), Domain: 5}}); err == nil {
+		t.Error("expected error for unknown distribution")
+	}
+}
+
+func TestStarSchemaIntegrity(t *testing.T) {
+	rng := mlmath.NewRNG(4)
+	s, err := NewStarSchema(rng, 2000, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DimIDs) != 3 || len(s.FKCol) != 3 {
+		t.Fatalf("schema shape: %+v", s)
+	}
+	fact := s.Cat.Table(s.FactID)
+	if fact.NumRows() != 2000 {
+		t.Errorf("fact rows = %d", fact.NumRows())
+	}
+	// FK integrity: every fk value must exist in the dimension.
+	for d := 0; d < 3; d++ {
+		dim := s.Cat.Table(s.DimIDs[d])
+		for r := 0; r < fact.NumRows(); r++ {
+			fk := fact.Data[s.FKCol[d]][r]
+			if fk < 0 || fk >= int64(dim.NumRows()) {
+				t.Fatalf("fk%d value %d out of dim range", d, fk)
+			}
+		}
+	}
+	// Stats must be analyzed.
+	if fact.Columns[0].Stats == nil {
+		t.Error("fact table not analyzed")
+	}
+}
+
+func TestChainSchemaIntegrity(t *testing.T) {
+	rng := mlmath.NewRNG(5)
+	s, err := NewChainSchema(rng, []int{100, 50, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < 3; i++ {
+		t0 := s.Cat.Table(s.TableIDs[i])
+		next := s.Cat.Table(s.TableIDs[i+1])
+		for r := 0; r < t0.NumRows(); r++ {
+			v := t0.Data[1][r]
+			if v < 0 || v >= int64(next.NumRows()) {
+				t.Fatalf("t%d.next = %d out of t%d range", i, v, i+1)
+			}
+		}
+	}
+}
+
+func TestGenerationDeterminism(t *testing.T) {
+	a, err := GenTable(mlmath.NewRNG(42), "t", 100, []ColSpec{{Name: "u", Kind: Uniform, Domain: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTable(mlmath.NewRNG(42), "t", 100, []ColSpec{{Name: "u", Kind: Uniform, Domain: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		if a.Data[0][r] != b.Data[0][r] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package exec executes physical plans against the in-memory catalog.
+//
+// Besides producing result rows, the executor counts deterministic work
+// units (tuples scanned, hash probes, comparisons). That counter is the
+// latency signal the learned optimizers train on: it is perfectly
+// reproducible across runs, unlike wall-clock time, while preserving the
+// ordering of plan quality. A work budget implements the execution timeouts
+// that Balsa (§3.3) relies on to avoid unpredictable stalls.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// ErrWorkBudgetExceeded is returned when execution exceeds Options.MaxWork.
+var ErrWorkBudgetExceeded = errors.New("exec: work budget exceeded")
+
+// Options configures execution.
+type Options struct {
+	// MaxWork aborts execution once this many work units are consumed.
+	// Zero means unlimited.
+	MaxWork int64
+}
+
+// Counters break total work down by operation category — the quantities a
+// formula cost model weights with its parameters. ParamTree (§3.2) fits
+// those parameters from observed (Counters, latency) pairs.
+type Counters struct {
+	ScanTuples  int64 // tuples read by SeqScan
+	HashBuild   int64 // build-side tuples of HashJoin
+	HashProbe   int64 // probe-side tuples of HashJoin
+	NLPairs     int64 // (outer, inner) pairs of NLJoin
+	MergeSort   int64 // tuple·log(tuple) units of MergeJoin sorting
+	MergeScan   int64 // merge-phase steps of MergeJoin
+	OutputTuple int64 // join output tuples (hash and merge)
+	IndexProbe  int64 // binary-search steps of IndexScan probes
+	IndexFetch  int64 // rows fetched through a secondary index
+}
+
+// Total sums all categories (each weighted 1): the executor's work units.
+func (c Counters) Total() int64 {
+	return c.ScanTuples + c.HashBuild + c.HashProbe + c.NLPairs +
+		c.MergeSort + c.MergeScan + c.OutputTuple + c.IndexProbe + c.IndexFetch
+}
+
+// Vec returns the counters in optimizer.CostParams.Vec order.
+func (c Counters) Vec() []float64 {
+	return []float64{
+		float64(c.ScanTuples), float64(c.HashBuild), float64(c.HashProbe),
+		float64(c.NLPairs), float64(c.MergeSort), float64(c.MergeScan),
+		float64(c.OutputTuple), float64(c.IndexProbe), float64(c.IndexFetch),
+	}
+}
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	// Rows holds the materialized output tuples.
+	Rows [][]int64
+	// Work is the total deterministic work units consumed.
+	Work int64
+	// Counters break Work down by operation category.
+	Counters Counters
+}
+
+// Executor runs plans against a catalog.
+type Executor struct {
+	Cat *catalog.Catalog
+}
+
+// New returns an executor over the catalog.
+func New(cat *catalog.Catalog) *Executor { return &Executor{Cat: cat} }
+
+// Execute runs the plan and returns the result. Node.ActualRows annotations
+// are filled in along the way.
+func (e *Executor) Execute(root *plan.Node, opts Options) (*Result, error) {
+	st := &execState{cat: e.Cat, maxWork: opts.MaxWork}
+	rows, err := st.run(root)
+	if err != nil {
+		return &Result{Work: st.work, Counters: st.ctr}, err
+	}
+	return &Result{Rows: rows, Work: st.work, Counters: st.ctr}, nil
+}
+
+// ExecuteCount is Execute but discards rows, returning only cardinality and
+// work — the common case for training-signal collection.
+func (e *Executor) ExecuteCount(root *plan.Node, opts Options) (card int, work int64, err error) {
+	res, err := e.Execute(root, opts)
+	if err != nil {
+		return 0, res.Work, err
+	}
+	return len(res.Rows), res.Work, nil
+}
+
+type execState struct {
+	cat     *catalog.Catalog
+	work    int64
+	maxWork int64
+	ctr     Counters
+}
+
+// charge adds units to the given category counter and the total, enforcing
+// the work budget.
+func (s *execState) charge(counter *int64, units int64) error {
+	*counter += units
+	s.work += units
+	if s.maxWork > 0 && s.work > s.maxWork {
+		return ErrWorkBudgetExceeded
+	}
+	return nil
+}
+
+func (s *execState) run(n *plan.Node) ([][]int64, error) {
+	switch n.Op {
+	case plan.OpSeqScan:
+		return s.seqScan(n)
+	case plan.OpIndexScan:
+		return s.indexScan(n)
+	case plan.OpHashJoin:
+		return s.hashJoin(n)
+	case plan.OpNLJoin:
+		return s.nlJoin(n)
+	case plan.OpMergeJoin:
+		return s.mergeJoin(n)
+	default:
+		return nil, fmt.Errorf("exec: unknown operator %v", n.Op)
+	}
+}
+
+func (s *execState) seqScan(n *plan.Node) ([][]int64, error) {
+	t := s.cat.Table(n.TableID)
+	nRows := t.NumRows()
+	nCols := t.NumCols()
+	var out [][]int64
+	for r := 0; r < nRows; r++ {
+		if err := s.charge(&s.ctr.ScanTuples, 1); err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, f := range n.Filters {
+			if !f.Eval(t.Data[f.Col][r]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make([]int64, nCols)
+		for c := 0; c < nCols; c++ {
+			row[c] = t.Data[c][r]
+		}
+		out = append(out, row)
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}
+
+// indexScan reads the rows matching the node's interval predicate on
+// IndexCol through the secondary index, then applies the remaining filters.
+func (s *execState) indexScan(n *plan.Node) ([][]int64, error) {
+	t := s.cat.Table(n.TableID)
+	ix := t.Index(n.IndexCol)
+	if ix == nil {
+		return nil, fmt.Errorf("exec: no index on column %d of %s", n.IndexCol, t.Name)
+	}
+	lo, hi, residual, ok := indexInterval(t, n)
+	if !ok {
+		return nil, fmt.Errorf("exec: IndexScan on %s has no interval predicate on c%d", t.Name, n.IndexCol)
+	}
+	// One probe costs a binary search over the index.
+	if err := s.charge(&s.ctr.IndexProbe, log2int(ix.Len())); err != nil {
+		return nil, err
+	}
+	nCols := t.NumCols()
+	var out [][]int64
+	fetched := 0
+	for _, r := range ix.RangeRows(lo, hi) {
+		if err := s.charge(&s.ctr.IndexFetch, 1); err != nil {
+			return nil, err
+		}
+		fetched++
+		okRow := true
+		for _, f := range residual {
+			if !f.Eval(t.Data[f.Col][r]) {
+				okRow = false
+				break
+			}
+		}
+		if !okRow {
+			continue
+		}
+		row := make([]int64, nCols)
+		for c := 0; c < nCols; c++ {
+			row[c] = t.Data[c][int(r)]
+		}
+		out = append(out, row)
+	}
+	n.ActualRows = float64(len(out))
+	n.ActualFetched = float64(fetched)
+	return out, nil
+}
+
+// indexInterval extracts the interval on n.IndexCol from the node's filters
+// (intersecting multiple interval predicates on that column) and returns the
+// remaining predicates.
+func indexInterval(t *catalog.Table, n *plan.Node) (lo, hi int64, residual []expr.Pred, ok bool) {
+	domLo, domHi := int64(-1<<62), int64(1<<62)
+	if st := t.Columns[n.IndexCol].Stats; st != nil && st.Count > 0 {
+		domLo, domHi = st.Min, st.Max
+	}
+	lo, hi = domLo, domHi
+	found := false
+	for _, f := range n.Filters {
+		if f.Col == n.IndexCol {
+			if l, h, isInterval := f.Range(domLo, domHi); isInterval {
+				if l > lo {
+					lo = l
+				}
+				if h < hi {
+					hi = h
+				}
+				found = true
+				continue
+			}
+		}
+		residual = append(residual, f)
+	}
+	return lo, hi, residual, found
+}
+
+// log2int returns ceil(log2(n)) as a work charge, minimum 1.
+func log2int(n int) int64 {
+	c := int64(1)
+	for v := n; v > 1; v >>= 1 {
+		c++
+	}
+	return c
+}
+
+func (s *execState) children(n *plan.Node) (left, right [][]int64, err error) {
+	left, err = s.run(n.Children[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err = s.run(n.Children[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+func joinRows(l, r []int64) []int64 {
+	out := make([]int64, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func (s *execState) hashJoin(n *plan.Node) ([][]int64, error) {
+	left, right, err := s.children(n)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the left child, probe with the right.
+	ht := make(map[int64][]int, len(left))
+	for i, row := range left {
+		if err := s.charge(&s.ctr.HashBuild, 1); err != nil {
+			return nil, err
+		}
+		k := row[n.LeftCol]
+		ht[k] = append(ht[k], i)
+	}
+	var out [][]int64
+	for _, rrow := range right {
+		if err := s.charge(&s.ctr.HashProbe, 1); err != nil {
+			return nil, err
+		}
+		for _, li := range ht[rrow[n.RightCol]] {
+			if err := s.charge(&s.ctr.OutputTuple, 1); err != nil {
+				return nil, err
+			}
+			out = append(out, joinRows(left[li], rrow))
+		}
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}
+
+func (s *execState) nlJoin(n *plan.Node) ([][]int64, error) {
+	left, right, err := s.children(n)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int64
+	for _, lrow := range left {
+		lk := lrow[n.LeftCol]
+		for _, rrow := range right {
+			if err := s.charge(&s.ctr.NLPairs, 1); err != nil {
+				return nil, err
+			}
+			if lk == rrow[n.RightCol] {
+				out = append(out, joinRows(lrow, rrow))
+			}
+		}
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}
+
+func (s *execState) mergeJoin(n *plan.Node) ([][]int64, error) {
+	left, right, err := s.children(n)
+	if err != nil {
+		return nil, err
+	}
+	// Charge an n·log n sort cost approximation plus the merge.
+	sortCost := func(m int) int64 {
+		if m <= 1 {
+			return int64(m)
+		}
+		logM := 0
+		for v := m; v > 1; v >>= 1 {
+			logM++
+		}
+		return int64(m * logM)
+	}
+	if err := s.charge(&s.ctr.MergeSort, sortCost(len(left))+sortCost(len(right))); err != nil {
+		return nil, err
+	}
+	lc, rc := n.LeftCol, n.RightCol
+	sort.Slice(left, func(i, j int) bool { return left[i][lc] < left[j][lc] })
+	sort.Slice(right, func(i, j int) bool { return right[i][rc] < right[j][rc] })
+	var out [][]int64
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		if err := s.charge(&s.ctr.MergeScan, 1); err != nil {
+			return nil, err
+		}
+		lv, rv := left[i][lc], right[j][rc]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			// Emit the cross product of the equal runs.
+			jEnd := j
+			for jEnd < len(right) && right[jEnd][rc] == rv {
+				jEnd++
+			}
+			for ; i < len(left) && left[i][lc] == lv; i++ {
+				for jj := j; jj < jEnd; jj++ {
+					if err := s.charge(&s.ctr.OutputTuple, 1); err != nil {
+						return nil, err
+					}
+					out = append(out, joinRows(left[i], right[jj]))
+				}
+			}
+			j = jEnd
+		}
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}

@@ -1,0 +1,122 @@
+// Package expr defines the predicate language of the relational engine:
+// single-column comparison and range predicates, and equi-join conditions.
+// Predicates reference columns positionally so plans can be evaluated without
+// name resolution on the hot path.
+package expr
+
+import "fmt"
+
+// Op is a comparison operator.
+type Op int
+
+// Supported comparison operators.
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+	BETWEEN // inclusive [Lo, Hi]
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case BETWEEN:
+		return "between"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Pred is a predicate on one column of a base table: col Op Lo (or
+// BETWEEN Lo AND Hi).
+type Pred struct {
+	Col    int // column index within the base table
+	Op     Op
+	Lo, Hi int64 // Hi used only by BETWEEN
+}
+
+// Eval reports whether value v satisfies the predicate.
+func (p Pred) Eval(v int64) bool {
+	switch p.Op {
+	case EQ:
+		return v == p.Lo
+	case NE:
+		return v != p.Lo
+	case LT:
+		return v < p.Lo
+	case LE:
+		return v <= p.Lo
+	case GT:
+		return v > p.Lo
+	case GE:
+		return v >= p.Lo
+	case BETWEEN:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		return false
+	}
+}
+
+// String renders the predicate for debugging and plan display.
+func (p Pred) String() string {
+	if p.Op == BETWEEN {
+		return fmt.Sprintf("c%d between %d and %d", p.Col, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("c%d %s %d", p.Col, p.Op, p.Lo)
+}
+
+// Range returns the value interval [lo, hi] selected by the predicate,
+// clamped to the domain [domLo, domHi]. ok is false when the predicate is a
+// disequality (NE), which is not an interval.
+func (p Pred) Range(domLo, domHi int64) (lo, hi int64, ok bool) {
+	switch p.Op {
+	case EQ:
+		return p.Lo, p.Lo, true
+	case LT:
+		return domLo, p.Lo - 1, true
+	case LE:
+		return domLo, p.Lo, true
+	case GT:
+		return p.Lo + 1, domHi, true
+	case GE:
+		return p.Lo, domHi, true
+	case BETWEEN:
+		return p.Lo, p.Hi, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// JoinCond is an equi-join condition between a column of one relation and a
+// column of another. Tables are referenced by their position in the query's
+// table list, not by catalog ID, so the same template can bind different
+// tables.
+type JoinCond struct {
+	LeftTable  int // index into Query.Tables
+	LeftCol    int
+	RightTable int
+	RightCol   int
+}
+
+// String renders the join condition.
+func (j JoinCond) String() string {
+	return fmt.Sprintf("t%d.c%d = t%d.c%d", j.LeftTable, j.LeftCol, j.RightTable, j.RightCol)
+}
+
+// Touches reports whether the condition references table position t.
+func (j JoinCond) Touches(t int) bool { return j.LeftTable == t || j.RightTable == t }

@@ -1,0 +1,93 @@
+package optimizer
+
+import (
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// HistEstimator is the classical histogram-based cardinality estimator with
+// per-predicate independence and the System-R join selectivity formula
+// 1/max(V(L.a), V(R.b)). Its systematic errors on correlated data are the
+// weakness the learned estimators of §3.3 target.
+type HistEstimator struct {
+	Cat *catalog.Catalog
+}
+
+var _ CardEstimator = (*HistEstimator)(nil)
+
+// ScanRows implements CardEstimator.
+func (h *HistEstimator) ScanRows(q *plan.Query, pos int) float64 {
+	t := h.Cat.Table(q.Tables[pos])
+	rows := float64(t.NumRows())
+	sel := 1.0
+	for _, f := range q.Filters[pos] {
+		sel *= h.predSelectivity(t, f)
+	}
+	est := rows * sel
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+func (h *HistEstimator) predSelectivity(t *catalog.Table, f expr.Pred) float64 {
+	st := t.Columns[f.Col].Stats
+	if st == nil || st.Count == 0 {
+		return 0.1 // PostgreSQL-style default guess
+	}
+	switch f.Op {
+	case expr.EQ:
+		return st.SelectivityEq(f.Lo)
+	case expr.NE:
+		return 1 - st.SelectivityEq(f.Lo)
+	default:
+		lo, hi, ok := f.Range(st.Min, st.Max)
+		if !ok {
+			return 0.1
+		}
+		return st.SelectivityRange(lo, hi)
+	}
+}
+
+// JoinSelectivity implements CardEstimator with the System-R formula.
+func (h *HistEstimator) JoinSelectivity(q *plan.Query, cond expr.JoinCond) float64 {
+	lt := h.Cat.Table(q.Tables[cond.LeftTable])
+	rt := h.Cat.Table(q.Tables[cond.RightTable])
+	vl, vr := 1.0, 1.0
+	if st := lt.Columns[cond.LeftCol].Stats; st != nil && st.Distinct > 0 {
+		vl = float64(st.Distinct)
+	}
+	if st := rt.Columns[cond.RightCol].Stats; st != nil && st.Distinct > 0 {
+		vr = float64(st.Distinct)
+	}
+	v := vl
+	if vr > v {
+		v = vr
+	}
+	return 1 / v
+}
+
+// EstimateSubtreeRows estimates the output cardinality of joining the table
+// positions in set, under the independence assumption: the product of scan
+// estimates times the product of the selectivities of all join conditions
+// internal to the set.
+func EstimateSubtreeRows(est CardEstimator, q *plan.Query, set []int) float64 {
+	in := make(map[int]bool, len(set))
+	for _, p := range set {
+		in[p] = true
+	}
+	rows := 1.0
+	for _, p := range set {
+		rows *= est.ScanRows(q, p)
+	}
+	for _, c := range q.Joins {
+		if in[c.LeftTable] && in[c.RightTable] {
+			rows *= est.JoinSelectivity(q, c)
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}

@@ -1,0 +1,94 @@
+package optimizer
+
+import "ml4db/internal/sqlkit/plan"
+
+// HintSet constrains the optimizer's search space, mirroring the per-query
+// hint sets BAO selects among (e.g. "disable nested loop joins"). An empty
+// JoinOps list means all operators are allowed.
+type HintSet struct {
+	Name         string
+	JoinOps      []plan.OpType
+	LeftDeepOnly bool
+	// NoIndexScan forbids secondary-index access paths.
+	NoIndexScan bool
+	// denyAllJoins marks a contradictory Combine result (empty operator
+	// intersection), which would otherwise be indistinguishable from the
+	// "no restriction" empty JoinOps.
+	denyAllJoins bool
+}
+
+// Allows reports whether the hint set permits join operator op.
+func (h HintSet) Allows(op plan.OpType) bool {
+	if h.denyAllJoins {
+		return false
+	}
+	if len(h.JoinOps) == 0 {
+		return true
+	}
+	for _, o := range h.JoinOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// NoHint is the unconstrained search space (the expert optimizer's default).
+func NoHint() HintSet { return HintSet{Name: "default"} }
+
+// StandardHintSets is the hand-crafted hint collection a BAO deployment
+// starts from: each arm disables some operators or plan shapes, exactly the
+// kind of collection the paper notes must be hand-crafted per system (and
+// that AutoSteer discovers automatically).
+func StandardHintSets() []HintSet {
+	return []HintSet{
+		{Name: "default"},
+		{Name: "hash-only", JoinOps: []plan.OpType{plan.OpHashJoin}},
+		{Name: "no-nl", JoinOps: []plan.OpType{plan.OpHashJoin, plan.OpMergeJoin}},
+		{Name: "nl-only", JoinOps: []plan.OpType{plan.OpNLJoin}},
+		{Name: "merge-only", JoinOps: []plan.OpType{plan.OpMergeJoin}},
+		{Name: "left-deep", LeftDeepOnly: true},
+		{Name: "left-deep-hash", JoinOps: []plan.OpType{plan.OpHashJoin}, LeftDeepOnly: true},
+		{Name: "no-hash", JoinOps: []plan.OpType{plan.OpNLJoin, plan.OpMergeJoin}},
+	}
+}
+
+// AtomicHints returns the single-knob hints AutoSteer composes greedily.
+func AtomicHints() []HintSet {
+	return []HintSet{
+		{Name: "disable-nl", JoinOps: []plan.OpType{plan.OpHashJoin, plan.OpMergeJoin}},
+		{Name: "disable-hash", JoinOps: []plan.OpType{plan.OpNLJoin, plan.OpMergeJoin}},
+		{Name: "disable-merge", JoinOps: []plan.OpType{plan.OpHashJoin, plan.OpNLJoin}},
+		{Name: "force-left-deep", LeftDeepOnly: true},
+		{Name: "disable-indexscan", NoIndexScan: true},
+	}
+}
+
+// Combine intersects two hint sets: the result allows only join operators
+// both allow and is left-deep if either is.
+func Combine(a, b HintSet) HintSet {
+	out := HintSet{
+		Name:         a.Name + "+" + b.Name,
+		LeftDeepOnly: a.LeftDeepOnly || b.LeftDeepOnly,
+		NoIndexScan:  a.NoIndexScan || b.NoIndexScan,
+	}
+	for _, op := range plan.AllJoinOps {
+		if a.Allows(op) && b.Allows(op) {
+			out.JoinOps = append(out.JoinOps, op)
+		}
+	}
+	if len(out.JoinOps) == 0 {
+		out.denyAllJoins = true
+	}
+	return out
+}
+
+// Viable reports whether the hint set leaves at least one join operator.
+func (h HintSet) Viable() bool {
+	for _, op := range plan.AllJoinOps {
+		if h.Allows(op) {
+			return true
+		}
+	}
+	return false
+}

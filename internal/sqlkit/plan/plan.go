@@ -1,0 +1,244 @@
+// Package plan defines queries and physical plan trees — the "directed tree
+// in which each node describes a unit operation" that the paper identifies as
+// the common input of ML4DB systems (§3.1).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"ml4db/internal/sqlkit/expr"
+)
+
+// Query is a select-project-join query: a list of base tables, conjunctive
+// single-table filters, and equi-join conditions. This is exactly the SPJ
+// class the paper notes learned optimizers handle.
+type Query struct {
+	// Tables holds catalog table IDs. Positions within this slice are the
+	// "table positions" predicates and joins refer to.
+	Tables []int
+	// Filters[pos] are conjunctive predicates on the table at pos.
+	Filters map[int][]expr.Pred
+	// Joins are equi-join conditions between table positions.
+	Joins []expr.JoinCond
+}
+
+// NewQuery constructs an empty query over the given catalog table IDs.
+func NewQuery(tableIDs ...int) *Query {
+	return &Query{Tables: tableIDs, Filters: make(map[int][]expr.Pred)}
+}
+
+// AddFilter appends a predicate on the table at position pos.
+func (q *Query) AddFilter(pos int, p expr.Pred) *Query {
+	q.Filters[pos] = append(q.Filters[pos], p)
+	return q
+}
+
+// AddJoin appends an equi-join condition.
+func (q *Query) AddJoin(j expr.JoinCond) *Query {
+	q.Joins = append(q.Joins, j)
+	return q
+}
+
+// NumTables returns the number of base tables.
+func (q *Query) NumTables() int { return len(q.Tables) }
+
+// Signature returns a short string identifying the query's structure
+// (tables, joins, filter columns) — used as a template key by workload-drift
+// experiments.
+func (q *Query) Signature() string {
+	var b strings.Builder
+	for i, t := range q.Tables {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "T%d", t)
+		for _, f := range q.Filters[i] {
+			fmt.Fprintf(&b, ":c%d%s", f.Col, f.Op)
+		}
+	}
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, "|%s", j)
+	}
+	return b.String()
+}
+
+// OpType identifies a physical operator.
+type OpType int
+
+// Physical operators of the execution engine.
+const (
+	OpSeqScan OpType = iota
+	OpHashJoin
+	OpNLJoin // tuple nested-loop join
+	OpMergeJoin
+	// OpIndexScan reads rows through a secondary index on IndexCol using
+	// the node's interval predicate on that column, then applies the
+	// remaining filters.
+	OpIndexScan
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpSeqScan:
+		return "SeqScan"
+	case OpHashJoin:
+		return "HashJoin"
+	case OpNLJoin:
+		return "NLJoin"
+	case OpMergeJoin:
+		return "MergeJoin"
+	case OpIndexScan:
+		return "IndexScan"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// AllJoinOps lists the join operators the optimizer may choose among.
+var AllJoinOps = []OpType{OpHashJoin, OpNLJoin, OpMergeJoin}
+
+// Node is a physical plan node. A leaf is a SeqScan of a base table with
+// pushed-down filters; internal nodes are joins. Cost and cardinality
+// annotations are filled by the optimizer; ActualRows by the executor. These
+// annotations are the "database statistics" features of plan representation
+// (§3.1).
+type Node struct {
+	Op       OpType
+	Children []*Node
+
+	// Scan fields (SeqScan and IndexScan).
+	TablePos int // position in the query's table list
+	TableID  int // catalog table ID
+	Filters  []expr.Pred
+	// IndexCol is the indexed column an IndexScan reads through.
+	IndexCol int
+
+	// Join fields: output-relative column offsets into the left and right
+	// child schemas.
+	LeftCol, RightCol int
+
+	// Optimizer annotations.
+	EstRows float64
+	EstCost float64
+
+	// EstFetched is the optimizer's estimate of rows fetched through the
+	// index before residual filtering (IndexScan only).
+	EstFetched float64
+
+	// Executor annotations.
+	ActualRows float64
+	// ActualFetched counts rows fetched through the index (IndexScan only).
+	ActualFetched float64
+}
+
+// IsLeaf reports whether the node is a scan.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// NewIndexScan constructs an index-scan leaf reading through the secondary
+// index on col.
+func NewIndexScan(tablePos, tableID, col int, filters []expr.Pred) *Node {
+	return &Node{Op: OpIndexScan, TablePos: tablePos, TableID: tableID, IndexCol: col, Filters: filters}
+}
+
+// Tables returns the set of table positions covered by the subtree.
+func (n *Node) Tables() []int {
+	if n.IsLeaf() {
+		return []int{n.TablePos}
+	}
+	var out []int
+	for _, c := range n.Children {
+		out = append(out, c.Tables()...)
+	}
+	return out
+}
+
+// Width returns the number of output columns of the subtree, given a lookup
+// from table position to that base table's column count.
+func (n *Node) Width(colsOf func(tablePos int) int) int {
+	if n.IsLeaf() {
+		return colsOf(n.TablePos)
+	}
+	w := 0
+	for _, c := range n.Children {
+		w += c.Width(colsOf)
+	}
+	return w
+}
+
+// NumNodes returns the node count of the subtree.
+func (n *Node) NumNodes() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.NumNodes()
+	}
+	return c
+}
+
+// Depth returns the height of the subtree (1 for a leaf).
+func (n *Node) Depth() int {
+	d := 0
+	for _, ch := range n.Children {
+		if cd := ch.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Walk visits the subtree pre-order.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Clone deep-copies the plan tree.
+func (n *Node) Clone() *Node {
+	out := *n
+	out.Children = nil
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return &out
+}
+
+// String renders the plan as an indented tree.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s(t%d#%d", n.Op, n.TablePos, n.TableID)
+		if n.Op == OpIndexScan {
+			fmt.Fprintf(b, " ix=c%d", n.IndexCol)
+		}
+		for _, f := range n.Filters {
+			fmt.Fprintf(b, " %s", f)
+		}
+		b.WriteString(")")
+	} else {
+		fmt.Fprintf(b, "%s(l.c%d = r.c%d)", n.Op, n.LeftCol, n.RightCol)
+	}
+	fmt.Fprintf(b, " rows=%.0f cost=%.0f\n", n.EstRows, n.EstCost)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// NewScan constructs a scan leaf.
+func NewScan(tablePos, tableID int, filters []expr.Pred) *Node {
+	return &Node{Op: OpSeqScan, TablePos: tablePos, TableID: tableID, Filters: filters}
+}
+
+// NewJoin constructs a join node over two children with output-relative key
+// column offsets.
+func NewJoin(op OpType, left, right *Node, leftCol, rightCol int) *Node {
+	return &Node{Op: op, Children: []*Node{left, right}, LeftCol: leftCol, RightCol: rightCol}
+}

@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"ml4db/internal/sqlkit/expr"
+)
+
+func twoJoinPlan() *Node {
+	s0 := NewScan(0, 10, []expr.Pred{{Col: 1, Op: expr.GT, Lo: 5}})
+	s1 := NewScan(1, 11, nil)
+	s2 := NewScan(2, 12, nil)
+	j1 := NewJoin(OpHashJoin, s0, s1, 0, 1)
+	return NewJoin(OpNLJoin, j1, s2, 2, 0)
+}
+
+func TestNodeShapeAccessors(t *testing.T) {
+	root := twoJoinPlan()
+	if root.IsLeaf() {
+		t.Error("join reported as leaf")
+	}
+	if got := root.NumNodes(); got != 5 {
+		t.Errorf("NumNodes = %d, want 5", got)
+	}
+	if got := root.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	tables := root.Tables()
+	if len(tables) != 3 {
+		t.Fatalf("Tables = %v", tables)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, p := range tables {
+		if !want[p] {
+			t.Errorf("unexpected table position %d", p)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	root := twoJoinPlan()
+	colsOf := func(pos int) int { return pos + 2 } // t0:2, t1:3, t2:4
+	if got := root.Width(colsOf); got != 9 {
+		t.Errorf("Width = %d, want 9", got)
+	}
+}
+
+func TestWalkVisitsAllPreOrder(t *testing.T) {
+	root := twoJoinPlan()
+	var ops []OpType
+	root.Walk(func(n *Node) { ops = append(ops, n.Op) })
+	want := []OpType{OpNLJoin, OpHashJoin, OpSeqScan, OpSeqScan, OpSeqScan}
+	if len(ops) != len(want) {
+		t.Fatalf("visited %d nodes, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("visit %d: %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := twoJoinPlan()
+	c := root.Clone()
+	c.Children[0].Op = OpMergeJoin
+	c.Children[1].TableID = 99
+	if root.Children[0].Op == OpMergeJoin {
+		t.Error("Clone shares internal nodes")
+	}
+	if root.Children[1].TableID == 99 {
+		t.Error("Clone shares leaves")
+	}
+}
+
+func TestStringRendersTree(t *testing.T) {
+	s := twoJoinPlan().String()
+	for _, frag := range []string{"NLJoin", "HashJoin", "SeqScan", "c1 > 5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("plan rendering missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestQueryBuilding(t *testing.T) {
+	q := NewQuery(7, 8, 9)
+	q.AddFilter(0, expr.Pred{Col: 2, Op: expr.EQ, Lo: 1}).
+		AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 1}).
+		AddJoin(expr.JoinCond{LeftTable: 1, LeftCol: 0, RightTable: 2, RightCol: 1})
+	if q.NumTables() != 3 {
+		t.Errorf("NumTables = %d", q.NumTables())
+	}
+	if len(q.Filters[0]) != 1 || len(q.Joins) != 2 {
+		t.Error("builder did not record filters/joins")
+	}
+}
+
+func TestQuerySignatureDistinguishesTemplates(t *testing.T) {
+	q1 := NewQuery(1, 2)
+	q1.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
+	q2 := NewQuery(1, 2)
+	q2.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
+	q2.AddFilter(0, expr.Pred{Col: 1, Op: expr.GT, Lo: 3})
+	if q1.Signature() == q2.Signature() {
+		t.Error("signatures should differ when filters differ")
+	}
+	q3 := NewQuery(1, 2)
+	q3.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
+	if q1.Signature() != q3.Signature() {
+		t.Error("identical queries should share a signature")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpSeqScan.String() != "SeqScan" || OpHashJoin.String() != "HashJoin" ||
+		OpNLJoin.String() != "NLJoin" || OpMergeJoin.String() != "MergeJoin" {
+		t.Error("OpType.String wrong")
+	}
+}

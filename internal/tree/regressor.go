@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"math"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+// Regressor couples a plan encoder with an MLP task head and trains both
+// end-to-end — the standard two-stage pipeline the paper identifies in §3.1
+// (representation component + task model).
+type Regressor struct {
+	Enc  Encoder
+	Head *nn.MLP
+}
+
+// NewRegressor builds a regressor whose head has the given hidden widths and
+// a single output.
+func NewRegressor(enc Encoder, headHidden []int, rng *mlmath.RNG) *Regressor {
+	sizes := append([]int{enc.OutDim()}, headHidden...)
+	sizes = append(sizes, 1)
+	return &Regressor{Enc: enc, Head: nn.NewMLP(sizes, nn.LeakyReLU{}, nn.Identity{}, rng)}
+}
+
+// Params implements nn.Module over encoder and head jointly.
+func (r *Regressor) Params() []*nn.Param {
+	return append(r.Enc.Params(), r.Head.Params()...)
+}
+
+// Predict returns the scalar prediction for the tree.
+func (r *Regressor) Predict(t *EncTree) float64 {
+	g := nn.NewGraph()
+	rep := r.Enc.EncodeG(g, t)
+	return r.Head.Forward(rep.Val)[0]
+}
+
+// TrainSample accumulates gradients for one (tree, target) pair under MSE
+// loss and returns the loss. The caller steps the optimizer.
+func (r *Regressor) TrainSample(t *EncTree, y float64) float64 {
+	g := nn.NewGraph()
+	rep := r.Enc.EncodeG(g, t)
+	tape, pred := r.Head.ForwardTape(rep.Val)
+	grad := make([]float64, 1)
+	loss := nn.MSELoss(pred, []float64{y}, grad)
+	dIn := tape.Backward(grad)
+	g.Backward(rep, dIn)
+	return loss
+}
+
+// TrainPair accumulates gradients for a pairwise ranking step: better should
+// score LOWER than worse (scores are costs). The loss is the logistic
+// ranking loss log(1 + exp(s_better − s_worse)) used by LEON's pairwise
+// objective.
+func (r *Regressor) TrainPair(better, worse *EncTree) float64 {
+	gb := nn.NewGraph()
+	repB := r.Enc.EncodeG(gb, better)
+	tapeB, predB := r.Head.ForwardTape(repB.Val)
+	gw := nn.NewGraph()
+	repW := r.Enc.EncodeG(gw, worse)
+	tapeW, predW := r.Head.ForwardTape(repW.Val)
+
+	diff := predB[0] - predW[0]
+	loss := math.Log1p(math.Exp(mlmath.Clamp(diff, -30, 30)))
+	// dloss/ddiff = σ(diff); dloss/dpredB = σ(diff), dloss/dpredW = −σ(diff).
+	s := mlmath.Sigmoid(diff)
+	gb.Backward(repB, tapeB.Backward([]float64{s}))
+	gw.Backward(repW, tapeW.Backward([]float64{-s}))
+	return loss
+}
+
+// FitOptions configures Fit.
+type FitOptions struct {
+	Epochs    int
+	BatchSize int
+	Optimizer nn.Optimizer
+	RNG       *mlmath.RNG
+	OnEpoch   func(epoch int, loss float64)
+}
+
+// Fit trains on the dataset and returns the final epoch's mean loss.
+func (r *Regressor) Fit(trees []*EncTree, ys []float64, opt FitOptions) float64 {
+	if len(trees) != len(ys) {
+		panic("tree: Fit dataset length mismatch")
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 8
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	if opt.Optimizer == nil {
+		opt.Optimizer = nn.NewAdam(1e-3)
+	}
+	if opt.RNG == nil {
+		opt.RNG = mlmath.NewRNG(0)
+	}
+	idx := make([]int, len(trees))
+	for i := range idx {
+		idx[i] = i
+	}
+	last := 0.0
+	for e := 0; e < opt.Epochs; e++ {
+		opt.RNG.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total := 0.0
+		inBatch := 0
+		for _, i := range idx {
+			total += r.TrainSample(trees[i], ys[i])
+			inBatch++
+			if inBatch == opt.BatchSize {
+				opt.Optimizer.Step(r)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Optimizer.Step(r)
+		}
+		last = total / float64(len(trees))
+		if opt.OnEpoch != nil {
+			opt.OnEpoch(e, last)
+		}
+	}
+	return last
+}

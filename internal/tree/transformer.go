@@ -1,0 +1,160 @@
+package tree
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+// TransformerEncoder is a QueryFormer-style tree transformer: single-head
+// scaled dot-product attention over all plan nodes with an additive
+// structural bias derived from tree distance, followed by a residual
+// position-wise feed-forward layer and mean pooling. Height information is
+// added to node embeddings, mirroring QueryFormer's modified positional
+// encoding.
+type TransformerEncoder struct {
+	FeatDim, Hidden int
+
+	Wemb, Bemb *nn.Param // feature → hidden embedding
+	Wq, Wk, Wv *nn.Param // attention projections
+	Wff, Bff   *nn.Param // feed-forward
+	// DistDecay is the structural-bias strength: attention bias is
+	// -DistDecay·treeDist(i,j), so distant nodes attend less. It is a fixed
+	// hyperparameter (QueryFormer learns a bias per distance; a single decay
+	// preserves the structural inductive bias at a fraction of the size).
+	DistDecay float64
+	// HeightEmb maps node height (bucketed) into the embedding space.
+	HeightEmb *nn.Param // maxHeight × hidden
+	maxHeight int
+}
+
+// NewTransformerEncoder constructs a tree transformer encoder.
+func NewTransformerEncoder(featDim, hidden int, rng *mlmath.RNG) *TransformerEncoder {
+	const maxHeight = 16
+	e := &TransformerEncoder{
+		FeatDim: featDim, Hidden: hidden,
+		Wemb:      newInit(rng, hidden*featDim, xavier(featDim, hidden)),
+		Bemb:      nn.NewParam(hidden),
+		Wq:        newInit(rng, hidden*hidden, xavier(hidden, hidden)),
+		Wk:        newInit(rng, hidden*hidden, xavier(hidden, hidden)),
+		Wv:        newInit(rng, hidden*hidden, xavier(hidden, hidden)),
+		Wff:       newInit(rng, hidden*hidden, xavier(hidden, hidden)),
+		Bff:       nn.NewParam(hidden),
+		DistDecay: 0.5,
+		HeightEmb: newInit(rng, maxHeight*hidden, 0.1),
+		maxHeight: maxHeight,
+	}
+	return e
+}
+
+// Params implements nn.Module.
+func (e *TransformerEncoder) Params() []*nn.Param {
+	return []*nn.Param{e.Wemb, e.Bemb, e.Wq, e.Wk, e.Wv, e.Wff, e.Bff, e.HeightEmb}
+}
+
+// Name implements Encoder.
+func (e *TransformerEncoder) Name() string { return "transformer" }
+
+// OutDim implements Encoder.
+func (e *TransformerEncoder) OutDim() int { return e.Hidden }
+
+// treeDistances computes pairwise path lengths between nodes via parent
+// pointers.
+func treeDistances(nodes []*EncTree, t *EncTree) [][]float64 {
+	idx := make(map[*EncTree]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var walk func(n *EncTree)
+	walk = func(n *EncTree) {
+		if n.Left != nil {
+			parent[idx[n.Left]] = idx[n]
+			walk(n.Left)
+		}
+		if n.Right != nil {
+			parent[idx[n.Right]] = idx[n]
+			walk(n.Right)
+		}
+	}
+	walk(t)
+	// Depth of each node.
+	depth := make([]int, len(nodes))
+	for i := range nodes {
+		d, p := 0, parent[i]
+		for p != -1 {
+			d++
+			p = parent[p]
+		}
+		depth[i] = d
+	}
+	ancestors := func(i int) []int {
+		var out []int
+		for p := i; p != -1; p = parent[p] {
+			out = append(out, p)
+		}
+		return out
+	}
+	dist := make([][]float64, len(nodes))
+	for i := range nodes {
+		dist[i] = make([]float64, len(nodes))
+		anc := make(map[int]int) // ancestor → depth from i
+		for step, a := range ancestors(i) {
+			anc[a] = step
+		}
+		for j := range nodes {
+			// Walk up from j until hitting an ancestor of i.
+			for step, p := 0, j; ; step, p = step+1, parent[p] {
+				if up, ok := anc[p]; ok {
+					dist[i][j] = float64(up + step)
+					break
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// EncodeG implements Encoder.
+func (e *TransformerEncoder) EncodeG(g *nn.Graph, t *EncTree) *nn.VNode {
+	nodes := t.Flatten()
+	dist := treeDistances(nodes, t)
+	decay := mlmath.Clamp(e.DistDecay, 0, 10)
+	bias := make([][]float64, len(nodes))
+	for i := range nodes {
+		bias[i] = make([]float64, len(nodes))
+		for j := range nodes {
+			bias[i][j] = -decay * dist[i][j]
+		}
+	}
+	// Height embedding index per node (height = subtree depth).
+	embs := make([]*nn.VNode, len(nodes))
+	for i, n := range nodes {
+		emb := g.Affine(e.Wemb, e.Bemb, e.Hidden, e.FeatDim, g.Input(n.Feat))
+		h := n.Depth() - 1
+		if h >= e.maxHeight {
+			h = e.maxHeight - 1
+		}
+		hEmb := g.ParamSlice(e.HeightEmb, h*e.Hidden, e.Hidden)
+		embs[i] = g.Add(emb, hEmb)
+	}
+	qs := make([]*nn.VNode, len(nodes))
+	ks := make([]*nn.VNode, len(nodes))
+	vs := make([]*nn.VNode, len(nodes))
+	for i, emb := range embs {
+		qs[i] = g.Affine(e.Wq, nil, e.Hidden, e.Hidden, emb)
+		ks[i] = g.Affine(e.Wk, nil, e.Hidden, e.Hidden, emb)
+		vs[i] = g.Affine(e.Wv, nil, e.Hidden, e.Hidden, emb)
+	}
+	att := g.Attention(qs, ks, vs, bias)
+	// Residual + position-wise feed-forward, then mean pooling.
+	outs := make([]*nn.VNode, len(nodes))
+	for i := range att {
+		res := g.Add(att[i], embs[i])
+		ff := g.ReLUV(g.Affine(e.Wff, e.Bff, e.Hidden, e.Hidden, res))
+		outs[i] = g.Add(ff, res)
+	}
+	return g.MeanPool(outs...)
+}

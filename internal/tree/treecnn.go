@@ -1,0 +1,85 @@
+package tree
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+// TreeCNNEncoder implements the triangular tree convolution of Mou et al. as
+// used by NEO and BAO: each convolution layer slides a (parent, left-child,
+// right-child) filter over every node; missing children contribute zeros.
+// Two stacked layers are followed by dynamic (element-wise max) pooling over
+// all node outputs, producing a fixed-size representation.
+type TreeCNNEncoder struct {
+	FeatDim, Hidden int
+	// Layer 1 operates on raw features; layer 2 on layer-1 outputs.
+	W1p, W1l, W1r, B1 *nn.Param
+	W2p, W2l, W2r, B2 *nn.Param
+}
+
+// NewTreeCNNEncoder constructs a two-layer tree convolution encoder.
+func NewTreeCNNEncoder(featDim, hidden int, rng *mlmath.RNG) *TreeCNNEncoder {
+	s1 := xavier(3*featDim, hidden)
+	s2 := xavier(3*hidden, hidden)
+	return &TreeCNNEncoder{
+		FeatDim: featDim, Hidden: hidden,
+		W1p: newInit(rng, hidden*featDim, s1),
+		W1l: newInit(rng, hidden*featDim, s1),
+		W1r: newInit(rng, hidden*featDim, s1),
+		B1:  nn.NewParam(hidden),
+		W2p: newInit(rng, hidden*hidden, s2),
+		W2l: newInit(rng, hidden*hidden, s2),
+		W2r: newInit(rng, hidden*hidden, s2),
+		B2:  nn.NewParam(hidden),
+	}
+}
+
+// Params implements nn.Module.
+func (e *TreeCNNEncoder) Params() []*nn.Param {
+	return []*nn.Param{e.W1p, e.W1l, e.W1r, e.B1, e.W2p, e.W2l, e.W2r, e.B2}
+}
+
+// Name implements Encoder.
+func (e *TreeCNNEncoder) Name() string { return "treecnn" }
+
+// OutDim implements Encoder.
+func (e *TreeCNNEncoder) OutDim() int { return e.Hidden }
+
+// EncodeG implements Encoder.
+func (e *TreeCNNEncoder) EncodeG(g *nn.Graph, t *EncTree) *nn.VNode {
+	// Layer 1: conv over raw features.
+	layer1 := make(map[*EncTree]*nn.VNode)
+	var all []*EncTree
+	var conv1 func(n *EncTree)
+	conv1 = func(n *EncTree) {
+		if n == nil {
+			return
+		}
+		all = append(all, n)
+		conv1(n.Left)
+		conv1(n.Right)
+		pre := g.Affine(e.W1p, e.B1, e.Hidden, e.FeatDim, g.Input(n.Feat))
+		if n.Left != nil {
+			pre = g.Add(pre, g.Affine(e.W1l, nil, e.Hidden, e.FeatDim, g.Input(n.Left.Feat)))
+		}
+		if n.Right != nil {
+			pre = g.Add(pre, g.Affine(e.W1r, nil, e.Hidden, e.FeatDim, g.Input(n.Right.Feat)))
+		}
+		layer1[n] = g.ReLUV(pre)
+	}
+	conv1(t)
+	// Layer 2: conv over layer-1 outputs along the same structure.
+	outs := make([]*nn.VNode, 0, len(all))
+	for _, n := range all {
+		pre := g.Affine(e.W2p, e.B2, e.Hidden, e.Hidden, layer1[n])
+		if n.Left != nil {
+			pre = g.Add(pre, g.Affine(e.W2l, nil, e.Hidden, e.Hidden, layer1[n.Left]))
+		}
+		if n.Right != nil {
+			pre = g.Add(pre, g.Affine(e.W2r, nil, e.Hidden, e.Hidden, layer1[n.Right]))
+		}
+		outs = append(outs, g.ReLUV(pre))
+	}
+	// Dynamic pooling collapses the variable-size tree to a fixed vector.
+	return g.MaxPool(outs...)
+}

@@ -1,0 +1,150 @@
+package tree
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+// TreeLSTMEncoder is the N-ary (binary) TreeLSTM of Tai et al. used by
+// E2E-Cost and RTOS: LSTM cells generalized to accept hidden and cell states
+// from two child channels, with a separate forget gate per child.
+type TreeLSTMEncoder struct {
+	FeatDim, Hidden int
+
+	// Gate weights: Wg·x + Ugl·h_l + Ugr·h_r + b_g for g ∈ {i, o, u} and a
+	// forget gate per child.
+	Wi, Uil, Uir, Bi *nn.Param
+	Wo, Uol, Uor, Bo *nn.Param
+	Wu, Uul, Uur, Bu *nn.Param
+	Wf, Ufl, Ufr, Bf *nn.Param // shared input proj, per-child recurrences
+}
+
+// NewTreeLSTMEncoder constructs a binary TreeLSTM encoder.
+func NewTreeLSTMEncoder(featDim, hidden int, rng *mlmath.RNG) *TreeLSTMEncoder {
+	sx := xavier(featDim, hidden)
+	sh := xavier(hidden, hidden)
+	mk := func(n int, s float64) *nn.Param { return newInit(rng, n, s) }
+	e := &TreeLSTMEncoder{FeatDim: featDim, Hidden: hidden}
+	hf := hidden * featDim
+	hh := hidden * hidden
+	e.Wi, e.Uil, e.Uir, e.Bi = mk(hf, sx), mk(hh, sh), mk(hh, sh), nn.NewParam(hidden)
+	e.Wo, e.Uol, e.Uor, e.Bo = mk(hf, sx), mk(hh, sh), mk(hh, sh), nn.NewParam(hidden)
+	e.Wu, e.Uul, e.Uur, e.Bu = mk(hf, sx), mk(hh, sh), mk(hh, sh), nn.NewParam(hidden)
+	e.Wf, e.Ufl, e.Ufr, e.Bf = mk(hf, sx), mk(hh, sh), mk(hh, sh), nn.NewParam(hidden)
+	// Positive forget bias: standard trick for stable deep recursions.
+	for i := range e.Bf.Val {
+		e.Bf.Val[i] = 1
+	}
+	return e
+}
+
+// Params implements nn.Module.
+func (e *TreeLSTMEncoder) Params() []*nn.Param {
+	return []*nn.Param{
+		e.Wi, e.Uil, e.Uir, e.Bi,
+		e.Wo, e.Uol, e.Uor, e.Bo,
+		e.Wu, e.Uul, e.Uur, e.Bu,
+		e.Wf, e.Ufl, e.Ufr, e.Bf,
+	}
+}
+
+// Name implements Encoder.
+func (e *TreeLSTMEncoder) Name() string { return "treelstm" }
+
+// OutDim implements Encoder.
+func (e *TreeLSTMEncoder) OutDim() int { return e.Hidden }
+
+// EncodeG implements Encoder: the root hidden state is the representation.
+func (e *TreeLSTMEncoder) EncodeG(g *nn.Graph, t *EncTree) *nn.VNode {
+	h, _ := e.cell(g, t)
+	return h
+}
+
+// cell returns (h, c) of the subtree.
+func (e *TreeLSTMEncoder) cell(g *nn.Graph, t *EncTree) (h, c *nn.VNode) {
+	hl, cl := g.Zero(e.Hidden), g.Zero(e.Hidden)
+	hr, cr := g.Zero(e.Hidden), g.Zero(e.Hidden)
+	if t.Left != nil {
+		hl, cl = e.cell(g, t.Left)
+	}
+	if t.Right != nil {
+		hr, cr = e.cell(g, t.Right)
+	}
+	x := g.Input(t.Feat)
+	H, F := e.Hidden, e.FeatDim
+	gate := func(w, ul, ur, b *nn.Param) *nn.VNode {
+		return g.Add(
+			g.Affine(w, b, H, F, x),
+			g.Affine(ul, nil, H, H, hl),
+			g.Affine(ur, nil, H, H, hr),
+		)
+	}
+	i := g.SigmoidV(gate(e.Wi, e.Uil, e.Uir, e.Bi))
+	o := g.SigmoidV(gate(e.Wo, e.Uol, e.Uor, e.Bo))
+	u := g.TanhV(gate(e.Wu, e.Uul, e.Uur, e.Bu))
+	// Per-child forget gates share the input projection but use their own
+	// recurrent weights (N-ary TreeLSTM).
+	fl := g.SigmoidV(g.Add(g.Affine(e.Wf, e.Bf, H, F, x), g.Affine(e.Ufl, nil, H, H, hl)))
+	fr := g.SigmoidV(g.Add(g.Affine(e.Wf, e.Bf, H, F, x), g.Affine(e.Ufr, nil, H, H, hr)))
+	c = g.Add(g.Mul(i, u), g.Mul(fl, cl), g.Mul(fr, cr))
+	h = g.Mul(o, g.TanhV(c))
+	return h, c
+}
+
+// LSTMEncoder flattens the plan by depth-first search and runs a standard
+// (sequential) LSTM over the node features, as AVGDL does; the final hidden
+// state is the representation.
+type LSTMEncoder struct {
+	FeatDim, Hidden int
+	Wi, Ui, Bi      *nn.Param
+	Wf, Uf, Bf      *nn.Param
+	Wo, Uo, Bo      *nn.Param
+	Wu, Uu, Bu      *nn.Param
+}
+
+// NewLSTMEncoder constructs a sequential LSTM encoder.
+func NewLSTMEncoder(featDim, hidden int, rng *mlmath.RNG) *LSTMEncoder {
+	sx := xavier(featDim, hidden)
+	sh := xavier(hidden, hidden)
+	mk := func(n int, s float64) *nn.Param { return newInit(rng, n, s) }
+	e := &LSTMEncoder{FeatDim: featDim, Hidden: hidden}
+	hf, hh := hidden*featDim, hidden*hidden
+	e.Wi, e.Ui, e.Bi = mk(hf, sx), mk(hh, sh), nn.NewParam(hidden)
+	e.Wf, e.Uf, e.Bf = mk(hf, sx), mk(hh, sh), nn.NewParam(hidden)
+	e.Wo, e.Uo, e.Bo = mk(hf, sx), mk(hh, sh), nn.NewParam(hidden)
+	e.Wu, e.Uu, e.Bu = mk(hf, sx), mk(hh, sh), nn.NewParam(hidden)
+	for i := range e.Bf.Val {
+		e.Bf.Val[i] = 1
+	}
+	return e
+}
+
+// Params implements nn.Module.
+func (e *LSTMEncoder) Params() []*nn.Param {
+	return []*nn.Param{e.Wi, e.Ui, e.Bi, e.Wf, e.Uf, e.Bf, e.Wo, e.Uo, e.Bo, e.Wu, e.Uu, e.Bu}
+}
+
+// Name implements Encoder.
+func (e *LSTMEncoder) Name() string { return "lstm" }
+
+// OutDim implements Encoder.
+func (e *LSTMEncoder) OutDim() int { return e.Hidden }
+
+// EncodeG implements Encoder.
+func (e *LSTMEncoder) EncodeG(g *nn.Graph, t *EncTree) *nn.VNode {
+	h, c := g.Zero(e.Hidden), g.Zero(e.Hidden)
+	H, F := e.Hidden, e.FeatDim
+	for _, node := range t.Flatten() {
+		x := g.Input(node.Feat)
+		gate := func(w, u, b *nn.Param) *nn.VNode {
+			return g.Add(g.Affine(w, b, H, F, x), g.Affine(u, nil, H, H, h))
+		}
+		i := g.SigmoidV(gate(e.Wi, e.Ui, e.Bi))
+		f := g.SigmoidV(gate(e.Wf, e.Uf, e.Bf))
+		o := g.SigmoidV(gate(e.Wo, e.Uo, e.Bo))
+		u := g.TanhV(gate(e.Wu, e.Uu, e.Bu))
+		c = g.Add(g.Mul(f, c), g.Mul(i, u))
+		h = g.Mul(o, g.TanhV(c))
+	}
+	return h
+}

@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+// TreeRNNEncoder is the recursive tanh unit of Plan-Cost style models:
+// h = tanh(Wx·x + Wl·h_left + Wr·h_right + b), with zero child states at
+// leaves. The root hidden state is the plan representation.
+type TreeRNNEncoder struct {
+	FeatDim, Hidden int
+	Wx, Wl, Wr, B   *nn.Param
+}
+
+// NewTreeRNNEncoder constructs an encoder with the given feature and hidden
+// widths.
+func NewTreeRNNEncoder(featDim, hidden int, rng *mlmath.RNG) *TreeRNNEncoder {
+	sx := xavier(featDim, hidden)
+	sh := xavier(hidden, hidden)
+	return &TreeRNNEncoder{
+		FeatDim: featDim, Hidden: hidden,
+		Wx: newInit(rng, hidden*featDim, sx),
+		Wl: newInit(rng, hidden*hidden, sh),
+		Wr: newInit(rng, hidden*hidden, sh),
+		B:  nn.NewParam(hidden),
+	}
+}
+
+// Params implements nn.Module.
+func (e *TreeRNNEncoder) Params() []*nn.Param { return []*nn.Param{e.Wx, e.Wl, e.Wr, e.B} }
+
+// Name implements Encoder.
+func (e *TreeRNNEncoder) Name() string { return "treernn" }
+
+// OutDim implements Encoder.
+func (e *TreeRNNEncoder) OutDim() int { return e.Hidden }
+
+// EncodeG implements Encoder.
+func (e *TreeRNNEncoder) EncodeG(g *nn.Graph, t *EncTree) *nn.VNode {
+	return e.encode(g, t)
+}
+
+func (e *TreeRNNEncoder) encode(g *nn.Graph, t *EncTree) *nn.VNode {
+	hl, hr := g.Zero(e.Hidden), g.Zero(e.Hidden)
+	if t.Left != nil {
+		hl = e.encode(g, t.Left)
+	}
+	if t.Right != nil {
+		hr = e.encode(g, t.Right)
+	}
+	pre := g.Add(
+		g.Affine(e.Wx, e.B, e.Hidden, e.FeatDim, g.Input(t.Feat)),
+		g.Affine(e.Wl, nil, e.Hidden, e.Hidden, hl),
+		g.Affine(e.Wr, nil, e.Hidden, e.Hidden, hr),
+	)
+	return g.TanhV(pre)
+}

@@ -1,0 +1,140 @@
+package views
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/workload"
+)
+
+func setup(t *testing.T, seed uint64) (*qo.Env, *workload.StarGen) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	sch, err := datagen.NewStarSchema(rng, 5000, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng)
+}
+
+func TestEnumerateCandidatesByFrequency(t *testing.T) {
+	_, gen := setup(t, 1)
+	var wl []*plan.Query
+	for i := 0; i < 30; i++ {
+		wl = append(wl, gen.Query())
+	}
+	cands := EnumerateCandidates(wl)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Errorf("duplicate candidate %s", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestMaterializeAndRewriteCorrectness(t *testing.T) {
+	env, gen := setup(t, 2)
+	sch := gen.Schema
+	c := Candidate{LeftID: sch.FactID, LeftCol: sch.FKCol[0], RightID: sch.DimIDs[0], RightCol: 0}
+	v, err := Materialize(env, c, "v_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view must contain exactly the join's rows.
+	vt := env.Cat.Table(v.TableID)
+	if vt.NumRows() != env.Cat.Table(sch.FactID).NumRows() {
+		t.Errorf("view rows %d, want %d (FK join)", vt.NumRows(), env.Cat.Table(sch.FactID).NumRows())
+	}
+	// Rewritten queries must return the same cardinality as the originals.
+	ex := exec.New(env.Cat)
+	for i := 0; i < 15; i++ {
+		q := gen.Query()
+		nq, ok := v.Rewrite(q)
+		orig, err := env.Opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := ex.Execute(orig, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue // query does not contain the pair
+		}
+		var rr *exec.Result
+		if nq.NumTables() == 1 {
+			p := plan.NewScan(0, nq.Tables[0], nq.Filters[0])
+			rr, err = ex.Execute(p, exec.Options{})
+		} else {
+			var p *plan.Node
+			p, err = env.Opt.Plan(nq, optimizer.NoHint())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err = ex.Execute(p, exec.Options{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Rows) != len(ro.Rows) {
+			t.Fatalf("query %d: rewritten returns %d rows, original %d\nquery: %s", i, len(rr.Rows), len(ro.Rows), q.Signature())
+		}
+	}
+}
+
+func TestAdvisorSelectReducesWork(t *testing.T) {
+	env, gen := setup(t, 3)
+	var wl []*plan.Query
+	for i := 0; i < 25; i++ {
+		wl = append(wl, gen.QueryWithDims(1+i%2))
+	}
+	a := New(env)
+	cands := EnumerateCandidates(wl)
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	base, err := a.WorkloadWork(wl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, err := a.Select(cands, wl, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		t.Skip("no beneficial views on this seed")
+	}
+	with, err := a.WorkloadWork(wl, chosen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with >= base {
+		t.Errorf("views did not reduce workload work: %d vs %d", with, base)
+	}
+}
+
+func TestAdvisorRespectsBudget(t *testing.T) {
+	env, gen := setup(t, 4)
+	var wl []*plan.Query
+	for i := 0; i < 15; i++ {
+		wl = append(wl, gen.QueryWithDims(1))
+	}
+	a := New(env)
+	cands := EnumerateCandidates(wl)
+	chosen, err := a.Select(cands, wl, 100) // tiny budget: nothing fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 0 {
+		t.Errorf("budget 100 bytes admitted %d views", len(chosen))
+	}
+}

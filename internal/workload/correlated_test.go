@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+)
+
+// TestCorrelatedJoinQueryUnderestimation verifies the generator produces the
+// documented trap: the histogram estimate of the filtered fact scan is far
+// below the true cardinality.
+func TestCorrelatedJoinQueryUnderestimation(t *testing.T) {
+	rng := mlmath.NewRNG(1)
+	sch, err := datagen.NewStarSchema(rng, 8000, 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewStarGen(sch, rng)
+	opt := optimizer.New(sch.Cat)
+	fact := sch.Cat.Table(sch.FactID)
+
+	under := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		q := gen.CorrelatedJoinQuery(2)
+		est := opt.Est.ScanRows(q, 0)
+		truth := 0
+		for r := 0; r < fact.NumRows(); r++ {
+			ok := true
+			for _, f := range q.Filters[0] {
+				if !f.Eval(fact.Data[f.Col][r]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				truth++
+			}
+		}
+		if truth > 0 && est < float64(truth)/4 {
+			under++
+		}
+	}
+	if under < trials/2 {
+		t.Errorf("only %d/%d correlated queries underestimated by 4x+", under, trials)
+	}
+}
+
+// TestCorrelatedJoinQueryCausesDisasters: at least some trap queries make
+// the default expert optimizer pick nested-loop plans that a no-NL hint
+// would avoid.
+func TestCorrelatedJoinQueryCausesDisasters(t *testing.T) {
+	rng := mlmath.NewRNG(2)
+	sch, err := datagen.NewStarSchema(rng, 8000, 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewStarGen(sch, rng)
+	opt := optimizer.New(sch.Cat)
+	ex := exec.New(sch.Cat)
+	nlPlans := 0
+	var extraWork int64
+	for i := 0; i < 40; i++ {
+		q := gen.CorrelatedJoinQuery(2)
+		p, err := opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ex.Execute(p, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.NLPairs == 0 {
+			continue
+		}
+		nlPlans++
+		safe, err := opt.Plan(q, optimizer.HintSet{Name: "no-nl", JoinOps: nil, NoIndexScan: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = safe
+		extraWork += res.Counters.NLPairs
+	}
+	if nlPlans == 0 {
+		t.Error("no trap query triggered a nested-loop plan — the disaster scenario is not firing")
+	}
+	if extraWork == 0 {
+		t.Error("no NL work recorded")
+	}
+}

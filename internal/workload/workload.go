@@ -1,0 +1,211 @@
+// Package workload generates query workloads over the synthetic schemas:
+// star-join templates with range predicates of controllable selectivity,
+// chain-join queries for join-order experiments, and the data/workload drift
+// injections used by the §3.3 open-problem experiments.
+package workload
+
+import (
+	"fmt"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// StarGen generates queries over a star schema.
+type StarGen struct {
+	Schema *datagen.StarSchema
+	RNG    *mlmath.RNG
+	// CenterShift displaces every predicate center, modeling workload drift:
+	// users start asking about a different region of the data.
+	CenterShift int64
+	// MaxDims bounds the number of joined dimensions (default: all).
+	MaxDims int
+}
+
+// NewStarGen returns a generator over the schema.
+func NewStarGen(s *datagen.StarSchema, rng *mlmath.RNG) *StarGen {
+	return &StarGen{Schema: s, RNG: rng, MaxDims: len(s.DimIDs)}
+}
+
+// attrDomain is the generated domain of fact attr columns and dim column "a".
+const attrDomain = 1000
+
+// rangePred draws a BETWEEN predicate on column col whose width targets a
+// selectivity between roughly 1% and 40% of a uniform domain.
+func (g *StarGen) rangePred(col int) expr.Pred {
+	width := int64(10 + g.RNG.Intn(400))
+	center := int64(g.RNG.Intn(attrDomain)) + g.CenterShift
+	lo := center - width/2
+	hi := center + width/2
+	return expr.Pred{Col: col, Op: expr.BETWEEN, Lo: lo, Hi: hi}
+}
+
+// Query generates a random star-join query: the fact table joined to a
+// random subset of dimensions, with 1–3 fact predicates and optional
+// dimension predicates.
+func (g *StarGen) Query() *plan.Query {
+	dims := 1
+	if g.MaxDims > 1 {
+		dims = 1 + g.RNG.Intn(g.MaxDims)
+	}
+	return g.QueryWithDims(dims)
+}
+
+// QueryWithDims generates a star-join over exactly dims dimensions.
+func (g *StarGen) QueryWithDims(dims int) *plan.Query {
+	s := g.Schema
+	if dims > len(s.DimIDs) {
+		dims = len(s.DimIDs)
+	}
+	// Choose a random dimension subset.
+	perm := g.RNG.Perm(len(s.DimIDs))[:dims]
+	ids := []int{s.FactID}
+	for _, d := range perm {
+		ids = append(ids, s.DimIDs[d])
+	}
+	q := plan.NewQuery(ids...)
+	for i, d := range perm {
+		q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: s.FKCol[d], RightTable: i + 1, RightCol: 0})
+	}
+	// 1–3 predicates on fact attributes.
+	nf := 1 + g.RNG.Intn(3)
+	attrs := g.RNG.Perm(len(s.AttrCols))
+	for i := 0; i < nf && i < len(attrs); i++ {
+		q.AddFilter(0, g.rangePred(s.AttrCols[attrs[i]]))
+	}
+	// Each joined dimension gets a predicate on "a" with probability 1/2.
+	for i := range perm {
+		if g.RNG.Float64() < 0.5 {
+			q.AddFilter(i+1, g.rangePred(1))
+		}
+	}
+	return q
+}
+
+// SelectionQuery generates a single-table query on the fact table with
+// nPreds range predicates — the workload of the cardinality-estimation
+// experiments. If correlated is true, the predicates target the correlated
+// attribute pair (attr0, attr1) with overlapping ranges.
+func (g *StarGen) SelectionQuery(nPreds int, correlated bool) *plan.Query {
+	s := g.Schema
+	q := plan.NewQuery(s.FactID)
+	if correlated && nPreds >= 2 {
+		p0 := g.rangePred(s.AttrCols[0])
+		q.AddFilter(0, p0)
+		// Second predicate on attr1 over a shifted copy of the same range:
+		// truth is high, independence predicts low.
+		jitter := int64(g.RNG.Intn(30)) - 15
+		q.AddFilter(0, expr.Pred{Col: s.AttrCols[1], Op: expr.BETWEEN, Lo: p0.Lo + jitter, Hi: p0.Hi + jitter})
+		for i := 2; i < nPreds; i++ {
+			q.AddFilter(0, g.rangePred(s.AttrCols[2]))
+		}
+		return q
+	}
+	attrs := g.RNG.Perm(len(s.AttrCols))
+	for i := 0; i < nPreds && i < len(attrs); i++ {
+		q.AddFilter(0, g.rangePred(s.AttrCols[attrs[i]]))
+	}
+	return q
+}
+
+// CorrelatedJoinQuery generates a star join over dims dimensions whose fact
+// filters are two narrow ranges on the *correlated* attribute pair. The
+// histogram estimator multiplies their selectivities under independence and
+// underestimates the fact cardinality by orders of magnitude, which makes
+// the expert optimizer favor nested-loop joins that blow up at run time —
+// the classical disaster scenario the steered optimizers (BAO, LEON) fix.
+func (g *StarGen) CorrelatedJoinQuery(dims int) *plan.Query {
+	s := g.Schema
+	if dims > len(s.DimIDs) {
+		dims = len(s.DimIDs)
+	}
+	perm := g.RNG.Perm(len(s.DimIDs))[:dims]
+	ids := []int{s.FactID}
+	for _, d := range perm {
+		ids = append(ids, s.DimIDs[d])
+	}
+	q := plan.NewQuery(ids...)
+	for i, d := range perm {
+		q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: s.FKCol[d], RightTable: i + 1, RightCol: 0})
+	}
+	width := int64(8 + g.RNG.Intn(18))
+	center := int64(300+g.RNG.Intn(400)) + g.CenterShift
+	q.AddFilter(0, expr.Pred{Col: s.AttrCols[0], Op: expr.BETWEEN, Lo: center - width/2, Hi: center + width/2})
+	jitter := int64(g.RNG.Intn(21)) - 10
+	q.AddFilter(0, expr.Pred{Col: s.AttrCols[1], Op: expr.BETWEEN, Lo: center - width/2 + jitter, Hi: center + width/2 + jitter})
+	return q
+}
+
+// ChainGen generates chain-join queries for join-order experiments.
+type ChainGen struct {
+	Schema *datagen.ChainSchema
+	RNG    *mlmath.RNG
+}
+
+// NewChainGen returns a generator over the chain schema.
+func NewChainGen(s *datagen.ChainSchema, rng *mlmath.RNG) *ChainGen {
+	return &ChainGen{Schema: s, RNG: rng}
+}
+
+// Query generates a query joining a random contiguous run of length n
+// (2 ≤ n ≤ chain length) with a random filter on each table's attr column.
+func (c *ChainGen) Query(n int) *plan.Query {
+	total := len(c.Schema.TableIDs)
+	if n > total {
+		n = total
+	}
+	start := 0
+	if total > n {
+		start = c.RNG.Intn(total - n + 1)
+	}
+	ids := c.Schema.TableIDs[start : start+n]
+	q := plan.NewQuery(ids...)
+	for i := 0; i+1 < n; i++ {
+		q.AddJoin(expr.JoinCond{LeftTable: i, LeftCol: 1, RightTable: i + 1, RightCol: 0})
+	}
+	for i := 0; i < n; i++ {
+		if c.RNG.Float64() < 0.7 {
+			width := int64(50 + c.RNG.Intn(500))
+			center := int64(c.RNG.Intn(attrDomain))
+			q.AddFilter(i, expr.Pred{Col: 2, Op: expr.BETWEEN, Lo: center - width/2, Hi: center + width/2})
+		}
+	}
+	return q
+}
+
+// InjectDataDrift appends rows to the fact table whose attr0 distribution is
+// Normal centered at newCenter (instead of the original domain/2), modeling
+// the database-update side of §3.3's data-shift problem. Statistics are NOT
+// re-analyzed automatically; call Cat.AnalyzeAll to model a post-drift
+// ANALYZE.
+func InjectDataDrift(s *datagen.StarSchema, rng *mlmath.RNG, rows int, newCenter int64) error {
+	fact := s.Cat.Table(s.FactID)
+	nDims := len(s.DimIDs)
+	vals := make([]int64, fact.NumCols())
+	for r := 0; r < rows; r++ {
+		for d := 0; d < nDims; d++ {
+			dim := s.Cat.Table(s.DimIDs[d])
+			vals[s.FKCol[d]] = int64(rng.Intn(dim.NumRows()))
+		}
+		a0 := clampAttr(newCenter + int64(80*rng.NormFloat64()))
+		vals[s.AttrCols[0]] = a0
+		vals[s.AttrCols[1]] = clampAttr(a0 + int64(rng.Intn(51)) - 25)
+		vals[s.AttrCols[2]] = int64(rng.Intn(attrDomain))
+		if err := fact.AppendRow(vals); err != nil {
+			return fmt.Errorf("workload: drift injection: %w", err)
+		}
+	}
+	return nil
+}
+
+func clampAttr(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= attrDomain {
+		return attrDomain - 1
+	}
+	return v
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+)
+
+func star(t *testing.T) *datagen.StarSchema {
+	t.Helper()
+	sch, err := datagen.NewStarSchema(mlmath.NewRNG(1), 3000, 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestStarGenQueriesAreValid(t *testing.T) {
+	sch := star(t)
+	gen := NewStarGen(sch, mlmath.NewRNG(2))
+	opt := optimizer.New(sch.Cat)
+	ex := exec.New(sch.Cat)
+	for i := 0; i < 20; i++ {
+		q := gen.Query()
+		if q.NumTables() < 2 || q.NumTables() > 5 {
+			t.Fatalf("query %d has %d tables", i, q.NumTables())
+		}
+		if len(q.Joins) != q.NumTables()-1 {
+			t.Fatalf("query %d: %d joins for %d tables", i, len(q.Joins), q.NumTables())
+		}
+		p, err := opt.Plan(q, optimizer.NoHint())
+		if err != nil {
+			t.Fatalf("query %d does not plan: %v", i, err)
+		}
+		if _, err := ex.Execute(p, exec.Options{}); err != nil {
+			t.Fatalf("query %d does not execute: %v", i, err)
+		}
+	}
+}
+
+func TestQueryWithDimsExact(t *testing.T) {
+	sch := star(t)
+	gen := NewStarGen(sch, mlmath.NewRNG(3))
+	for dims := 1; dims <= 4; dims++ {
+		q := gen.QueryWithDims(dims)
+		if q.NumTables() != dims+1 {
+			t.Errorf("dims=%d: tables=%d", dims, q.NumTables())
+		}
+	}
+}
+
+func TestSelectionQueryCorrelatedHasTwoOverlappingPreds(t *testing.T) {
+	sch := star(t)
+	gen := NewStarGen(sch, mlmath.NewRNG(4))
+	q := gen.SelectionQuery(2, true)
+	fs := q.Filters[0]
+	if len(fs) != 2 {
+		t.Fatalf("filters = %d", len(fs))
+	}
+	if fs[0].Col == fs[1].Col {
+		t.Error("correlated query predicates must hit two different columns")
+	}
+	// The ranges should overlap heavily (within jitter 15).
+	d := fs[0].Lo - fs[1].Lo
+	if d < -15 || d > 15 {
+		t.Errorf("correlated ranges too far apart: %d", d)
+	}
+}
+
+func TestCenterShiftMovesPredicates(t *testing.T) {
+	sch := star(t)
+	base := NewStarGen(sch, mlmath.NewRNG(5))
+	shifted := NewStarGen(sch, mlmath.NewRNG(5))
+	shifted.CenterShift = 400
+	qb := base.SelectionQuery(1, false)
+	qs := shifted.SelectionQuery(1, false)
+	if qs.Filters[0][0].Lo-qb.Filters[0][0].Lo != 400 {
+		t.Errorf("shift = %d, want 400", qs.Filters[0][0].Lo-qb.Filters[0][0].Lo)
+	}
+}
+
+func TestChainGenQueries(t *testing.T) {
+	sch, err := datagen.NewChainSchema(mlmath.NewRNG(6), []int{500, 400, 300, 200, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewChainGen(sch, mlmath.NewRNG(7))
+	opt := optimizer.New(sch.Cat)
+	for i := 0; i < 10; i++ {
+		q := gen.Query(2 + i%3)
+		if _, err := opt.Plan(q, optimizer.NoHint()); err != nil {
+			t.Fatalf("chain query %d: %v", i, err)
+		}
+	}
+}
+
+func TestInjectDataDrift(t *testing.T) {
+	sch := star(t)
+	fact := sch.Cat.Table(sch.FactID)
+	before := fact.NumRows()
+	if err := InjectDataDrift(sch, mlmath.NewRNG(8), 1000, 900); err != nil {
+		t.Fatal(err)
+	}
+	if fact.NumRows() != before+1000 {
+		t.Errorf("rows = %d, want %d", fact.NumRows(), before+1000)
+	}
+	// New rows should concentrate near 900 on attr0.
+	hi := 0
+	for r := before; r < fact.NumRows(); r++ {
+		if fact.Data[sch.AttrCols[0]][r] >= 700 {
+			hi++
+		}
+	}
+	if hi < 900 {
+		t.Errorf("only %d/1000 drifted rows have attr0 >= 700", hi)
+	}
+	// FK integrity preserved.
+	for d, dimID := range sch.DimIDs {
+		dim := sch.Cat.Table(dimID)
+		for r := before; r < fact.NumRows(); r++ {
+			fk := fact.Data[sch.FKCol[d]][r]
+			if fk < 0 || fk >= int64(dim.NumRows()) {
+				t.Fatalf("drifted fk out of range")
+			}
+		}
+	}
+}
