@@ -1,0 +1,109 @@
+// Command ml4db-vet runs the project's static-analysis suite
+// (internal/analysis) over the module: determinism, unchecked errors, float
+// equality, naked panics, unguarded numerics, and mutex copies. It prints
+// file:line:col diagnostics and exits non-zero when any finding survives
+// //ml4db:allow suppression — making it suitable as a CI gate:
+//
+//	go run ./cmd/ml4db-vet ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ml4db/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ml4db-vet [-list] [-only a,b] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "patterns default to ./... relative to the module root\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "%s: [typecheck] %v\n", pkg.Path, terr)
+			findings++
+		}
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			d.Pos.Filename = relPath(modRoot, d.Pos.Filename)
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ml4db-vet: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ml4db-vet: clean (%d packages, %d analyzers)\n", len(pkgs), len(analyzers))
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("ml4db-vet: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

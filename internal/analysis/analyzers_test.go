@@ -1,0 +1,66 @@
+package analysis
+
+import "testing"
+
+// Every analyzer has at least one fixture proving it fires and one proving
+// it stays silent on correct code mirroring real repo idioms.
+
+func TestDeterminismFires(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/cardest")
+}
+
+func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
+}
+
+func TestDeterminismSilentOutsideCorePackages(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/noncore")
+}
+
+func TestUncheckedErrFires(t *testing.T) {
+	runFixture(t, UncheckedErrAnalyzer, "uncheckederr/bad")
+}
+
+func TestUncheckedErrSilentOnHandledErrors(t *testing.T) {
+	runFixture(t, UncheckedErrAnalyzer, "uncheckederr/clean")
+}
+
+func TestFloatEqFires(t *testing.T) {
+	runFixture(t, FloatEqAnalyzer, "floateq/bad")
+}
+
+func TestFloatEqSilentOnGuardIdioms(t *testing.T) {
+	runFixture(t, FloatEqAnalyzer, "floateq/clean")
+}
+
+func TestNakedPanicFires(t *testing.T) {
+	runFixture(t, NakedPanicAnalyzer, "nakedpanic/lib")
+}
+
+func TestNakedPanicSilentOnErrorsAndSuppressions(t *testing.T) {
+	runFixture(t, NakedPanicAnalyzer, "nakedpanic/clean")
+}
+
+func TestNakedPanicSilentInCommands(t *testing.T) {
+	runFixture(t, NakedPanicAnalyzer, "nakedpanic/cmd/app")
+}
+
+func TestMalformedSuppressionIsItselfADiagnostic(t *testing.T) {
+	runFixture(t, NakedPanicAnalyzer, "nakedpanic/malformed")
+}
+
+func TestNumGuardFires(t *testing.T) {
+	runFixture(t, NumGuardAnalyzer, "numguard/bad/nn")
+}
+
+func TestNumGuardSilentOnGuardedCode(t *testing.T) {
+	runFixture(t, NumGuardAnalyzer, "numguard/clean/nn")
+}
+
+func TestMutexCopyFires(t *testing.T) {
+	runFixture(t, MutexCopyAnalyzer, "mutexcopy/bad")
+}
+
+func TestMutexCopySilentOnPointerDiscipline(t *testing.T) {
+	runFixture(t, MutexCopyAnalyzer, "mutexcopy/clean")
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DeterminismAnalyzer enforces the repository's reproducibility contract in
+// the core model packages (nn, mlmath, tree, learnedindex, cardest,
+// planrep): the same seed must always yield the same model. Three ambient
+// sources of nondeterminism are forbidden there:
+//
+//   - math/rand (and math/rand/v2): use an injected *mlmath.RNG instead, so
+//     every random draw flows from the experiment seed;
+//   - time.Now / time.Since: use an injected mlmath.Clock, so wall-clock
+//     reads are replayable;
+//   - slices built by appending inside a range over a map: Go randomizes map
+//     iteration order, so the slice's order differs run to run. Sorting the
+//     slice afterwards (any sort.* or slices.Sort* call in the same
+//     function) makes the order well-defined and silences the check.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, time.Now, and map-order-dependent slice building in core model packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !IsCorePackage(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in core model package; draw randomness from an injected *mlmath.RNG so runs are reproducible", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFuncDeterminism(pass, fn)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncDeterminism(pass *Pass, fn *ast.FuncDecl) {
+	sortedSlices := map[types.Object]bool{}
+	// First pass: find slices handed to a sorting function anywhere in fn.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			expr := arg
+			if un, ok := expr.(*ast.UnaryExpr); ok {
+				expr = un.X
+			}
+			if id, ok := expr.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					sortedSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pass.IsPkgFunc(n, "time", "Now") || pass.IsPkgFunc(n, "time", "Since") {
+				sel := n.Fun.(*ast.SelectorExpr)
+				pass.Reportf(n.Pos(), "time.%s in core model package; inject a mlmath.Clock so timing reads are replayable", sel.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			checkMapRangeAppend(pass, n, sortedSlices)
+		}
+		return true
+	})
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return len(obj.Name()) >= 4 && obj.Name()[:4] == "Sort"
+	}
+	return false
+}
+
+// checkMapRangeAppend flags `for k := range m { s = append(s, ...) }` where
+// s is declared outside the loop and never sorted in the enclosing function.
+func checkMapRangeAppend(pass *Pass, rng *ast.RangeStmt, sortedSlices map[types.Object]bool) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if obj := pass.ObjectOf(fun); obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return true // shadowed append
+			}
+		}
+		obj := pass.ObjectOf(lhs)
+		if obj == nil || sortedSlices[obj] {
+			return true
+		}
+		// Declared inside the loop body → the slice never escapes one
+		// iteration in map order.
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			return true
+		}
+		pass.Reportf(asg.Pos(), "slice %s is built by appending inside a range over a map: element order is nondeterministic; sort it afterwards or iterate sorted keys", lhs.Name)
+		return true
+	})
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErrAnalyzer flags call statements that silently drop an error
+// result. A dropped error from SaveParams or LoadParams means a training run
+// continues on a half-written checkpoint; a dropped Flush means a result
+// table is silently truncated. The check fires on expression statements and
+// `go` statements whose call returns an error; explicitly assigning the
+// error to `_` is visible in review and is deliberately not flagged, and
+// `defer f.Close()` is accepted as the conventional idiom.
+//
+// A small exemption list covers functions whose errors are universally
+// ignored by convention: the fmt print family and the never-failing writers
+// (*bytes.Buffer, *strings.Builder).
+var UncheckedErrAnalyzer = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flag statements that drop an error result on the floor",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedError(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDroppedError(pass, n.Call)
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedError(pass *Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || isErrExempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is dropped; handle it or assign it explicitly", callName(call))
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorIface)
+}
+
+// fmtPrintFamily are fmt functions whose error results are conventionally
+// ignored when writing to stdout/stderr.
+var fmtPrintFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func isErrExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "fmt" && fmtPrintFamily[obj.Name()] {
+		return true
+	}
+	// Methods on the never-failing in-memory writers.
+	if recv := receiverTypeName(obj); recv == "bytes.Buffer" || recv == "strings.Builder" {
+		return true
+	}
+	return false
+}
+
+// receiverTypeName returns "pkg.Type" for a method's receiver, or "".
+func receiverTypeName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

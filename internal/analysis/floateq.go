@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands. After a
+// gradient step or a kernel evaluation, two mathematically equal floats are
+// rarely bit-equal, so such comparisons are usually latent bugs. Two guard
+// idioms are recognized and accepted:
+//
+//   - comparison against an exact-zero constant (`x == 0`): the standard
+//     guard before a division, where exact zero is precisely the dangerous
+//     value;
+//   - self-comparison (`x != x`): the portable NaN test.
+//
+// Everything else should compare through an epsilon (math.Abs(a-b) < eps).
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands outside guard idioms",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true
+			}
+			if isSelfComparison(bin) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "floating-point %s comparison; compare through an epsilon (math.Abs(a-b) < eps) or math.IsNaN", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}
+
+// isSelfComparison detects the x != x NaN idiom: both operands are the same
+// identifier or selector chain.
+func isSelfComparison(bin *ast.BinaryExpr) bool {
+	return exprKey(bin.X) != "" && exprKey(bin.X) == exprKey(bin.Y)
+}
+
+// exprKey renders identifier/selector expressions to a comparable string;
+// anything with possible side effects renders to "".
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	default:
+		return ""
+	}
+}

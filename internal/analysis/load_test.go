@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The loader is exercised against the real module: internal/mlmath both
+// imports only the standard library and is imported by nearly everything,
+// so it proves stdlib resolution; internal/cardest proves recursive
+// module-internal imports.
+func TestLoaderTypeChecksRealPackages(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load([]string{"./internal/mlmath", "./internal/cardest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) != 0 {
+			t.Errorf("%s: type errors: %v", pkg.Path, pkg.TypeErrors)
+		}
+		if pkg.Types == nil || pkg.Types.Scope().Len() == 0 {
+			t.Errorf("%s: empty type information", pkg.Path)
+		}
+	}
+	if obj := pkgs[1].Types.Scope().Lookup("RNG"); obj == nil {
+		t.Error("mlmath.RNG not found in loaded package scope")
+	}
+}
+
+func TestLoaderPatternWalkSkipsTestdata(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load([]string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if filepath.Base(pkg.Dir) != "analysis" {
+			t.Errorf("walk escaped into %s; testdata must be skipped", pkg.Dir)
+		}
+	}
+}
+
+func TestLoaderMemoizesPackages(t *testing.T) {
+	loader := fixtureLoader(t)
+	a, err := loader.Load([]string{"./internal/mlmath"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loader.Load([]string{"./internal/mlmath"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("repeated loads must return the memoized *Package")
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopyAnalyzer flags copies of values whose type transitively contains
+// a sync primitive (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map) or a
+// sync/atomic value type. A copied lock guards nothing: two goroutines each
+// lock their own copy and race on the shared state underneath — exactly the
+// bug class the upcoming parallel-training work must not introduce. Flagged
+// copy shapes: by-value receivers, by-value parameters and results, plain
+// assignments from an existing value (including pointer dereference), and
+// by-value range variables. Constructing a fresh value from a composite
+// literal or a call result is not a copy and is accepted.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag by-value copies of types containing sync primitives",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	seen := map[types.Type]bool{}
+	lockName := func(t types.Type) string { return lockPath(t, seen) }
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSigLocks(pass, n, lockName)
+			case *ast.AssignStmt:
+				checkAssignLocks(pass, n, lockName)
+			case *ast.RangeStmt:
+				checkRangeLocks(pass, n, lockName)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncSigLocks(pass *Pass, fn *ast.FuncDecl, lockName func(types.Type) string) {
+	report := func(field *ast.Field, what string) {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if name := lockName(t); name != "" {
+			pass.Reportf(field.Pos(), "%s passes %s by value; it contains %s — use a pointer", fn.Name.Name, what, name)
+		}
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			report(field, "its receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			report(field, "a parameter")
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			report(field, "a result")
+		}
+	}
+}
+
+func checkAssignLocks(pass *Pass, asg *ast.AssignStmt, lockName func(types.Type) string) {
+	for i, rhs := range asg.Rhs {
+		if i >= len(asg.Lhs) {
+			break
+		}
+		if id, ok := asg.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue // discarding into blank copies nothing observable
+		}
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			continue // fresh value, not a copy
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if name := lockName(t); name != "" {
+			pass.Reportf(asg.Pos(), "assignment copies a value containing %s; copy a pointer instead", name)
+		}
+	}
+}
+
+func checkRangeLocks(pass *Pass, rng *ast.RangeStmt, lockName func(types.Type) string) {
+	if rng.Value == nil {
+		return
+	}
+	if id, ok := rng.Value.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	t := pass.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if name := lockName(t); name != "" {
+		pass.Reportf(rng.Value.Pos(), "range value copies an element containing %s; range over indexes or pointers instead", name)
+	}
+}
+
+// syncLockTypes are the sync types that must never be copied after first use.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// lockPath returns a human-readable name of the sync primitive t transitively
+// contains by value, or "" if none. seen breaks recursive type cycles.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncLockTypes[obj.Name()] {
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "sync/atomic." + obj.Name()
+			}
+		}
+		return lockPath(t.Underlying(), seen)
+	case *types.Alias:
+		return lockPath(types.Unalias(t), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockPath(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockPath(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NumGuardAnalyzer inspects gradient-path functions in the core model
+// packages — functions whose name suggests they sit on the training loop
+// (Backward, Grad, Fit, Train, Step, Loss, Update) — for numerically unsafe
+// operations with no guard in sight:
+//
+//   - floating-point division by a non-constant denominator,
+//   - math.Log / math.Exp of a non-constant argument.
+//
+// log(0) and x/0 mint NaN/±Inf that propagate silently through a whole
+// training run; exp overflows to +Inf for arguments above ~709. A function
+// counts as guarded when it visibly defends against these anywhere in its
+// body: a math.IsNaN/math.IsInf check, a clamp (mlmath.Clamp, math.Max/Min,
+// or the min/max builtins), or an if-condition comparing a value against a
+// numeric constant (the `if n == 0 { return }` family). A denominator or
+// log argument that adds a small positive epsilon constant is guarded at
+// the expression level.
+var NumGuardAnalyzer = &Analyzer{
+	Name: "numguard",
+	Doc:  "flag unguarded division/log/exp in gradient-path functions of core packages",
+	Run:  runNumGuard,
+}
+
+var gradientNameParts = []string{"backward", "grad", "fit", "train", "step", "loss", "update"}
+
+func isGradientPathFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, part := range gradientNameParts {
+		if strings.Contains(lower, part) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNumGuard(pass *Pass) {
+	if !IsCorePackage(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isGradientPathFunc(fn.Name.Name) {
+				continue
+			}
+			if hasNumericGuard(pass, fn.Body) {
+				continue
+			}
+			reportUnguardedOps(pass, fn)
+		}
+	}
+}
+
+// hasNumericGuard reports whether the function body contains any visible
+// defense against NaN/Inf production.
+func hasNumericGuard(pass *Pass, body *ast.BlockStmt) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pass.IsPkgFunc(n, "math", "IsNaN") || pass.IsPkgFunc(n, "math", "IsInf") ||
+				pass.IsPkgFunc(n, "math", "Max") || pass.IsPkgFunc(n, "math", "Min") {
+				guarded = true
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && strings.Contains(strings.ToLower(sel.Sel.Name), "clamp") {
+				guarded = true
+				return false
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); isBuiltin && (id.Name == "min" || id.Name == "max") {
+						guarded = true
+						return false
+					}
+				}
+				if strings.Contains(strings.ToLower(id.Name), "clamp") {
+					guarded = true
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if condComparesConstant(pass, n.Cond) {
+				guarded = true
+				return false
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// condComparesConstant reports whether the condition contains a comparison
+// of something against a numeric constant — the shape of `if n == 0`,
+// `if s <= 0`, `if len(x) < 2` guards.
+func condComparesConstant(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if isNumericConst(pass, bin.X) || isNumericConst(pass, bin.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isNumericConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func reportUnguardedOps(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO && isFloat(pass.TypeOf(n.X)) &&
+				!isNumericConst(pass, n.Y) && !hasEpsilonTerm(pass, n.Y) {
+				pass.Reportf(n.Pos(), "unguarded floating-point division in gradient path %s; guard the denominator or check math.IsNaN on the result", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			for _, name := range []string{"Log", "Exp"} {
+				if pass.IsPkgFunc(n, "math", name) && len(n.Args) == 1 &&
+					!isNumericConst(pass, n.Args[0]) && !hasEpsilonTerm(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(), "unguarded math.%s in gradient path %s; clamp the argument or check the result for NaN/Inf", name, fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasEpsilonTerm reports whether the expression adds a positive constant —
+// the `x + 1e-8` smoothing idiom that rules out a zero denominator or
+// log argument.
+func hasEpsilonTerm(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return true
+		}
+		if isNumericConst(pass, bin.X) || isNumericConst(pass, bin.Y) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//ml4db:allow <analyzer> "reason"
+//
+// The comment suppresses diagnostics of the named analyzer on the line it
+// occupies, or — when it stands alone — on the line directly below it. The
+// reason string is mandatory: a suppression is a reviewed decision, and the
+// reason is where the review lives. A malformed allow comment (missing
+// analyzer or reason) is itself reported as a diagnostic so it cannot
+// silently fail to suppress.
+
+var allowRe = regexp.MustCompile(`^//ml4db:allow\s+([a-z]+)\s+"([^"]+)"\s*$`)
+
+type suppression struct {
+	analyzer string
+	file     string
+	// lines the comment covers (its own line, and the next line when the
+	// comment stands alone on its line).
+	lines map[int]bool
+}
+
+type suppressionSet struct {
+	entries   []suppression
+	malformed []Diagnostic
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	var set suppressionSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !strings.HasPrefix(text, "//ml4db:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "suppression",
+						Message:  `malformed //ml4db:allow comment: want //ml4db:allow <analyzer> "reason"`,
+					})
+					continue
+				}
+				if _, err := ByName([]string{m[1]}); err != nil {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "suppression",
+						Message:  "//ml4db:allow names unknown analyzer " + m[1],
+					})
+					continue
+				}
+				lines := map[int]bool{pos.Line: true, pos.Line + 1: true}
+				set.entries = append(set.entries, suppression{
+					analyzer: m[1],
+					file:     pos.Filename,
+					lines:    lines,
+				})
+			}
+		}
+	}
+	return set
+}
+
+func (s suppressionSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(s.entries) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, e := range s.entries {
+			if e.analyzer == d.Analyzer && e.file == d.Pos.Filename && e.lines[d.Pos.Line] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

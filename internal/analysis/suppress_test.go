@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForSuppression(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressionCoversOwnAndNextLine(t *testing.T) {
+	fset, files := parseForSuppression(t, `package p
+
+//ml4db:allow nakedpanic "reviewed"
+func a() {}
+func b() {} //ml4db:allow floateq "tie break"
+`)
+	set := collectSuppressions(fset, files)
+	if len(set.malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", set.malformed)
+	}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "sup.go", Line: 4}, Analyzer: "nakedpanic"}, // next line
+		{Pos: token.Position{Filename: "sup.go", Line: 5}, Analyzer: "floateq"},    // same line
+		{Pos: token.Position{Filename: "sup.go", Line: 4}, Analyzer: "floateq"},    // wrong analyzer
+		{Pos: token.Position{Filename: "sup.go", Line: 9}, Analyzer: "nakedpanic"}, // out of range
+	}
+	kept := set.filter(diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "floateq" || kept[0].Pos.Line != 4 {
+		t.Errorf("wrong-analyzer diagnostic should survive, got %v", kept[0])
+	}
+	if kept[1].Pos.Line != 9 {
+		t.Errorf("distant diagnostic should survive, got %v", kept[1])
+	}
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	fset, files := parseForSuppression(t, `package p
+
+//ml4db:allow nakedpanic
+func a() {}
+`)
+	set := collectSuppressions(fset, files)
+	if len(set.entries) != 0 {
+		t.Fatalf("reasonless allow must not suppress, got %v", set.entries)
+	}
+	if len(set.malformed) != 1 || !strings.Contains(set.malformed[0].Message, "malformed") {
+		t.Fatalf("want one malformed diagnostic, got %v", set.malformed)
+	}
+}
+
+func TestSuppressionRejectsUnknownAnalyzer(t *testing.T) {
+	fset, files := parseForSuppression(t, `package p
+
+//ml4db:allow nosuch "reason"
+func a() {}
+`)
+	set := collectSuppressions(fset, files)
+	if len(set.entries) != 0 {
+		t.Fatalf("unknown analyzer must not suppress, got %v", set.entries)
+	}
+	if len(set.malformed) != 1 || !strings.Contains(set.malformed[0].Message, "unknown analyzer") {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %v", set.malformed)
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName([]string{"determinism", "bogus"}); err == nil {
+		t.Fatal("want error for unknown analyzer name")
+	}
+	got, err := ByName([]string{"floateq"})
+	if err != nil || len(got) != 1 || got[0] != FloatEqAnalyzer {
+		t.Fatalf("ByName(floateq) = %v, %v", got, err)
+	}
+}
+
+func TestIsCorePackageScoping(t *testing.T) {
+	cases := []struct {
+		path string
+		core bool
+	}{
+		{"ml4db/internal/nn", true},
+		{"ml4db/internal/planrep/study", true},
+		{"ml4db/internal/qo/bao", false},
+		{"ml4db/examples/learnedindex", false}, // core name outside internal/
+		{"ml4db/cmd/ml4db-vet", false},
+	}
+	for _, c := range cases {
+		if got := IsCorePackage(c.path); got != c.core {
+			t.Errorf("IsCorePackage(%q) = %v, want %v", c.path, got, c.core)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package mlmath is the determinism no-false-positive fixture: a core
+// package using only the sanctioned idioms — injected RNG state, sorted map
+// iteration, and commutative accumulation.
+package mlmath
+
+import "sort"
+
+// RNG mirrors the injected deterministic generator.
+type RNG struct{ s uint64 }
+
+// Float64 advances the injected state; no ambient randomness.
+func (r *RNG) Float64() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / (1 << 53)
+}
+
+// SortedKeys is the sanctioned map-iteration idiom: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates commutatively: map order cannot change the result.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Local slices that never escape an iteration are order-independent too.
+func PerKey(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var squares []float64
+		for _, v := range vs {
+			squares = append(squares, v*v)
+		}
+		n += len(squares)
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Package noncore proves the determinism analyzer is scoped: this package's
+// path names no core model package, so wall-clock reads are fine here.
+package noncore
+
+import "time"
+
+// Elapsed times a function; allowed outside the core model packages.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,21 @@
+// Package bad is the floateq firing fixture.
+package bad
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "floating-point"
+}
+
+// Comparing against a non-zero constant is still an exact-bits comparison.
+func converged(loss float64) bool {
+	return loss == 1.5 // want "floating-point"
+}
+
+type point struct{ x, y float64 }
+
+func samePoint(p, q point) bool {
+	return p.x == q.x // want "floating-point"
+}

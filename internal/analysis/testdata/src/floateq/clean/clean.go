@@ -1,0 +1,22 @@
+// Package clean is the floateq no-false-positive fixture: the two guard
+// idioms plus non-float comparisons.
+package clean
+
+import "math"
+
+// Self-comparison is the portable NaN test.
+func isNaN(x float64) bool { return x != x }
+
+// Comparing against exact zero is the division guard.
+func safeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Epsilon comparison is the sanctioned equality.
+func approxEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// Integer equality is not the analyzer's business.
+func intEq(a, b int) bool { return a == b }

@@ -1,0 +1,41 @@
+// Package bad is the mutexcopy firing fixture: every flagged copy shape of
+// a lock-bearing type.
+package bad
+
+import "sync"
+
+// Counter holds a mutex by value; copying it copies the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested buries the lock one struct deeper; the check is transitive.
+type Nested struct {
+	inner Counter
+}
+
+func ByValueParam(c Counter) int { // want "a parameter by value"
+	return c.n
+}
+
+func (c Counter) ValueReceiver() int { // want "its receiver by value"
+	return c.n
+}
+
+func ByValueResult(p *Nested) Nested { // want "a result"
+	return *p
+}
+
+func Deref(p *Counter) {
+	c := *p // want "assignment copies"
+	_ = c
+}
+
+func RangeCopy(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want "range value copies"
+		total += c.n
+	}
+	return total
+}

@@ -1,0 +1,44 @@
+// Package clean is the mutexcopy no-false-positive fixture: pointers
+// everywhere a lock travels, and value semantics for lock-free types.
+package clean
+
+import "sync"
+
+// Counter holds a mutex and therefore always travels by pointer.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// NewCounter constructs fresh values; a composite literal is not a copy.
+func NewCounter() *Counter {
+	c := Counter{}
+	return &c
+}
+
+func ByPointer(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func RangePointers(cs []*Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += ByPointer(c)
+	}
+	return total
+}
+
+// Plain is lock-free: value semantics are fine.
+type Plain struct{ X, Y float64 }
+
+func Scale(p Plain, f float64) Plain {
+	return Plain{X: p.X * f, Y: p.Y * f}
+}

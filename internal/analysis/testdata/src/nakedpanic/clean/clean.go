@@ -1,0 +1,21 @@
+// Package clean is the nakedpanic no-false-positive fixture: errors are
+// returned, and the one deliberate panic carries a reviewed suppression.
+package clean
+
+import "errors"
+
+// Do returns an error like library code should.
+func Do(n int) error {
+	if n < 0 {
+		return errors.New("clean: negative n")
+	}
+	return nil
+}
+
+// Must is the construction-time variant; its panic is a reviewed decision.
+func Must(n int) {
+	if n < 0 {
+		//ml4db:allow nakedpanic "caller bug: negative n is a programming error"
+		panic("clean: negative n")
+	}
+}

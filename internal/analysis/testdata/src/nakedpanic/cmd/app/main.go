@@ -1,0 +1,7 @@
+// Command app proves nakedpanic is scoped to library code: a cmd/ package
+// may crash loudly.
+package main
+
+func main() {
+	panic("commands may panic")
+}

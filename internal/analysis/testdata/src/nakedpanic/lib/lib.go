@@ -1,0 +1,9 @@
+// Package lib is the nakedpanic firing fixture: library code that panics.
+package lib
+
+// Do panics on bad input instead of returning an error.
+func Do(n int) {
+	if n < 0 {
+		panic("lib: negative n") // want "panic in library code"
+	}
+}

@@ -1,0 +1,10 @@
+// Package malformed proves a broken suppression cannot silently succeed: an
+// //ml4db:allow comment without a quoted reason is itself a diagnostic, and
+// the panic it failed to suppress still fires.
+package malformed
+
+// Do carries a suppression attempt with no reason string.
+func Do() {
+	//ml4db:allow nakedpanic -- no reason given // want "malformed"
+	panic("malformed: unsuppressed") // want "panic in library code"
+}

@@ -1,0 +1,30 @@
+// Package nn is the numguard firing fixture: gradient-path functions (the
+// import path ends in a core package name) with no numeric defense in sight.
+package nn
+
+import "math"
+
+// Backward divides by an unchecked scale and exponentiates unbounded logits.
+func Backward(grads []float64, scale float64) float64 {
+	total := 0.0
+	for i := range grads {
+		grads[i] = grads[i] / scale // want "unguarded floating-point division"
+		total += grads[i]
+	}
+	return total
+}
+
+// LogLoss takes a log of an unchecked probability.
+func LogLoss(p float64) float64 {
+	return -math.Log(p) // want "unguarded math.Log"
+}
+
+// SoftmaxStep exponentiates an unclamped logit.
+func SoftmaxStep(logit float64) float64 {
+	return math.Exp(logit) // want "unguarded math.Exp"
+}
+
+// Helper is not on a gradient path: same operations, no findings.
+func Helper(a, b float64) float64 {
+	return math.Log(a) / b
+}

@@ -1,0 +1,48 @@
+// Package nn is the numguard no-false-positive fixture: every sanctioned
+// way of defending a gradient-path computation.
+package nn
+
+import "math"
+
+// StepChecked divides only after ruling out a zero denominator.
+func StepChecked(grads []float64, scale float64) {
+	if scale == 0 {
+		return
+	}
+	for i := range grads {
+		grads[i] = grads[i] / scale
+	}
+}
+
+// LossSmoothed uses the epsilon idiom on the log argument.
+func LossSmoothed(p float64) float64 {
+	return -math.Log(p + 1e-9)
+}
+
+// BackwardValidated checks its output for NaN before publishing it.
+func BackwardValidated(grads []float64, scale float64) bool {
+	for i := range grads {
+		grads[i] = grads[i] / scale
+	}
+	for _, g := range grads {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// SoftmaxStepClamped bounds the logit before exponentiating.
+func SoftmaxStepClamped(logit float64) float64 {
+	return math.Exp(math.Min(logit, 50))
+}
+
+// MeanForward is not a gradient-path name; unguarded division is someone
+// else's problem (and usually a histogram, not a training loop).
+func MeanForward(xs []float64, n float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / n
+}

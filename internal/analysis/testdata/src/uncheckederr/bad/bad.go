@@ -1,0 +1,20 @@
+// Package bad is the uncheckederr firing fixture: statements that drop an
+// error result on the floor.
+package bad
+
+import (
+	"errors"
+	"os"
+)
+
+func save() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func run() {
+	save()    // want "dropped"
+	go save() // want "dropped"
+	pair()    // want "dropped"
+	f, _ := os.CreateTemp("", "x")
+	f.Close() // want "dropped"
+}

@@ -1,0 +1,37 @@
+// Package clean is the uncheckederr no-false-positive fixture: every
+// accepted way of dealing with an error result.
+package clean
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func save() error { return nil }
+
+func run() error {
+	// Handled.
+	if err := save(); err != nil {
+		return err
+	}
+	// Explicit discard is visible in review and accepted.
+	_ = save()
+	// The fmt print family is conventionally unchecked.
+	fmt.Println("status")
+	fmt.Printf("%d\n", 1)
+	// Writes to the never-failing in-memory writers.
+	var buf bytes.Buffer
+	buf.WriteString("x")
+	var sb strings.Builder
+	sb.WriteString("y")
+	fmt.Fprintf(&buf, "z")
+	// The deferred-Close idiom is accepted.
+	f, err := os.CreateTemp("", "x")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

@@ -2,7 +2,6 @@ package cardest
 
 import (
 	"fmt"
-	"time"
 
 	"ml4db/internal/mlmath"
 	"ml4db/internal/nn"
@@ -20,7 +19,11 @@ type MLPEstimator struct {
 	// TrainSeconds records the last training duration (the model-efficiency
 	// metric of E13).
 	TrainSeconds float64
-	rng          *mlmath.RNG
+	// Clock supplies the timing reads behind TrainSeconds. Leave nil for the
+	// system clock; inject a *mlmath.ManualClock to make retraining decisions
+	// reproducible under a fixed seed.
+	Clock mlmath.Clock
+	rng   *mlmath.RNG
 }
 
 // NewMLPEstimator builds an untrained estimator with the given hidden sizes.
@@ -38,12 +41,13 @@ func (m *MLPEstimator) Train(queries [][]expr.Pred, fractions []float64, epochs 
 		xs[i] = m.F.Features(q)
 		ys[i] = []float64{logitSel(fractions[i])}
 	}
-	start := time.Now()
+	clock := mlmath.ClockOrSystem(m.Clock)
+	start := clock.Now()
 	m.Net.Fit(xs, ys, nn.FitOptions{
 		Epochs: epochs, BatchSize: 32,
 		Optimizer: nn.NewAdam(3e-3), RNG: m.rng,
 	})
-	m.TrainSeconds = time.Since(start).Seconds()
+	m.TrainSeconds = clock.Now().Sub(start).Seconds()
 }
 
 // Name implements Estimator.
@@ -71,7 +75,10 @@ type NNGP struct {
 	alpha []float64
 	// TrainSeconds records the kernel-solve time.
 	TrainSeconds float64
-	chol         *mlmath.Mat
+	// Clock supplies the timing reads behind TrainSeconds; nil means the
+	// system clock.
+	Clock mlmath.Clock
+	chol  *mlmath.Mat
 }
 
 // NewNNGP builds an untrained estimator.
@@ -108,7 +115,8 @@ func (g *NNGP) Train(queries [][]expr.Pred, fractions []float64) error {
 		g.xs[i] = g.F.Features(q)
 		y[i] = logitSel(fractions[i])
 	}
-	start := time.Now()
+	clock := mlmath.ClockOrSystem(g.Clock)
+	start := clock.Now()
 	k := mlmath.NewMat(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
@@ -124,7 +132,7 @@ func (g *NNGP) Train(queries [][]expr.Pred, fractions []float64) error {
 	}
 	g.chol = l
 	g.alpha = mlmath.SolveUpperT(l, mlmath.SolveLower(l, y))
-	g.TrainSeconds = time.Since(start).Seconds()
+	g.TrainSeconds = clock.Now().Sub(start).Seconds()
 	return nil
 }
 

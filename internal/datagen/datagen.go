@@ -241,6 +241,7 @@ func (g *Generator) Generate(rng *mlmath.RNG, rows int) *catalog.Table {
 		// Generated table columns are 0 and 1 regardless of source column
 		// indexes; RemapPreds translates workload predicates.
 		if err := t.AppendRow([]int64{a, b}); err != nil {
+			//ml4db:allow nakedpanic "unreachable: rows have two columns by construction"
 			panic(err) // two columns by construction
 		}
 	}

@@ -30,6 +30,7 @@ func qoTestbed(seed uint64, factRows int) (*qo.Env, *workload.StarGen, error) {
 func mustWork(env *qo.Env, p *plan.Node) int64 {
 	w, _, err := env.Run(p, 0)
 	if err != nil {
+		//ml4db:allow nakedpanic "experiment harness: testbed execution failure is a harness bug, not a runtime condition"
 		panic(err)
 	}
 	return w
@@ -419,6 +420,7 @@ func E19(seed uint64) (*Report, error) {
 		for _, q := range train {
 			p, err := rt.Plan(q)
 			if err != nil {
+				//ml4db:allow nakedpanic "experiment harness: planning a training query fails only on a testbed bug"
 				panic(err)
 			}
 			w += mustWork(env, p)

@@ -1,0 +1,41 @@
+package mlmath
+
+import "time"
+
+// Clock abstracts wall-clock reads so components that record timings (for
+// model-efficiency metrics like TrainSeconds) stay deterministic under test
+// and replay: inject a ManualClock and the recorded timings — and anything
+// derived from them, like retraining decisions — reproduce exactly.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock reads the real wall clock. It is the production default and
+// the single sanctioned time.Now call site in the core model packages.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time {
+	return time.Now() //ml4db:allow determinism "SystemClock is the sanctioned wall-clock source; everything else injects a Clock"
+}
+
+// ManualClock is a Clock advanced explicitly by the test or replay harness.
+// The zero value starts at the zero time.
+type ManualClock struct {
+	T time.Time
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time { return c.T }
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) { c.T = c.T.Add(d) }
+
+// ClockOrSystem returns c, or SystemClock when c is nil — the idiom for
+// optional Clock fields on model structs.
+func ClockOrSystem(c Clock) Clock {
+	if c == nil {
+		return SystemClock{}
+	}
+	return c
+}

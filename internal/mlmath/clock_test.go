@@ -1,0 +1,36 @@
+package mlmath
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvances(t *testing.T) {
+	c := &ManualClock{T: time.Unix(100, 0)}
+	if !c.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("Now() = %v, want start time", c.Now())
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(time.Unix(100, 0)); got != 3*time.Second {
+		t.Fatalf("advanced by %v, want 3s", got)
+	}
+}
+
+func TestClockOrSystemDefaults(t *testing.T) {
+	if _, ok := ClockOrSystem(nil).(SystemClock); !ok {
+		t.Fatal("ClockOrSystem(nil) must return SystemClock")
+	}
+	c := &ManualClock{}
+	if ClockOrSystem(c) != Clock(c) {
+		t.Fatal("ClockOrSystem must pass a non-nil clock through")
+	}
+}
+
+func TestSystemClockTracksWallTime(t *testing.T) {
+	before := time.Now()
+	got := SystemClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("SystemClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

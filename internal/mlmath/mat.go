@@ -14,6 +14,7 @@ type Mat struct {
 // NewMat allocates a zero matrix with the given shape.
 func NewMat(rows, cols int) *Mat {
 	if rows < 0 || cols < 0 {
+		//ml4db:allow nakedpanic "caller bug: negative dimensions are a programming error, as in stdlib make"
 		panic("mlmath: negative matrix dimension")
 	}
 	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -38,6 +39,7 @@ func (m *Mat) Clone() *Mat {
 // MulVec computes m·x and returns a new vector. It panics on shape mismatch.
 func (m *Mat) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
+		//ml4db:allow nakedpanic "caller bug: shape mismatch, same contract as gonum/BLAS"
 		panic(fmt.Sprintf("mlmath: MulVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
@@ -50,6 +52,7 @@ func (m *Mat) MulVec(x []float64) []float64 {
 // MulVecT computes mᵀ·x (x has length Rows) and returns a new vector.
 func (m *Mat) MulVecT(x []float64) []float64 {
 	if len(x) != m.Rows {
+		//ml4db:allow nakedpanic "caller bug: shape mismatch, same contract as gonum/BLAS"
 		panic(fmt.Sprintf("mlmath: MulVecT shape mismatch %dx%d ᵀ· %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Cols)
@@ -62,6 +65,7 @@ func (m *Mat) MulVecT(x []float64) []float64 {
 // Mul returns m·b as a new matrix.
 func (m *Mat) Mul(b *Mat) *Mat {
 	if m.Cols != b.Rows {
+		//ml4db:allow nakedpanic "caller bug: shape mismatch, same contract as gonum/BLAS"
 		panic(fmt.Sprintf("mlmath: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(m.Rows, b.Cols)
@@ -174,6 +178,7 @@ func RidgeRegression(x *Mat, y []float64, lambda float64) ([]float64, error) {
 // paired samples. It returns (0, mean(y)) when x has no variance.
 func LinearFit(xs, ys []float64) (slope, intercept float64) {
 	if len(xs) != len(ys) {
+		//ml4db:allow nakedpanic "caller bug: x and y must be the same length"
 		panic("mlmath: LinearFit length mismatch")
 	}
 	n := float64(len(xs))

@@ -55,6 +55,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//ml4db:allow nakedpanic "caller bug: non-positive n, same contract as math/rand.Intn"
 		panic("mlmath: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
@@ -118,6 +119,7 @@ type Zipf struct {
 // For large n this precomputes the CDF once (O(n)).
 func NewZipf(rng *RNG, s float64, n int) *Zipf {
 	if n <= 0 {
+		//ml4db:allow nakedpanic "caller bug: non-positive n, same contract as math/rand.NewZipf"
 		panic("mlmath: NewZipf with non-positive n")
 	}
 	cdf := make([]float64, n)

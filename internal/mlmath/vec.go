@@ -5,6 +5,7 @@ import "math"
 // Dot returns the inner product of a and b. It panics if lengths differ.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//ml4db:allow nakedpanic "caller bug: mismatched vector lengths"
 		panic("mlmath: Dot length mismatch")
 	}
 	s := 0.0
@@ -17,6 +18,7 @@ func Dot(a, b []float64) float64 {
 // AddTo adds src into dst element-wise.
 func AddTo(dst, src []float64) {
 	if len(dst) != len(src) {
+		//ml4db:allow nakedpanic "caller bug: mismatched vector lengths"
 		panic("mlmath: AddTo length mismatch")
 	}
 	for i := range dst {
@@ -34,6 +36,7 @@ func Scale(v []float64, c float64) {
 // AXPY computes dst += a*x element-wise.
 func AXPY(dst []float64, a float64, x []float64) {
 	if len(dst) != len(x) {
+		//ml4db:allow nakedpanic "caller bug: mismatched vector lengths"
 		panic("mlmath: AXPY length mismatch")
 	}
 	for i := range dst {
@@ -77,6 +80,7 @@ func Concat(vs ...[]float64) []float64 {
 // It panics on an empty slice.
 func ArgMax(v []float64) int {
 	if len(v) == 0 {
+		//ml4db:allow nakedpanic "caller bug: ArgMax of an empty slice has no answer"
 		panic("mlmath: ArgMax of empty slice")
 	}
 	best := 0
@@ -91,6 +95,7 @@ func ArgMax(v []float64) int {
 // ArgMin returns the index of the smallest element (first on ties).
 func ArgMin(v []float64) int {
 	if len(v) == 0 {
+		//ml4db:allow nakedpanic "caller bug: ArgMin of an empty slice has no answer"
 		panic("mlmath: ArgMin of empty slice")
 	}
 	best := 0

@@ -35,6 +35,7 @@ func NewGraph() *Graph { return &Graph{} }
 // node and parameter that contributed to it.
 func (g *Graph) Backward(root *VNode, seed []float64) {
 	if len(seed) != len(root.Grad) {
+		//ml4db:allow nakedpanic "caller bug: seed gradient must match output width"
 		panic("nn: Backward seed size mismatch")
 	}
 	mlmath.AddTo(root.Grad, seed)
@@ -69,6 +70,7 @@ func (g *Graph) ParamSlice(p *Param, off, n int) *VNode {
 // b a Param of length out. Pass b == nil to omit the bias.
 func (g *Graph) Affine(w *Param, b *Param, out, in int, x *VNode) *VNode {
 	if len(x.Val) != in {
+		//ml4db:allow nakedpanic "caller bug: input width fixed by layer construction"
 		panic("nn: Affine input size mismatch")
 	}
 	val := make([]float64, out)
@@ -102,6 +104,7 @@ func (g *Graph) Affine(w *Param, b *Param, out, in int, x *VNode) *VNode {
 // Add sums any number of equally sized nodes element-wise.
 func (g *Graph) Add(xs ...*VNode) *VNode {
 	if len(xs) == 0 {
+		//ml4db:allow nakedpanic "caller bug: Add requires at least one operand"
 		panic("nn: Add of nothing")
 	}
 	val := mlmath.Clone(xs[0].Val)
@@ -120,6 +123,7 @@ func (g *Graph) Add(xs ...*VNode) *VNode {
 // Mul multiplies two nodes element-wise (the gating operation of LSTMs).
 func (g *Graph) Mul(a, b *VNode) *VNode {
 	if len(a.Val) != len(b.Val) {
+		//ml4db:allow nakedpanic "caller bug: elementwise Mul requires equal widths"
 		panic("nn: Mul size mismatch")
 	}
 	val := make([]float64, len(a.Val))
@@ -204,6 +208,7 @@ func (g *Graph) ReLUV(x *VNode) *VNode {
 // pooling of TreeCNN representations.
 func (g *Graph) MaxPool(xs ...*VNode) *VNode {
 	if len(xs) == 0 {
+		//ml4db:allow nakedpanic "caller bug: MaxPool requires at least one operand"
 		panic("nn: MaxPool of nothing")
 	}
 	d := len(xs[0].Val)
@@ -230,6 +235,7 @@ func (g *Graph) MaxPool(xs ...*VNode) *VNode {
 // MeanPool averages the nodes element-wise.
 func (g *Graph) MeanPool(xs ...*VNode) *VNode {
 	if len(xs) == 0 {
+		//ml4db:allow nakedpanic "caller bug: MeanPool requires at least one operand"
 		panic("nn: MeanPool of nothing")
 	}
 	d := len(xs[0].Val)
@@ -254,6 +260,7 @@ func (g *Graph) MeanPool(xs ...*VNode) *VNode {
 func (g *Graph) Attention(qs, ks, vs []*VNode, bias [][]float64) []*VNode {
 	n := len(qs)
 	if len(ks) != n || len(vs) != n || n == 0 {
+		//ml4db:allow nakedpanic "caller bug: attention inputs fixed by construction"
 		panic("nn: Attention input size mismatch")
 	}
 	d := float64(len(ks[0].Val))

@@ -35,6 +35,7 @@ type denseCache struct {
 // forward computes the layer output and returns the cache for backward.
 func (d *Dense) forward(x []float64) *denseCache {
 	if len(x) != d.In {
+		//ml4db:allow nakedpanic "caller bug: input width fixed by layer construction"
 		panic("nn: Dense forward input size mismatch")
 	}
 	c := &denseCache{x: x, pre: make([]float64, d.Out), out: make([]float64, d.Out)}
@@ -51,6 +52,7 @@ func (d *Dense) forward(x []float64) *denseCache {
 // to the layer input.
 func (d *Dense) backward(c *denseCache, dOut []float64) []float64 {
 	if len(dOut) != d.Out {
+		//ml4db:allow nakedpanic "caller bug: gradient width fixed by layer construction"
 		panic("nn: Dense backward grad size mismatch")
 	}
 	dIn := make([]float64, d.In)

@@ -18,6 +18,7 @@ type MLP struct {
 // activation; the output layer uses out.
 func NewMLP(sizes []int, hidden, out Activation, rng *mlmath.RNG) *MLP {
 	if len(sizes) < 2 {
+		//ml4db:allow nakedpanic "caller bug: an MLP needs input and output sizes"
 		panic("nn: NewMLP needs at least input and output sizes")
 	}
 	m := &MLP{}
@@ -85,6 +86,9 @@ func (t *Tape) Backward(dOut []float64) []float64 {
 // MSELoss returns the mean squared error and writes ∂loss/∂pred into grad.
 // grad must have the same length as pred.
 func MSELoss(pred, target, grad []float64) float64 {
+	if len(pred) == 0 {
+		return 0 // empty batch: no loss, and n would mint a NaN below
+	}
 	loss := 0.0
 	n := float64(len(pred))
 	for i := range pred {
@@ -134,6 +138,7 @@ type FitOptions struct {
 // It returns the mean loss of the final epoch.
 func (m *MLP) Fit(xs, ys [][]float64, opt FitOptions) float64 {
 	if len(xs) != len(ys) {
+		//ml4db:allow nakedpanic "caller bug: xs and ys must be parallel slices"
 		panic("nn: Fit dataset length mismatch")
 	}
 	if opt.BatchSize <= 0 {

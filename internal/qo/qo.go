@@ -78,6 +78,7 @@ func (v *ValueSearch) colOffset(q *plan.Query, layout []int, tablePos, col int) 
 		}
 		off += v.Env.Cat.Table(q.Tables[p]).NumCols()
 	}
+	//ml4db:allow nakedpanic "unreachable: layouts are permutations of the query tables by construction"
 	panic(fmt.Sprintf("qo: table position %d not in layout %v", tablePos, layout))
 }
 

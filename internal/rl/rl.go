@@ -104,6 +104,7 @@ type mctsNode struct {
 // terminal.
 func (m *MCTS) Search(root State) int {
 	if root.NumActions() == 0 {
+		//ml4db:allow nakedpanic "caller bug: MCTS must not be asked to expand a terminal state"
 		panic("rl: MCTS on terminal state")
 	}
 	rootNode := &mctsNode{state: root}

@@ -67,6 +67,7 @@ func GreedyChooseSubtree(n *RNode, r Rect) int {
 	for i, e := range n.Entries {
 		enl := e.Rect.Enlargement(r)
 		area := e.Rect.Area()
+		//ml4db:allow floateq "exact tie-break on enlargement: Guttman's heuristic, any branch is correct"
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}

@@ -99,6 +99,7 @@ func (c *Catalog) Add(t *Table) (int, error) {
 func (c *Catalog) MustAdd(t *Table) int {
 	id, err := c.Add(t)
 	if err != nil {
+		//ml4db:allow nakedpanic "Must variant for construction-time code; Add is the error-returning API"
 		panic(err)
 	}
 	return id

@@ -175,6 +175,7 @@ func (o *Optimizer) colOffset(q *plan.Query, layout []int, tablePos, col int) in
 		}
 		off += o.Cat.Table(q.Tables[p]).NumCols()
 	}
+	//ml4db:allow nakedpanic "unreachable: layouts are permutations of the query tables by construction"
 	panic(fmt.Sprintf("optimizer: table position %d not in layout %v", tablePos, layout))
 }
 

@@ -81,6 +81,7 @@ type FitOptions struct {
 // Fit trains on the dataset and returns the final epoch's mean loss.
 func (r *Regressor) Fit(trees []*EncTree, ys []float64, opt FitOptions) float64 {
 	if len(trees) != len(ys) {
+		//ml4db:allow nakedpanic "caller bug: trees and ys must be parallel slices"
 		panic("tree: Fit dataset length mismatch")
 	}
 	if opt.BatchSize <= 0 {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh — the full correctness gate, run locally and by CI.
+#
+# Order matters: cheap structural checks first, then the project's own
+# static-analysis suite (cmd/ml4db-vet), then race-enabled tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> ml4db-vet ./..."
+go run ./cmd/ml4db-vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "All checks passed."
