@@ -5,6 +5,13 @@
 // Usage:
 //
 //	ml4db-bench [-seed N] [-run ID[,ID...]] [-list]
+//	ml4db-bench -kernels [-quick] [-kernels-out FILE]
+//
+// The -kernels mode skips the experiments and instead benchmarks the
+// parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
+// against their serial counterparts, verifying the determinism contracts and
+// writing machine-readable results to BENCH_kernels.json (see
+// docs/PERFORMANCE.md).
 package main
 
 import (
@@ -21,7 +28,18 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed for all experiments")
 	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	kernels := flag.Bool("kernels", false, "benchmark parallel math kernels instead of running experiments")
+	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output file for -kernels results")
+	quick := flag.Bool("quick", false, "with -kernels: smaller sizes and single timed runs")
 	flag.Parse()
+
+	if *kernels {
+		if err := runKernelBench(*seed, *kernelsOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

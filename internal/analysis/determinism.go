@@ -4,11 +4,12 @@ import (
 	"go/ast"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // DeterminismAnalyzer enforces the repository's reproducibility contract in
 // the core model packages (nn, mlmath, tree, learnedindex, cardest,
-// planrep): the same seed must always yield the same model. Three ambient
+// planrep): the same seed must always yield the same model. Four ambient
 // sources of nondeterminism are forbidden there:
 //
 //   - math/rand (and math/rand/v2): use an injected *mlmath.RNG instead, so
@@ -18,10 +19,15 @@ import (
 //   - slices built by appending inside a range over a map: Go randomizes map
 //     iteration order, so the slice's order differs run to run. Sorting the
 //     slice afterwards (any sort.* or slices.Sort* call in the same
-//     function) makes the order well-defined and silences the check.
+//     function) makes the order well-defined and silences the check;
+//   - go statements: ad-hoc goroutines race on scheduling order. The one
+//     sanctioned concurrency primitive is mlmath.Pool, whose contiguous
+//     pure-function sharding and fixed-order reduction keep parallel kernels
+//     reproducible; only Pool's own machinery (functions in the mlmath
+//     package whose receiver or result type involves Pool) may spawn.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid math/rand, time.Now, and map-order-dependent slice building in core model packages",
+	Doc:  "forbid math/rand, time.Now, goroutine launches, and map-order-dependent slice building in core model packages",
 	Run:  runDeterminism,
 }
 
@@ -73,6 +79,7 @@ func checkFuncDeterminism(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+	poolFunc := isPoolFunc(pass, fn)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -80,11 +87,51 @@ func checkFuncDeterminism(pass *Pass, fn *ast.FuncDecl) {
 				sel := n.Fun.(*ast.SelectorExpr)
 				pass.Reportf(n.Pos(), "time.%s in core model package; inject a mlmath.Clock so timing reads are replayable", sel.Sel.Name)
 			}
+		case *ast.GoStmt:
+			if !poolFunc {
+				pass.Reportf(n.Pos(), "goroutine launched in core model package; route data-parallel work through mlmath.Pool so sharding and reduction order stay deterministic")
+			}
 		case *ast.RangeStmt:
 			checkMapRangeAppend(pass, n, sortedSlices)
 		}
 		return true
 	})
+}
+
+// isPoolFunc reports whether fn is part of mlmath.Pool's own machinery — a
+// function in the mlmath package whose receiver or a result type mentions
+// Pool (the Pool methods themselves and constructors like NewPool). These are
+// the only sanctioned goroutine launch sites in the core packages.
+func isPoolFunc(pass *Pass, fn *ast.FuncDecl) bool {
+	segs := strings.Split(pass.PkgPath, "/")
+	if segs[len(segs)-1] != "mlmath" {
+		return false
+	}
+	mentionsPool := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "Pool" {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			if mentionsPool(f.Type) {
+				return true
+			}
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			if mentionsPool(f.Type) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func isSortCall(pass *Pass, call *ast.CallExpr) bool {

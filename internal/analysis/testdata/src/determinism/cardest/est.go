@@ -18,6 +18,12 @@ func Train(data map[string]float64) []string {
 	_ = time.Since(start) // want "time.Since"
 	_ = rand.Float64()
 
+	// Ad-hoc fan-out: scheduling order races, so the reduction order is
+	// nondeterministic. Only mlmath.Pool may spawn.
+	done := make(chan struct{})
+	go func() { close(done) }() // want "goroutine"
+	<-done
+
 	// Sorted afterwards in the same function: well-defined order, no finding.
 	var sortedKeys []string
 	for k := range data {

@@ -45,3 +45,22 @@ func PerKey(m map[string][]float64) int {
 	}
 	return n
 }
+
+// Pool mirrors mlmath.Pool: the one sanctioned goroutine launch site.
+type Pool struct{ jobs chan func() }
+
+// NewPool spawns workers from a constructor returning *Pool — sanctioned.
+func NewPool(workers int) *Pool {
+	p := &Pool{jobs: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+// work drains jobs on a Pool receiver — also sanctioned.
+func (p *Pool) work() {
+	for job := range p.jobs {
+		job()
+	}
+}

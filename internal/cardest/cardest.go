@@ -1,20 +1,3 @@
-// Package cardest implements the cardinality estimators of the paper's §3.3
-// open-problem discussion:
-//
-//   - HistEstimator / SampleEstimator: the classical baselines (histograms
-//     with independence assumptions; correlation-preserving row samples);
-//   - MLPEstimator: a query-driven learned estimator (accurate on correlated
-//     data, slow to train, vulnerable to drift);
-//   - NNGP: a lightweight Bayesian estimator after Zhao et al. (SIGMOD 2022)
-//     whose "training" is a single kernel linear solve — the model-efficiency
-//     story;
-//   - DriftAdapter: Warper-style monitoring and retraining under data and
-//     workload shift.
-//
-// All estimators answer single-table conjunctive range queries over the fact
-// table of the synthetic star schema and implement the same interface, so
-// they can also plug into the classical optimizer as its scan estimator (the
-// ML-enhanced integration path).
 package cardest
 
 import (
@@ -117,6 +100,29 @@ type Estimator interface {
 	EstimateFraction(preds []expr.Pred) float64
 	// SizeBytes reports the model footprint.
 	SizeBytes() int
+}
+
+// BatchEstimator is implemented by estimators with a parallel batched
+// inference path (e.g. MLPEstimator over an mlmath.Pool). The batch result
+// must equal the serial per-query loop exactly.
+type BatchEstimator interface {
+	Estimator
+	EstimateFractionBatch(queries [][]expr.Pred) []float64
+}
+
+// EstimateAll estimates every predicate set, through the batched path when
+// the estimator provides one and a serial loop otherwise. Evaluation
+// harnesses should call this instead of looping over EstimateFraction so
+// batched estimators are exercised end to end.
+func EstimateAll(e Estimator, queries [][]expr.Pred) []float64 {
+	if be, ok := e.(BatchEstimator); ok {
+		return be.EstimateFractionBatch(queries)
+	}
+	out := make([]float64, len(queries))
+	for i, q := range queries {
+		out[i] = e.EstimateFraction(q)
+	}
+	return out
 }
 
 // HistEstimator is the classical baseline: per-column histogram

@@ -23,7 +23,12 @@ type MLPEstimator struct {
 	// system clock; inject a *mlmath.ManualClock to make retraining decisions
 	// reproducible under a fixed seed.
 	Clock mlmath.Clock
-	rng   *mlmath.RNG
+	// Pool, when non-nil, parallelizes mini-batch training (deterministic
+	// per worker count) and batched estimation (bit-identical for any worker
+	// count). Nil keeps both strictly serial, so experiment results stay
+	// identical across machines by default.
+	Pool *mlmath.Pool
+	rng  *mlmath.RNG
 }
 
 // NewMLPEstimator builds an untrained estimator with the given hidden sizes.
@@ -46,8 +51,22 @@ func (m *MLPEstimator) Train(queries [][]expr.Pred, fractions []float64, epochs 
 	m.Net.Fit(xs, ys, nn.FitOptions{
 		Epochs: epochs, BatchSize: 32,
 		Optimizer: nn.NewAdam(3e-3), RNG: m.rng,
+		Pool: m.Pool,
 	})
 	m.TrainSeconds = clock.Now().Sub(start).Seconds()
+}
+
+// EstimateFractionBatch estimates many predicate sets at once, splitting the
+// batch across the estimator's Pool. Inference is read-only, so the result
+// matches the serial per-query loop bit for bit under any worker count.
+func (m *MLPEstimator) EstimateFractionBatch(queries [][]expr.Pred) []float64 {
+	out := make([]float64, len(queries))
+	m.Pool.ParallelFor(len(queries), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.EstimateFraction(queries[i])
+		}
+	})
+	return out
 }
 
 // Name implements Estimator.

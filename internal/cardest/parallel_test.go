@@ -1,0 +1,81 @@
+package cardest
+
+import (
+	"math"
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+// TestMLPEstimatorBatchMatchesSerial: the batched inference path must match
+// the per-query loop bit for bit, for any worker count.
+func TestMLPEstimatorBatchMatchesSerial(t *testing.T) {
+	tb := newTestbed(t, 11, 200, 60)
+	m := NewMLPEstimator(tb.f, []int{16}, mlmath.NewRNG(12))
+	m.Train(tb.trainQ, tb.trainY, 20)
+	want := make([]float64, len(tb.testQ))
+	for i, q := range tb.testQ {
+		want[i] = m.EstimateFraction(q)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		p := mlmath.NewPool(workers)
+		m.Pool = p
+		got := m.EstimateFractionBatch(tb.testQ)
+		m.Pool = nil
+		p.Close()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d query %d: batch %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMLPEstimatorParallelTrainingDeterministic: the same seed and worker
+// count must reproduce the same model.
+func TestMLPEstimatorParallelTrainingDeterministic(t *testing.T) {
+	tb := newTestbed(t, 13, 200, 40)
+	train := func(workers int) *MLPEstimator {
+		m := NewMLPEstimator(tb.f, []int{16}, mlmath.NewRNG(14))
+		if workers > 1 {
+			m.Pool = mlmath.NewPool(workers)
+		}
+		m.Train(tb.trainQ, tb.trainY, 15)
+		if m.Pool != nil {
+			m.Pool.Close()
+			m.Pool = nil
+		}
+		return m
+	}
+	for _, workers := range []int{1, 3, 4} {
+		a, b := train(workers), train(workers)
+		for i, q := range tb.testQ {
+			ea, eb := a.EstimateFraction(q), b.EstimateFraction(q)
+			if math.Float64bits(ea) != math.Float64bits(eb) {
+				t.Fatalf("workers=%d query %d: %v vs %v across identical runs", workers, i, ea, eb)
+			}
+		}
+	}
+}
+
+// TestEstimateAllUsesBatchPath: EstimateAll must route through the batched
+// implementation when available and match the serial loop either way.
+func TestEstimateAllUsesBatchPath(t *testing.T) {
+	tb := newTestbed(t, 15, 150, 30)
+	m := NewMLPEstimator(tb.f, []int{16}, mlmath.NewRNG(16))
+	m.Train(tb.trainQ, tb.trainY, 10)
+	p := mlmath.NewPool(4)
+	defer p.Close()
+	m.Pool = p
+	got := EstimateAll(m, tb.testQ)
+	h := &HistEstimator{Table: tb.sch.Cat.Table(tb.sch.FactID)}
+	hist := EstimateAll(h, tb.testQ)
+	if len(got) != len(tb.testQ) || len(hist) != len(tb.testQ) {
+		t.Fatal("EstimateAll returned wrong length")
+	}
+	for i, q := range tb.testQ {
+		if math.Float64bits(got[i]) != math.Float64bits(m.EstimateFraction(q)) {
+			t.Fatalf("query %d: EstimateAll differs from EstimateFraction", i)
+		}
+	}
+}

@@ -55,13 +55,20 @@ func newCardTestbed(seed uint64, factRows, nTrain, nTest int) (*cardTestbed, err
 }
 
 func (tb *cardTestbed) medianQErr(e cardest.Estimator, onlyCorrelated bool) float64 {
-	var qs []float64
-	const n = 1e6
+	var sel [][]expr.Pred
+	var truth []float64
 	for i, preds := range tb.testQ {
 		if onlyCorrelated && !tb.testCorrelated[i] {
 			continue
 		}
-		qs = append(qs, mlmath.QError(e.EstimateFraction(preds)*n, tb.testY[i]*n))
+		sel = append(sel, preds)
+		truth = append(truth, tb.testY[i])
+	}
+	const n = 1e6
+	fracs := cardest.EstimateAll(e, sel)
+	qs := make([]float64, len(sel))
+	for i := range qs {
+		qs[i] = mlmath.QError(fracs[i]*n, truth[i]*n)
 	}
 	return mlmath.Median(qs)
 }

@@ -1,5 +1,7 @@
 package learnedindex
 
+import "ml4db/internal/mlmath"
+
 // RMI is the two-stage Recursive Model Index of Kraska et al.: a root linear
 // model routes a key to one of many second-stage linear models, each of which
 // predicts the key's position in the sorted array; a recorded per-model error
@@ -19,8 +21,16 @@ type RMI struct {
 }
 
 // BuildRMI builds an RMI with numLeaves second-stage models over sorted
-// unique pairs.
+// unique pairs. Leaf fitting runs on the shared mlmath pool: every leaf is
+// fit independently over a disjoint key range, so the built index is
+// bit-identical to a serial build regardless of worker count.
 func BuildRMI(kvs []KV, numLeaves int) *RMI {
+	return BuildRMIPool(kvs, numLeaves, mlmath.Shared())
+}
+
+// BuildRMIPool is BuildRMI with an explicit worker pool (nil builds
+// serially) — injectable for determinism and speedup tests.
+func BuildRMIPool(kvs []KV, numLeaves int, pool *mlmath.Pool) *RMI {
 	if numLeaves < 1 {
 		numLeaves = 1
 	}
@@ -66,10 +76,14 @@ func BuildRMI(kvs []KV, numLeaves int) *RMI {
 		}
 	}
 	starts[numLeaves] = len(r.keys)
-	for l := 0; l < numLeaves; l++ {
-		lo, hi := starts[l], starts[l+1]
-		r.fitLeaf(l, lo, hi)
-	}
+	// Each leaf model is fit over its own key range and written to its own
+	// slots of slope/bias/errLo/errHi, so leaves parallelize with no
+	// cross-shard state and the result cannot depend on the worker count.
+	pool.ParallelFor(numLeaves, func(blo, bhi int) {
+		for l := blo; l < bhi; l++ {
+			r.fitLeaf(l, starts[l], starts[l+1])
+		}
+	})
 	return r
 }
 

@@ -1,0 +1,40 @@
+package learnedindex
+
+import (
+	"math"
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+// TestBuildRMIPoolBitIdentical: leaf fitting over disjoint key ranges must
+// make the built index identical to the serial build for every worker count.
+func TestBuildRMIPoolBitIdentical(t *testing.T) {
+	kvs := GenKeys(mlmath.NewRNG(3), DistLognormal, 5000)
+	serial := BuildRMIPool(kvs, 64, nil)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		p := mlmath.NewPool(workers)
+		got := BuildRMIPool(kvs, 64, p)
+		p.Close()
+		for l := range serial.slope {
+			if math.Float64bits(serial.slope[l]) != math.Float64bits(got.slope[l]) ||
+				math.Float64bits(serial.bias[l]) != math.Float64bits(got.bias[l]) ||
+				serial.errLo[l] != got.errLo[l] || serial.errHi[l] != got.errHi[l] {
+				t.Fatalf("workers=%d: leaf %d differs from serial build", workers, l)
+			}
+		}
+	}
+}
+
+// TestBuildRMIUsesSharedPoolAndStaysCorrect: the default constructor (shared
+// pool) must index every key.
+func TestBuildRMIUsesSharedPoolAndStaysCorrect(t *testing.T) {
+	kvs := GenKeys(mlmath.NewRNG(5), DistUniform, 2000)
+	r := BuildRMI(kvs, 32)
+	for _, kv := range kvs {
+		v, ok := r.Get(kv.Key)
+		if !ok || v != kv.Value {
+			t.Fatalf("key %d: got (%d,%v), want (%d,true)", kv.Key, v, ok, kv.Value)
+		}
+	}
+}

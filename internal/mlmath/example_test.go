@@ -1,0 +1,35 @@
+package mlmath_test
+
+import (
+	"fmt"
+	"math"
+
+	"ml4db/internal/mlmath"
+)
+
+// ExampleMatMul multiplies two small matrices and shows that the parallel
+// kernel is bit-identical to the serial one for any worker count.
+func ExampleMatMul() {
+	a := mlmath.NewMat(2, 3)
+	b := mlmath.NewMat(3, 2)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+
+	serial := mlmath.MatMul(a, b, nil) // nil pool: serial on the caller
+
+	pool := mlmath.NewPool(4)
+	defer pool.Close()
+	parallel := mlmath.MatMul(a, b, pool)
+
+	identical := true
+	for i := range serial.Data {
+		if math.Float64bits(serial.Data[i]) != math.Float64bits(parallel.Data[i]) {
+			identical = false
+		}
+	}
+	fmt.Println("product:", serial.Data)
+	fmt.Println("parallel bit-identical to serial:", identical)
+	// Output:
+	// product: [58 64 139 154]
+	// parallel bit-identical to serial: true
+}

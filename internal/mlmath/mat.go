@@ -62,26 +62,10 @@ func (m *Mat) MulVecT(x []float64) []float64 {
 	return out
 }
 
-// Mul returns m·b as a new matrix.
-func (m *Mat) Mul(b *Mat) *Mat {
-	if m.Cols != b.Rows {
-		//ml4db:allow nakedpanic "caller bug: shape mismatch, same contract as gonum/BLAS"
-		panic(fmt.Sprintf("mlmath: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
-	}
-	out := NewMat(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		ri := m.Row(i)
-		oi := out.Row(i)
-		for k := 0; k < m.Cols; k++ {
-			a := ri[k]
-			if a == 0 {
-				continue
-			}
-			AXPY(oi, a, b.Row(k))
-		}
-	}
-	return out
-}
+// Mul returns m·b as a new matrix. It is the serial entry point to the
+// cache-blocked kernel; use MatMul with a Pool to split row blocks across
+// workers (the results are bit-identical either way).
+func (m *Mat) Mul(b *Mat) *Mat { return MatMul(m, b, nil) }
 
 // T returns the transpose as a new matrix.
 func (m *Mat) T() *Mat {

@@ -1,0 +1,134 @@
+package mlmath
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool for data-parallel numerical kernels. It
+// is the only place in the core model packages where goroutines are created
+// (the determinism analyzer enforces this): every parallel kernel routes its
+// work through a Pool, so concurrency is bounded, partitioning is a pure
+// function of the input size and worker count, and a single-worker (or nil)
+// pool degenerates to exactly the serial code path.
+//
+// A nil *Pool is valid and means "run serially on the calling goroutine" —
+// callers never need to nil-check. Pools are safe for concurrent use by
+// multiple goroutines, but Pool methods must not be called from inside a
+// task running on the same pool (no nesting): the kernels in this module
+// never nest, and nesting could exhaust the fixed worker set.
+type Pool struct {
+	workers int
+	jobs    chan func()
+	close   sync.Once
+}
+
+// NewPool returns a pool with the given number of persistent workers.
+// Counts below one are clamped to one; a one-worker pool starts no
+// goroutines and runs everything inline, which keeps the serial path truly
+// serial for determinism tests.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan func())
+		for i := 0; i < workers; i++ {
+			go p.work()
+		}
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for job := range p.jobs {
+		job()
+	}
+}
+
+// Workers returns the worker count; a nil pool reports one.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close stops the workers. It is idempotent and a no-op for nil or
+// single-worker pools. A closed pool must not be used again.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	p.close.Do(func() { close(p.jobs) })
+}
+
+// ShardRange returns the half-open range [lo, hi) of shard s when n items
+// are split into w contiguous near-equal shards (the first n%w shards get
+// one extra item). The partition is a pure function of (n, w, s), which is
+// what makes parallel gradient reduction reproducible for a fixed worker
+// count.
+func ShardRange(n, w, s int) (lo, hi int) {
+	q, r := n/w, n%w
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForEachShard partitions [0, n) into min(Workers(), n) contiguous shards
+// and invokes fn(shard, lo, hi) for each, concurrently on the pool's
+// workers. It blocks until every shard completes. Shards must write only to
+// disjoint state (e.g. distinct output rows, or per-shard accumulators
+// indexed by the shard number). With a nil or single-worker pool fn runs
+// once, inline, as fn(0, 0, n).
+func (p *Pool) ForEachShard(n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		s := s
+		p.jobs <- func() {
+			defer wg.Done()
+			lo, hi := ShardRange(n, w, s)
+			fn(s, lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// ParallelFor splits [0, n) across the pool's workers and runs fn on each
+// contiguous block. It is ForEachShard for callers that do not need the
+// shard index (pure output-partitioned kernels like matrix multiplication).
+func (p *Pool) ParallelFor(n int, fn func(lo, hi int)) {
+	p.ForEachShard(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, created on first use with
+// runtime.GOMAXPROCS(0) workers. It is intended for inference-style kernels
+// whose outputs are independent per item and therefore bit-identical under
+// any worker count; training loops, whose gradient reduction order depends
+// on the worker count, should instead take an explicitly injected pool so
+// the worker count is part of the experiment configuration.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}

@@ -1,0 +1,117 @@
+package mlmath
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardRangeCoversExactly(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for w := 1; w <= 9; w++ {
+			covered := make([]int, n)
+			prevHi := 0
+			for s := 0; s < w; s++ {
+				lo, hi := ShardRange(n, w, s)
+				if lo != prevHi {
+					t.Fatalf("n=%d w=%d s=%d: lo=%d, want contiguous from %d", n, w, s, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d w=%d s=%d: inverted range [%d,%d)", n, w, s, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d w=%d: shards end at %d, want %d", n, w, prevHi, n)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestShardRangeBalanced(t *testing.T) {
+	// No shard may exceed another by more than one item.
+	for _, tc := range [][2]int{{10, 3}, {16, 4}, {7, 8}, {1000, 6}} {
+		n, w := tc[0], tc[1]
+		minSz, maxSz := n, 0
+		for s := 0; s < w; s++ {
+			lo, hi := ShardRange(n, w, s)
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("n=%d w=%d: shard sizes range [%d,%d], want spread <= 1", n, w, minSz, maxSz)
+		}
+	}
+}
+
+func TestForEachShardVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 5, 17, 256} {
+			visits := make([]int32, n)
+			p.ForEachShard(n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+	ran := false
+	p.ForEachShard(10, func(shard, lo, hi int) {
+		if shard != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool shard = (%d,%d,%d), want (0,0,10)", shard, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("nil pool never ran the function")
+	}
+	p.Close() // must not panic
+}
+
+func TestPoolShardIndexesDistinct(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 100
+	seen := make([]int32, 4)
+	p.ForEachShard(n, func(shard, lo, hi int) {
+		atomic.AddInt32(&seen[shard], 1)
+	})
+	for s, c := range seen {
+		if c != 1 {
+			t.Fatalf("shard %d invoked %d times, want exactly once", s, c)
+		}
+	}
+}
+
+func TestSharedPoolSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() returned two different pools")
+	}
+	if Shared().Workers() < 1 {
+		t.Fatalf("Shared().Workers() = %d, want >= 1", Shared().Workers())
+	}
+}

@@ -1,10 +1,3 @@
-// Package mlmath provides the numerical substrate shared by every learned
-// component in this repository: a deterministic random number generator,
-// dense vectors and matrices, linear solvers, and summary statistics.
-//
-// Everything is implemented from scratch on the standard library so that the
-// learned indexes, learned optimizers, and estimators built on top are fully
-// reproducible: the same seed always yields the same model.
 package mlmath
 
 import "math"

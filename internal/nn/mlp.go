@@ -102,6 +102,9 @@ func MSELoss(pred, target, grad []float64) float64 {
 // BCELoss returns binary cross-entropy over sigmoid outputs in (0,1) and
 // writes the gradient with respect to pred into grad.
 func BCELoss(pred, target, grad []float64) float64 {
+	if len(pred) == 0 {
+		return 0 // empty batch: no loss, and n would mint a NaN below
+	}
 	loss := 0.0
 	n := float64(len(pred))
 	for i := range pred {
@@ -130,6 +133,12 @@ type FitOptions struct {
 	BatchSize int
 	Optimizer Optimizer
 	RNG       *mlmath.RNG // for shuffling; required
+	// Pool, when non-nil with more than one worker, splits each mini-batch
+	// across workers with per-goroutine gradient shards reduced in fixed
+	// shard order. The same seed and worker count always reproduce the same
+	// model; different worker counts reassociate the gradient sums. Nil
+	// keeps training strictly serial.
+	Pool *mlmath.Pool
 	// OnEpoch, if non-nil, receives the epoch index and mean training loss.
 	OnEpoch func(epoch int, loss float64)
 }
@@ -153,6 +162,16 @@ func (m *MLP) Fit(xs, ys [][]float64, opt FitOptions) float64 {
 	if opt.RNG == nil {
 		opt.RNG = mlmath.NewRNG(0)
 	}
+	workers := opt.Pool.Workers()
+	var shards []*MLP
+	var shardLoss []float64
+	if workers > 1 {
+		shards = make([]*MLP, workers)
+		for s := range shards {
+			shards[s] = m.shardView()
+		}
+		shardLoss = make([]float64, workers)
+	}
 	last := 0.0
 	idx := make([]int, len(xs))
 	for i := range idx {
@@ -161,19 +180,20 @@ func (m *MLP) Fit(xs, ys [][]float64, opt FitOptions) float64 {
 	for e := 0; e < opt.Epochs; e++ {
 		opt.RNG.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		total := 0.0
-		inBatch := 0
-		for _, i := range idx {
-			total += m.TrainSample(xs[i], ys[i])
-			inBatch++
-			if inBatch == opt.BatchSize {
-				opt.Optimizer.Step(m)
-				inBatch = 0
+		for start := 0; start < len(idx); start += opt.BatchSize {
+			batch := idx[start:min(start+opt.BatchSize, len(idx))]
+			if workers > 1 && len(batch) > 1 {
+				total += m.trainBatchParallel(xs, ys, batch, shards, shardLoss, opt.Pool)
+			} else {
+				for _, i := range batch {
+					total += m.TrainSample(xs[i], ys[i])
+				}
 			}
-		}
-		if inBatch > 0 {
 			opt.Optimizer.Step(m)
 		}
-		last = total / float64(len(xs))
+		if len(xs) > 0 {
+			last = total / float64(len(xs))
+		}
 		if opt.OnEpoch != nil {
 			opt.OnEpoch(e, last)
 		}

@@ -1,0 +1,69 @@
+package nn
+
+import "ml4db/internal/mlmath"
+
+// Data-parallel mini-batch training: each pool worker runs forward/backward
+// on its contiguous slice of the batch against a *shard view* of the model —
+// a structural copy whose Params alias the shared value slices but own
+// private gradient buffers. After the pool barrier, the shards' gradients
+// are reduced into the main parameters in fixed shard order (0, 1, 2, ...),
+// so training is reproducible: the same seed and the same worker count
+// always yield the same model, bit for bit. Different worker counts
+// reassociate the floating-point gradient sums and may differ in the last
+// ulps, which is why parallelism is opt-in per training call rather than
+// ambient (see docs/PERFORMANCE.md).
+
+// shardView returns a Param aliasing p's values with a private zero
+// gradient buffer. Adam moments stay with the main Param: optimizers only
+// ever step the main module.
+func (p *Param) shardView() *Param {
+	return &Param{Val: p.Val, Grad: make([]float64, len(p.Grad))}
+}
+
+// shardView returns a Dense sharing d's weights but accumulating gradients
+// privately.
+func (d *Dense) shardView() *Dense {
+	return &Dense{In: d.In, Out: d.Out, W: d.W.shardView(), B: d.B.shardView(), Act: d.Act}
+}
+
+// shardView returns an MLP sharing m's weights but accumulating gradients
+// privately.
+func (m *MLP) shardView() *MLP {
+	out := &MLP{Layers: make([]*Dense, len(m.Layers))}
+	for i, l := range m.Layers {
+		out.Layers[i] = l.shardView()
+	}
+	return out
+}
+
+// trainBatchParallel runs forward/backward for one mini-batch with the
+// batch split across pool p, accumulates each worker's gradients in its
+// shard view, and reduces them into m's parameters in ascending shard
+// order. It returns the summed sample loss of the batch. The caller steps
+// the optimizer.
+func (m *MLP) trainBatchParallel(xs, ys [][]float64, batch []int, shards []*MLP, shardLoss []float64, p *mlmath.Pool) float64 {
+	for s := range shardLoss {
+		shardLoss[s] = 0
+	}
+	p.ForEachShard(len(batch), func(shard, lo, hi int) {
+		sv := shards[shard]
+		sum := 0.0
+		for _, i := range batch[lo:hi] {
+			sum += sv.TrainSample(xs[i], ys[i])
+		}
+		shardLoss[shard] = sum
+	})
+	// Fixed-order reduction: shard 0 first, then 1, ... — float addition is
+	// not associative, so a well-defined order is what makes the result
+	// reproducible for a given worker count.
+	main := m.Params()
+	total := 0.0
+	for s, sv := range shards {
+		total += shardLoss[s]
+		for pi, sp := range sv.Params() {
+			mlmath.AddTo(main[pi].Grad, sp.Grad)
+			sp.ZeroGrad()
+		}
+	}
+	return total
+}

@@ -1,12 +1,3 @@
-// Package nn implements the neural-network substrate used by every learned
-// component in the repository: dense layers, activations, losses, SGD and
-// Adam optimizers, and a multi-layer perceptron with full backpropagation.
-//
-// The design follows the needs of ML4DB systems surveyed in the paper: models
-// are small (hidden widths of tens, not thousands), trained on CPUs, and must
-// expose gradients with respect to their *inputs* so that upstream plan
-// encoders (TreeLSTM, TreeCNN, ...) can be trained end-to-end through a task
-// head.
 package nn
 
 import "ml4db/internal/mlmath"

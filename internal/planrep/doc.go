@@ -1,0 +1,24 @@
+// Package planrep implements the query-plan representation foundation of
+// §3.1: feature encoding of physical plan nodes into vectors, which the tree
+// models of internal/tree aggregate into a plan representation.
+//
+// Following the paper's taxonomy, node features split into two groups:
+//
+//   - semantic features: operator type, table identity, predicate workload —
+//     what the node does;
+//   - database statistics: optimizer cardinality and cost estimates derived
+//     from metadata — what the database knows about the node.
+//
+// The comparative study of [57] (reproduced in planrep/study) interchanges
+// feature groups and tree models independently; FeatureConfig is that axis.
+//
+// # Determinism and parallelism
+//
+// Feature encoding is a pure function of the plan and the catalog, so the
+// study harness (planrep/study) encodes plan trees in parallel through an
+// mlmath.Pool and evaluates test plans through tree.Regressor.PredictBatch —
+// both bit-identical to their serial loops for every worker count. Model
+// training inside the study stays serial (see the package tree
+// documentation), so study results depend only on the seed, never on the
+// machine's core count.
+package planrep

@@ -1,16 +1,3 @@
-// Package planrep implements the query-plan representation foundation of
-// §3.1: feature encoding of physical plan nodes into vectors, which the tree
-// models of internal/tree aggregate into a plan representation.
-//
-// Following the paper's taxonomy, node features split into two groups:
-//
-//   - semantic features: operator type, table identity, predicate workload —
-//     what the node does;
-//   - database statistics: optimizer cardinality and cost estimates derived
-//     from metadata — what the database knows about the node.
-//
-// The comparative study of [57] (reproduced in planrep/study) interchanges
-// feature groups and tree models independently; FeatureConfig is that axis.
 package planrep
 
 import (

@@ -133,6 +133,11 @@ type Config struct {
 	// Clock supplies the timing reads behind TrainSec; nil means the system
 	// clock. Inject a *mlmath.ManualClock for reproducible study output.
 	Clock mlmath.Clock
+	// Pool parallelizes plan encoding and test-set evaluation, both of
+	// which are read-only per sample and therefore bit-identical for any
+	// worker count. Nil runs serially. Training itself stays serial: the
+	// recursive tree encoders backpropagate through per-sample graphs.
+	Pool *mlmath.Pool
 }
 
 // DefaultConfig returns the settings used by experiment E1.
@@ -188,9 +193,11 @@ func Run(sch *datagen.StarSchema, ds *Dataset, cfg Config) ([]Result, error) {
 	for _, fc := range FeatureConfigs() {
 		pe := planrep.NewPlanEncoder(sch.Cat, fc)
 		trees := make([]*tree.EncTree, len(ds.Samples))
-		for i, s := range ds.Samples {
-			trees[i] = pe.Encode(s.Plan)
-		}
+		cfg.Pool.ParallelFor(len(ds.Samples), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				trees[i] = pe.Encode(ds.Samples[i].Plan)
+			}
+		})
 		trainIdx, testIdx := splitByQuery(ds, cfg.TrainFrac, mlmath.NewRNG(cfg.Seed))
 		for _, mn := range ModelNames {
 			rng := mlmath.NewRNG(cfg.Seed + 1000)
@@ -212,7 +219,7 @@ func Run(sch *datagen.StarSchema, ds *Dataset, cfg Config) ([]Result, error) {
 				Optimizer: nn.NewAdam(3e-3), RNG: mlmath.NewRNG(cfg.Seed + 2),
 			})
 			elapsed := clock.Now().Sub(start).Seconds()
-			mae, rank := evaluate(reg, trees, ds, testIdx)
+			mae, rank := evaluate(reg, trees, ds, testIdx, cfg.Pool)
 			results = append(results, Result{
 				Feature: fc.Name(), Model: mn,
 				MAE: mae, RankAcc: rank,
@@ -242,11 +249,16 @@ func splitByQuery(ds *Dataset, trainFrac float64, rng *mlmath.RNG) (train, test 
 	return train, test
 }
 
-func evaluate(reg *tree.Regressor, trees []*tree.EncTree, ds *Dataset, testIdx []int) (mae, rankAcc float64) {
+func evaluate(reg *tree.Regressor, trees []*tree.EncTree, ds *Dataset, testIdx []int, pool *mlmath.Pool) (mae, rankAcc float64) {
+	testTrees := make([]*tree.EncTree, len(testIdx))
+	for k, i := range testIdx {
+		testTrees[k] = trees[i]
+	}
+	scores := reg.PredictBatch(testTrees, pool)
 	preds := make(map[int]float64, len(testIdx))
 	var absErr float64
-	for _, i := range testIdx {
-		p := reg.Predict(trees[i])
+	for k, i := range testIdx {
+		p := scores[k]
 		preds[i] = p
 		d := p - ds.Samples[i].LogWork
 		if d < 0 {

@@ -1,0 +1,47 @@
+package qo
+
+import (
+	"testing"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// TestBuildPlanBitIdenticalWithPool: candidate scoring is read-only per
+// candidate, so a pooled search must pick exactly the plans a serial search
+// picks.
+func TestBuildPlanBitIdenticalWithPool(t *testing.T) {
+	env, gen := testEnv(t)
+	queries := make([]*planQuery, 0, 6)
+	for i := 0; i < 6; i++ {
+		queries = append(queries, &planQuery{q: gen.Query()})
+	}
+	serial := newSearch(env, 3)
+	for _, pq := range queries {
+		p, err := serial.BuildPlan(pq.q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq.want = p.String()
+	}
+	for _, workers := range []int{2, 4} {
+		pool := mlmath.NewPool(workers)
+		vs := newSearch(env, 3)
+		vs.Pool = pool
+		for qi, pq := range queries {
+			p, err := vs.BuildPlan(pq.q, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.String(); got != pq.want {
+				t.Fatalf("workers=%d query %d: pooled search picked\n%s\nserial picked\n%s", workers, qi, got, pq.want)
+			}
+		}
+		pool.Close()
+	}
+}
+
+type planQuery struct {
+	q    *plan.Query
+	want string
+}

@@ -62,6 +62,10 @@ type ValueSearch struct {
 	// Eps is the exploration rate during RL data collection.
 	Eps float64
 	RNG *mlmath.RNG
+	// Pool parallelizes candidate scoring during plan search and training.
+	// Scoring is read-only per candidate, so search decisions are
+	// bit-identical for any worker count; nil scores serially.
+	Pool *mlmath.Pool
 }
 
 // forestEntry tracks a subtree and its output column layout.
@@ -133,8 +137,10 @@ func (v *ValueSearch) BuildPlan(q *plan.Query, explore bool) (*plan.Node, error)
 	return root, nil
 }
 
-// candidates enumerates valid join steps and scores each with the value
-// network (on the annotated candidate subtree).
+// candidates enumerates valid join steps and scores them with the value
+// network in one batched inference pass: enumeration and annotation stay
+// serial (Annotate mutates plan nodes), then every candidate subtree is
+// encoded and scored in parallel on v.Pool.
 func (v *ValueSearch) candidates(q *plan.Query, forest []forestEntry) []candidate {
 	var out []candidate
 	for i := range forest {
@@ -151,10 +157,18 @@ func (v *ValueSearch) candidates(q *plan.Query, forest []forestEntry) []candidat
 			for _, op := range plan.AllJoinOps {
 				node := plan.NewJoin(op, forest[i].node, forest[j].node, lc, rc)
 				v.Env.Opt.Annotate(q, node)
-				score := v.Reg.Predict(v.Enc.Encode(node))
-				out = append(out, candidate{left: i, right: j, op: op, node: node, score: score})
+				out = append(out, candidate{left: i, right: j, op: op, node: node})
 			}
 		}
+	}
+	trees := make([]*tree.EncTree, len(out))
+	v.Pool.ParallelFor(len(out), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			trees[c] = v.Enc.Encode(out[c].node)
+		}
+	})
+	for c, score := range v.Reg.PredictBatch(trees, v.Pool) {
+		out[c].score = score
 	}
 	return out
 }

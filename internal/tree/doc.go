@@ -1,0 +1,26 @@
+// Package tree implements the tree-model zoo of §3.1 / Table 1: the five
+// strategies ML4DB systems use to turn a feature-annotated plan tree into a
+// fixed-size representation vector —
+//
+//   - FlatEncoder   ("Feature Vector": AIMeetsAI, ReJOIN)
+//   - LSTMEncoder   (LSTM over a DFS flattening: AVGDL)
+//   - TreeRNNEncoder (recursive tanh units: Plan-Cost)
+//   - TreeLSTMEncoder (N-ary TreeLSTM: E2E-Cost, RTOS)
+//   - TreeCNNEncoder (triangular parent-child-child convolutions: BAO, NEO,
+//     Prestroid)
+//   - TransformerEncoder (tree-biased attention: QueryFormer)
+//
+// All encoders consume the same EncTree input and are trained end-to-end
+// through a task head via the nn autodiff graph, which is what allows the
+// comparative study of E1 to interchange them freely.
+//
+// # Determinism and parallelism
+//
+// Encoder weights are initialized from injected *mlmath.RNG state, so a
+// fixed seed reproduces a fixed model. Training is serial by design: the
+// autodiff graph's closures capture parameter pointers directly, so a
+// data-parallel trainer would need per-shard encoder clones — cost without
+// benefit at these model sizes. Inference over many trees is read-only per
+// tree, so Regressor.PredictBatch fans it out through an mlmath.Pool with
+// results bit-identical to the serial loop for every worker count.
+package tree

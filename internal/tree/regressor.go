@@ -35,6 +35,20 @@ func (r *Regressor) Predict(t *EncTree) float64 {
 	return r.Head.Forward(rep.Val)[0]
 }
 
+// PredictBatch scores many trees, splitting the batch across pool p (nil
+// runs serially). Prediction is read-only on the parameters and every
+// output is computed independently, so the result is bit-identical to the
+// serial loop for any worker count — parallel inference is always safe.
+func (r *Regressor) PredictBatch(trees []*EncTree, p *mlmath.Pool) []float64 {
+	out := make([]float64, len(trees))
+	p.ParallelFor(len(trees), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = r.Predict(trees[i])
+		}
+	})
+	return out
+}
+
 // TrainSample accumulates gradients for one (tree, target) pair under MSE
 // loss and returns the loss. The caller steps the optimizer.
 func (r *Regressor) TrainSample(t *EncTree, y float64) float64 {

@@ -26,4 +26,10 @@ go run ./cmd/ml4db-vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Compile-and-run the kernel benchmarks once (-benchtime=1x): not a timing
+# measurement, just a guard that the serial-vs-parallel benchmark paths and
+# their determinism checks keep working. Full numbers: ml4db-bench -kernels.
+echo "==> kernel benchmarks (smoke, 1 iteration)"
+go test -run '^$' -bench 'MatMul|MLPFit' -benchtime=1x ./internal/mlmath/ ./internal/nn/
+
 echo "All checks passed."
