@@ -6,12 +6,19 @@
 //
 //	ml4db-bench [-seed N] [-run ID[,ID...]] [-list]
 //	ml4db-bench -kernels [-quick] [-kernels-out FILE]
+//	ml4db-bench -trace spans.jsonl -metrics metrics.jsonl [-trace-queries N]
+//	ml4db-bench -obsbench [-obs-out FILE]
 //
 // The -kernels mode skips the experiments and instead benchmarks the
 // parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
 // against their serial counterparts, verifying the determinism contracts and
 // writing machine-readable results to BENCH_kernels.json (see
 // docs/PERFORMANCE.md).
+//
+// The -trace/-metrics mode runs a small instrumented workload and writes the
+// observability JSONL artifacts (validate with cmd/ml4db-tracecheck); the
+// -obsbench mode measures the instrumentation's execution overhead and
+// writes BENCH_obs.json (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -31,10 +38,31 @@ func main() {
 	kernels := flag.Bool("kernels", false, "benchmark parallel math kernels instead of running experiments")
 	kernelsOut := flag.String("kernels-out", "BENCH_kernels.json", "output file for -kernels results")
 	quick := flag.Bool("quick", false, "with -kernels: smaller sizes and single timed runs")
+	tracePath := flag.String("trace", "", "run an instrumented workload and write span JSONL to this file")
+	metricsPath := flag.String("metrics", "", "run an instrumented workload and write metrics JSONL to this file")
+	traceQueries := flag.Int("trace-queries", 5, "number of queries in the -trace/-metrics workload")
+	obsbench := flag.Bool("obsbench", false, "benchmark observability overhead (traced vs untraced execution)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output file for -obsbench results")
 	flag.Parse()
 
 	if *kernels {
 		if err := runKernelBench(*seed, *kernelsOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsbench {
+		if err := runObsBench(*seed, *obsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tracePath != "" || *metricsPath != "" {
+		if err := runTraced(*seed, *traceQueries, *tracePath, *metricsPath); err != nil {
 			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
 			os.Exit(1)
 		}

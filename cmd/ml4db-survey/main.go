@@ -3,16 +3,75 @@
 // ML for index & query optimizer, replacement vs ML-enhanced) and Table 1
 // (the query-plan representation method summary with implementation
 // pointers into this repository).
+//
+// With -trace/-metrics, the rendering is instrumented: each artifact gets a
+// span, corpus statistics land in a metrics registry, and both are written
+// as the stable JSONL schemas of internal/obs (validate with
+// cmd/ml4db-tracecheck).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
 	"ml4db/internal/survey"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write span JSONL of the rendering to this file")
+	metricsPath := flag.String("metrics", "", "write corpus metrics JSONL to this file")
+	flag.Parse()
+
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if *tracePath != "" {
+		tr = obs.NewTracer(mlmath.SystemClock{})
+	}
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+
+	root := tr.StartSpan("survey", nil)
+	sp := tr.StartSpan("survey.figure1", root)
 	fmt.Print(survey.RenderFigure1())
+	sp.End()
 	fmt.Println()
+	sp = tr.StartSpan("survey.table1", root)
 	fmt.Print(survey.RenderTable1())
+	sp.End()
+	root.End()
+
+	if reg != nil {
+		reg.Counter("survey.corpus_papers").Add(int64(len(survey.Corpus())))
+		reg.Counter("survey.figure1_points").Add(int64(len(survey.Figure1())))
+		reg.Counter("survey.table1_rows").Add(int64(len(survey.Table1())))
+	}
+	if *tracePath != "" {
+		if err := writeJSONL(*tracePath, tr.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-survey: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeJSONL(*metricsPath, reg.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-survey: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSONL(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,58 @@
+// Command ml4db-tracecheck validates observability JSONL artifacts against
+// the stable schemas of internal/obs: every span line must carry id, parent,
+// name, start, and duration with well-ordered IDs, and every metric line must
+// be a counter, gauge, or histogram with its full field set. The check.sh
+// smoke gate runs it over freshly emitted files so schema drift fails CI
+// rather than silently breaking downstream consumers.
+//
+// Usage:
+//
+//	ml4db-tracecheck -trace spans.jsonl
+//	ml4db-tracecheck -metrics metrics.jsonl
+//	ml4db-tracecheck -trace spans.jsonl -metrics metrics.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ml4db/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "span JSONL file to validate")
+	metricsPath := flag.String("metrics", "", "metrics JSONL file to validate")
+	flag.Parse()
+
+	if *tracePath == "" && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "ml4db-tracecheck: need -trace and/or -metrics")
+		os.Exit(2)
+	}
+	if *tracePath != "" {
+		n, err := validateFile(*tracePath, obs.ValidateTraceJSONL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-tracecheck: %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d valid spans\n", *tracePath, n)
+	}
+	if *metricsPath != "" {
+		n, err := validateFile(*metricsPath, obs.ValidateMetricsJSONL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-tracecheck: %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d valid metrics\n", *metricsPath, n)
+	}
+}
+
+func validateFile(path string, validate func(io.Reader) (int, error)) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return validate(f)
+}

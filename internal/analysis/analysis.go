@@ -97,6 +97,7 @@ var corePkgSegments = map[string]bool{
 	"learnedindex": true,
 	"cardest":      true,
 	"planrep":      true,
+	"obs":          true,
 }
 
 // IsCorePackage reports whether pkgPath denotes one of the core model

@@ -9,6 +9,10 @@ func TestDeterminismFires(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/cardest")
 }
 
+func TestDeterminismFiresInObs(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/obs")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

@@ -9,7 +9,8 @@ import (
 
 // DeterminismAnalyzer enforces the repository's reproducibility contract in
 // the core model packages (nn, mlmath, tree, learnedindex, cardest,
-// planrep): the same seed must always yield the same model. Four ambient
+// planrep, obs): the same seed must always yield the same model — and, for
+// obs, the same clock injection must always yield the same trace. Four ambient
 // sources of nondeterminism are forbidden there:
 //
 //   - math/rand (and math/rand/v2): use an injected *mlmath.RNG instead, so

@@ -1,0 +1,53 @@
+// Package obs is a determinism fixture for the observability layer: its
+// import path ends in the core segment "obs", so ambient clock reads must
+// fire, while the sanctioned injected-Clock idiom the real internal/obs uses
+// must stay silent.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Clock mirrors mlmath.Clock, the injected time source.
+type Clock interface{ Now() time.Time }
+
+// Span mirrors a trace span carrying its start instant.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// StartAmbient reads the wall clock directly — forbidden: a replayed trace
+// would get fresh timestamps and stop being bit-reproducible.
+func StartAmbient(name string) *Span {
+	return &Span{Name: name, Start: time.Now()} // want "time.Now"
+}
+
+// EndAmbient measures elapsed time ambiently — also forbidden.
+func (s *Span) EndAmbient() {
+	s.Dur = time.Since(s.Start) // want "time.Since"
+}
+
+// Start is the sanctioned form: every instant flows from the injected Clock,
+// so a manual clock replays to byte-identical spans.
+func Start(c Clock, name string) *Span {
+	return &Span{Name: name, Start: c.Now()}
+}
+
+// End derives the duration from the same injected Clock.
+func (s *Span) End(c Clock) {
+	s.Dur = c.Now().Sub(s.Start)
+}
+
+// MetricNames is the sanctioned registry-export idiom: collect map keys,
+// then sort, so JSONL output order is well-defined.
+func MetricNames(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

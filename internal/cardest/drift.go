@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
 	"ml4db/internal/sqlkit/expr"
 )
 
@@ -38,7 +39,13 @@ type DriftAdapter struct {
 	bufY       []float64
 	// Retrainings counts adaptation events.
 	Retrainings int
+	// Metrics, when non-nil, receives the cardest.qerror histogram and the
+	// cardest.retrainings counter.
+	Metrics *obs.Registry
 }
+
+// qerrBuckets cover q-errors from perfect (1) up to 5 orders of magnitude.
+var qerrBuckets = obs.ExpBuckets(1, 2, 17)
 
 // NewDriftAdapter wraps the model with default monitoring parameters.
 func NewDriftAdapter(model *MLPEstimator) *DriftAdapter {
@@ -73,6 +80,7 @@ func (d *DriftAdapter) Observe(preds []expr.Pred, trueFraction float64) {
 	// relative error between small fractions.
 	const n = 1e6
 	q := mlmath.QError(est*n, trueFraction*n)
+	d.Metrics.Histogram("cardest.qerror", qerrBuckets).Observe(q)
 	d.recentQErr = append(d.recentQErr, q)
 	if len(d.recentQErr) > d.Window {
 		d.recentQErr = d.recentQErr[len(d.recentQErr)-d.Window:]
@@ -91,6 +99,7 @@ func (d *DriftAdapter) Observe(preds []expr.Pred, trueFraction float64) {
 func (d *DriftAdapter) retrain() {
 	d.Model.Train(d.bufQ, d.bufY, d.Epochs)
 	d.Retrainings++
+	d.Metrics.Counter("cardest.retrainings").Inc()
 	d.recentQErr = d.recentQErr[:0]
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ml4db/internal/mlmath"
 	"ml4db/internal/nn"
+	"ml4db/internal/obs"
 	"ml4db/internal/sqlkit/expr"
 )
 
@@ -28,7 +29,10 @@ type MLPEstimator struct {
 	// count). Nil keeps both strictly serial, so experiment results stay
 	// identical across machines by default.
 	Pool *mlmath.Pool
-	rng  *mlmath.RNG
+	// Metrics, when non-nil, receives the cardest.mlp.epoch_loss histogram
+	// and cardest.mlp.train_seconds gauge.
+	Metrics *obs.Registry
+	rng     *mlmath.RNG
 }
 
 // NewMLPEstimator builds an untrained estimator with the given hidden sizes.
@@ -51,9 +55,14 @@ func (m *MLPEstimator) Train(queries [][]expr.Pred, fractions []float64, epochs 
 	m.Net.Fit(xs, ys, nn.FitOptions{
 		Epochs: epochs, BatchSize: 32,
 		Optimizer: nn.NewAdam(3e-3), RNG: m.rng,
-		Pool: m.Pool,
+		Pool:    m.Pool,
+		Metrics: m.Metrics, MetricName: "cardest.mlp",
 	})
 	m.TrainSeconds = clock.Now().Sub(start).Seconds()
+	if m.Metrics != nil {
+		m.Metrics.Gauge("cardest.mlp.train_seconds").Set(m.TrainSeconds)
+		m.Metrics.Counter("cardest.mlp.trainings").Inc()
+	}
 }
 
 // EstimateFractionBatch estimates many predicate sets at once, splitting the

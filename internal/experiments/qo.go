@@ -27,6 +27,12 @@ func qoTestbed(seed uint64, factRows int) (*qo.Env, *workload.StarGen, error) {
 	return qo.NewEnv(sch.Cat), workload.NewStarGen(sch, rng), nil
 }
 
+// NewQoTestbed exposes the standard optimizer testbed to external harnesses
+// (the observability overhead benchmark in cmd/ml4db-bench).
+func NewQoTestbed(seed uint64, factRows int) (*qo.Env, *workload.StarGen, error) {
+	return qoTestbed(seed, factRows)
+}
+
 func mustWork(env *qo.Env, p *plan.Node) int64 {
 	w, _, err := env.Run(p, 0)
 	if err != nil {
@@ -127,16 +133,11 @@ func E9(seed uint64) (*Report, error) {
 	}
 	var baoW, expW []float64
 	for i := 0; i < 60; i++ {
-		q := mix()
-		w, _, err := b.RunQuery(q)
+		w, we, _, err := b.RunQueryCompared(mix())
 		if err != nil {
 			return nil, err
 		}
 		baoW = append(baoW, float64(w))
-		we, err := b.ExpertWork(q)
-		if err != nil {
-			return nil, err
-		}
 		expW = append(expW, float64(we))
 	}
 	sb, se := mlmath.Summarize(baoW), mlmath.Summarize(expW)

@@ -1,6 +1,9 @@
 package learnedindex
 
-import "ml4db/internal/mlmath"
+import (
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+)
 
 // RMI is the two-stage Recursive Model Index of Kraska et al.: a root linear
 // model routes a key to one of many second-stage linear models, each of which
@@ -18,6 +21,24 @@ type RMI struct {
 	// Second stage: position = slope[l]·key + bias[l], with error bounds.
 	slope, bias  []float64
 	errLo, errHi []int
+
+	// Probe counters, cached from Instrument. Nil (the default) makes every
+	// record a no-op, keeping uninstrumented probes free.
+	hits   *obs.Counter // model predicted the exact position
+	window *obs.Counter // key found by the bounded window search
+	misses *obs.Counter // key absent (or outside the stale window)
+}
+
+// Instrument registers the index's probe counters and build gauges on reg:
+// learnedindex.rmi.model_hit / window_search / miss count probes by how the
+// key was (or wasn't) found, and learnedindex.rmi.{leaves,max_error} describe
+// the built model. A nil registry detaches instrumentation.
+func (r *RMI) Instrument(reg *obs.Registry) {
+	r.hits = reg.Counter("learnedindex.rmi.model_hit")
+	r.window = reg.Counter("learnedindex.rmi.window_search")
+	r.misses = reg.Counter("learnedindex.rmi.miss")
+	reg.Gauge("learnedindex.rmi.leaves").Set(float64(r.NumLeaves()))
+	reg.Gauge("learnedindex.rmi.max_error").Set(float64(r.MaxError()))
 }
 
 // BuildRMI builds an RMI with numLeaves second-stage models over sorted
@@ -147,6 +168,7 @@ func (r *RMI) NumLeaves() int { return len(r.slope) }
 // Get implements Index.
 func (r *RMI) Get(key int64) (int64, bool) {
 	if len(r.keys) == 0 {
+		r.misses.Inc()
 		return 0, false
 	}
 	l := clampInt(int(r.rootSlope*float64(key)+r.rootBias), 0, len(r.slope)-1)
@@ -154,8 +176,14 @@ func (r *RMI) Get(key int64) (int64, bool) {
 	lo := clampInt(pred+r.errLo[l], 0, len(r.keys))
 	hi := clampInt(pred+r.errHi[l]+1, 0, len(r.keys))
 	if i := searchRange(r.keys, lo, hi, key); i >= 0 {
+		if i == pred {
+			r.hits.Inc()
+		} else {
+			r.window.Inc()
+		}
 		return r.vals[i], true
 	}
+	r.misses.Inc()
 	return 0, false
 }
 

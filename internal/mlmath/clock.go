@@ -31,6 +31,21 @@ func (c *ManualClock) Now() time.Time { return c.T }
 // Advance moves the clock forward by d.
 func (c *ManualClock) Advance(d time.Duration) { c.T = c.T.Add(d) }
 
+// TickClock advances itself by a fixed Step on every Now read, giving
+// deterministic *nonzero* timings — the clock to inject when a golden test
+// wants rendered durations that are stable yet not all zero.
+type TickClock struct {
+	T    time.Time
+	Step time.Duration
+}
+
+// Now implements Clock, returning the current time and stepping the clock.
+func (c *TickClock) Now() time.Time {
+	t := c.T
+	c.T = c.T.Add(c.Step)
+	return t
+}
+
 // ClockOrSystem returns c, or SystemClock when c is nil — the idiom for
 // optional Clock fields on model structs.
 func ClockOrSystem(c Clock) Clock {

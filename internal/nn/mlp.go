@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
 )
 
 // MLP is a multi-layer perceptron: a stack of Dense layers. It is the "task
@@ -141,7 +142,15 @@ type FitOptions struct {
 	Pool *mlmath.Pool
 	// OnEpoch, if non-nil, receives the epoch index and mean training loss.
 	OnEpoch func(epoch int, loss float64)
+	// Metrics, if non-nil, receives the per-epoch loss as the histogram
+	// "<MetricName>.epoch_loss". Nil adds no work and no allocations.
+	Metrics *obs.Registry
+	// MetricName prefixes the metric names; empty means "nn.fit".
+	MetricName string
 }
+
+// lossBuckets spans the loss magnitudes seen across the repo's models.
+var lossBuckets = obs.ExpBuckets(1e-6, 10, 12)
 
 // Fit trains the MLP on the dataset with mini-batch gradient accumulation.
 // It returns the mean loss of the final epoch.
@@ -196,6 +205,14 @@ func (m *MLP) Fit(xs, ys [][]float64, opt FitOptions) float64 {
 		}
 		if opt.OnEpoch != nil {
 			opt.OnEpoch(e, last)
+		}
+		if opt.Metrics != nil {
+			name := opt.MetricName
+			if name == "" {
+				name = "nn.fit"
+			}
+			opt.Metrics.Histogram(name+".epoch_loss", lossBuckets).Observe(last)
+			opt.Metrics.Counter(name + ".epochs").Inc()
 		}
 	}
 	return last

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL schemas. Field sets are stable: cmd/ml4db-tracecheck and the
+// scripts/check.sh smoke gate fail if a required field disappears.
+
+type spanJSON struct {
+	Type     string                 `json:"type"`
+	ID       int                    `json:"id"`
+	Parent   int                    `json:"parent"`
+	Name     string                 `json:"name"`
+	Start    int64                  `json:"start"`    // UnixNano of the span's start
+	Duration int64                  `json:"duration"` // nanoseconds
+	Attrs    map[string]interface{} `json:"attrs,omitempty"`
+}
+
+type counterJSON struct {
+	Type  string `json:"type"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type gaugeJSON struct {
+	Type  string  `json:"type"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type histJSON struct {
+	Type   string    `json:"type"`
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// WriteJSONL writes one span per line in start order. Under a ManualClock
+// the output is bit-identical across replays of the same workload.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range t.Spans() {
+		line := spanJSON{
+			Type:     "span",
+			ID:       sp.ID,
+			Parent:   sp.Parent,
+			Name:     sp.Name,
+			Start:    sp.Start.UnixNano(),
+			Duration: sp.Duration.Nanoseconds(),
+			Attrs:    attrMap(sp.Attrs),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes one metric snapshot per line: counters, then gauges,
+// then histograms, each block in sorted-name order.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counterNames := sortedNames(r.counters)
+	gaugeNames := sortedNames(r.gauges)
+	histNames := sortedNames(r.hists)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	hists := make([]*Histogram, len(histNames))
+	for i, n := range histNames {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, n := range counterNames {
+		if err := enc.Encode(counterJSON{Type: "counter", Name: n, Value: counters[i].Value()}); err != nil {
+			return err
+		}
+	}
+	for i, n := range gaugeNames {
+		if err := enc.Encode(gaugeJSON{Type: "gauge", Name: n, Value: gauges[i].Value()}); err != nil {
+			return err
+		}
+	}
+	for i, n := range histNames {
+		bounds, counts, count, sum, min, max, p50, p90, p99 := hists[i].snapshot()
+		line := histJSON{
+			Type: "histogram", Name: n,
+			Count: count, Sum: sum, Min: min, Max: max,
+			P50: p50, P90: p90, P99: p99,
+			Bounds: bounds, Counts: counts,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// requireFields checks that every named field is present in the decoded
+// line.
+func requireFields(m map[string]json.RawMessage, lineNo int, fields ...string) error {
+	for _, f := range fields {
+		if _, ok := m[f]; !ok {
+			return fmt.Errorf("line %d: missing required field %q", lineNo, f)
+		}
+	}
+	return nil
+}
+
+// validateJSONL runs check over every non-empty line of r, returning the
+// number of validated lines.
+func validateJSONL(r io.Reader, check func(lineNo int, m map[string]json.RawMessage) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			return n, fmt.Errorf("line %d: not valid JSON: %v", lineNo, err)
+		}
+		if err := check(lineNo, m); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ValidateTraceJSONL checks a span trace file: every line must parse as
+// JSON and carry the stable span schema (type=span with id, parent, name,
+// start, duration). It returns the number of validated spans.
+func ValidateTraceJSONL(r io.Reader) (int, error) {
+	return validateJSONL(r, func(lineNo int, m map[string]json.RawMessage) error {
+		var typ string
+		if err := json.Unmarshal(m["type"], &typ); err != nil || typ != "span" {
+			return fmt.Errorf("line %d: trace line is not a span (type=%s)", lineNo, m["type"])
+		}
+		if err := requireFields(m, lineNo, "id", "parent", "name", "start", "duration"); err != nil {
+			return err
+		}
+		var line spanJSON
+		if err := json.Unmarshal(mustRemarshal(m), &line); err != nil {
+			return fmt.Errorf("line %d: span fields have wrong types: %v", lineNo, err)
+		}
+		if line.Name == "" {
+			return fmt.Errorf("line %d: span has empty name", lineNo)
+		}
+		if line.ID < 1 || line.Parent < 0 || line.Parent >= line.ID {
+			return fmt.Errorf("line %d: span id/parent out of order (id=%d parent=%d)", lineNo, line.ID, line.Parent)
+		}
+		return nil
+	})
+}
+
+// ValidateMetricsJSONL checks a metrics snapshot file: every line must be a
+// counter, gauge, or histogram with its required fields. It returns the
+// number of validated metrics.
+func ValidateMetricsJSONL(r io.Reader) (int, error) {
+	return validateJSONL(r, func(lineNo int, m map[string]json.RawMessage) error {
+		var typ string
+		if err := json.Unmarshal(m["type"], &typ); err != nil {
+			return fmt.Errorf("line %d: metric line has no type", lineNo)
+		}
+		switch typ {
+		case "counter", "gauge":
+			return requireFields(m, lineNo, "name", "value")
+		case "histogram":
+			return requireFields(m, lineNo, "name", "count", "sum", "min", "max", "p50", "p90", "p99", "bounds", "counts")
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+		}
+	})
+}
+
+// mustRemarshal re-encodes a decoded raw-message map so it can be decoded
+// into a typed struct. Encoding a map of raw messages cannot fail.
+func mustRemarshal(m map[string]json.RawMessage) []byte {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil
+	}
+	return data
+}

@@ -87,8 +87,15 @@ func (b *Balsa) FineTune(queries []*plan.Query, episodes, epochs int) error {
 			} else if best, ok := b.bestWork[sig]; !ok || work < best {
 				b.bestWork[sig] = work
 			}
+			if m := b.Search.Env.Metrics; m != nil {
+				if timedOut {
+					m.Counter("qo.balsa.timeouts").Inc()
+				}
+				m.Histogram("qo.balsa.work", qo.WorkBuckets).Observe(float64(work))
+			}
 			exps = append(exps, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
 		}
+		b.Search.Env.Metrics.Counter("qo.balsa.episodes").Inc()
 	}
 	b.Search.TrainValue(exps, epochs, 1e-3)
 	return nil

@@ -109,9 +109,42 @@ func (b *Bao) RunQuery(q *plan.Query) (int64, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	b.Bandit.Update(0, PlanFeatures(p), -qo.LogWork(work))
+	reward := -qo.LogWork(work)
+	b.Bandit.Update(0, PlanFeatures(p), reward)
 	b.Queries++
+	if m := b.Env.Metrics; m != nil {
+		m.Counter("qo.bao.queries").Inc()
+		m.Counter("qo.bao.arm." + b.Hints[arm].Name).Inc()
+		m.Histogram("qo.bao.work", qo.WorkBuckets).Observe(float64(work))
+		m.Gauge("qo.bao.last_reward").Set(reward)
+	}
 	return work, arm, nil
+}
+
+// RunQueryCompared is RunQuery plus an expert-baseline execution of the same
+// query, recording whether BAO's steered plan beat or regressed against the
+// unsteered expert (qo.bao.wins / qo.bao.regressions). The execution order —
+// steered first, expert second — matches the E9 evaluation loop exactly.
+func (b *Bao) RunQueryCompared(q *plan.Query) (baoWork, expertWork int64, arm int, err error) {
+	baoWork, arm, err = b.RunQuery(q)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	expertWork, err = b.ExpertWork(q)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if m := b.Env.Metrics; m != nil {
+		switch {
+		case baoWork < expertWork:
+			m.Counter("qo.bao.wins").Inc()
+		case baoWork > expertWork:
+			m.Counter("qo.bao.regressions").Inc()
+		default:
+			m.Counter("qo.bao.ties").Inc()
+		}
+	}
+	return baoWork, expertWork, arm, nil
 }
 
 // ExpertWork executes the unhinted expert plan (the baseline BAO improves).

@@ -138,6 +138,7 @@ func (l *Leon) Train(queries []*plan.Query, pairEpochs int) error {
 	} else {
 		l.Calibrated = 1
 	}
+	l.Env.Metrics.Gauge("qo.leon.calibrated").Set(l.Calibrated)
 	return nil
 }
 
@@ -148,8 +149,10 @@ func (l *Leon) UsesFallback() bool { return l.Calibrated < l.FallbackAcc }
 // default plan when the model is in fallback.
 func (l *Leon) Plan(q *plan.Query) (*plan.Node, error) {
 	if l.UsesFallback() {
+		l.Env.Metrics.Counter("qo.leon.fallbacks").Inc()
 		return l.Env.Opt.Plan(q, optimizer.NoHint())
 	}
+	l.Env.Metrics.Counter("qo.leon.model_plans").Inc()
 	cands, err := l.candidates(q)
 	if err != nil {
 		return nil, err

@@ -74,6 +74,7 @@ func (n *Neo) Bootstrap(queries []*plan.Query, epochs int) error {
 			if err != nil {
 				return err
 			}
+			n.Search.Env.Metrics.Histogram("qo.neo.work", qo.WorkBuckets).Observe(float64(work))
 			n.Experience = append(n.Experience, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
 		}
 	}
@@ -93,8 +94,10 @@ func (n *Neo) Episode(queries []*plan.Query, epochs int) error {
 		if err != nil {
 			return err
 		}
+		n.Search.Env.Metrics.Histogram("qo.neo.work", qo.WorkBuckets).Observe(float64(work))
 		n.Experience = append(n.Experience, qo.Experience{Query: q, Plan: p, LogWork: qo.LogWork(work)})
 	}
+	n.Search.Env.Metrics.Counter("qo.neo.episodes").Inc()
 	n.Search.TrainValue(n.Experience, epochs, 1e-3)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"ml4db/internal/mlmath"
 	"ml4db/internal/nn"
+	"ml4db/internal/obs"
 	"ml4db/internal/planrep"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/exec"
@@ -26,6 +27,11 @@ type Env struct {
 	Cat  *catalog.Catalog
 	Opt  *optimizer.Optimizer
 	Exec *exec.Executor
+	// Trace and Metrics instrument the env's executions and the learned
+	// agents built on it. Nil (the default) keeps everything off and free;
+	// attach both with Instrument.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // NewEnv builds an environment over the catalog with the expert optimizer
@@ -34,12 +40,24 @@ func NewEnv(cat *catalog.Catalog) *Env {
 	return &Env{Cat: cat, Opt: optimizer.New(cat), Exec: exec.New(cat)}
 }
 
+// Instrument attaches a tracer, metrics registry, and clock to the env and
+// its executor; the agents (bao, balsa, leon, neo) pick their counters and
+// histograms up from here. Any argument may be nil.
+func (e *Env) Instrument(tr *obs.Tracer, reg *obs.Registry, clock mlmath.Clock) {
+	e.Trace, e.Metrics = tr, reg
+	e.Exec.Trace, e.Exec.Metrics, e.Exec.Clock = tr, reg, clock
+}
+
+// WorkBuckets are the shared histogram bounds for work-unit metrics.
+var WorkBuckets = obs.ExpBuckets(16, 4, 12)
+
 // Run executes a plan and returns its work (latency signal). maxWork > 0
 // aborts over-budget plans (Balsa's timeout); the returned work is then the
 // budget and timedOut is true.
 func (e *Env) Run(p *plan.Node, maxWork int64) (work int64, timedOut bool, err error) {
 	res, err := e.Exec.Execute(p, exec.Options{MaxWork: maxWork})
 	if err == exec.ErrWorkBudgetExceeded {
+		e.Metrics.Counter("qo.env.timeouts").Inc()
 		return res.Work, true, nil
 	}
 	if err != nil {

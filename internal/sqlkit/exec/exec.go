@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/plan"
@@ -26,7 +28,17 @@ type Options struct {
 	// MaxWork aborts execution once this many work units are consumed.
 	// Zero means unlimited.
 	MaxWork int64
+	// Analyze collects per-operator EXPLAIN ANALYZE stats into
+	// Result.Explain.
+	Analyze bool
+	// Span, when the executor has a Tracer, becomes the parent of the
+	// execution's spans — letting callers nest execute under a query span.
+	Span *obs.Span
 }
+
+// workBuckets are the histogram bounds for the exec.work metric, shared so
+// the per-query hot path never rebuilds them.
+var workBuckets = obs.ExpBuckets(16, 4, 12)
 
 // Counters break total work down by operation category — the quantities a
 // formula cost model weights with its parameters. ParamTree (§3.2) fits
@@ -66,11 +78,23 @@ type Result struct {
 	Work int64
 	// Counters break Work down by operation category.
 	Counters Counters
+	// Explain holds per-operator stats when Options.Analyze was set.
+	Explain *Explain
 }
 
-// Executor runs plans against a catalog.
+// Executor runs plans against a catalog. The observability fields are all
+// optional: with Trace, Metrics, and Clock left nil the executor behaves
+// exactly as before and the instrumentation costs one branch per operator.
 type Executor struct {
 	Cat *catalog.Catalog
+	// Trace records spans around Execute and each operator.
+	Trace *obs.Tracer
+	// Metrics receives exec.queries and the exec.work histogram.
+	Metrics *obs.Registry
+	// Clock times operators for EXPLAIN ANALYZE; nil means the system
+	// clock. Inject a ManualClock (shared with the Tracer) for
+	// deterministic timings.
+	Clock mlmath.Clock
 }
 
 // New returns an executor over the catalog.
@@ -80,11 +104,30 @@ func New(cat *catalog.Catalog) *Executor { return &Executor{Cat: cat} }
 // are filled in along the way.
 func (e *Executor) Execute(root *plan.Node, opts Options) (*Result, error) {
 	st := &execState{cat: e.Cat, maxWork: opts.MaxWork}
-	rows, err := st.run(root)
-	if err != nil {
-		return &Result{Work: st.work, Counters: st.ctr}, err
+	observed := opts.Analyze || e.Trace != nil
+	if observed {
+		st.tr = e.Trace
+		st.clock = mlmath.ClockOrSystem(e.Clock)
+		if opts.Analyze {
+			st.ex = &Explain{Root: root, stats: make(map[*plan.Node]*OpStats)}
+		}
+		st.cur = st.tr.StartSpan("exec.execute", opts.Span)
 	}
-	return &Result{Rows: rows, Work: st.work, Counters: st.ctr}, nil
+	rows, err := st.run(root)
+	if st.ex != nil {
+		st.ex.finish()
+	}
+	if observed {
+		st.cur.SetInt("work", st.work).SetInt("rows", int64(len(rows))).End()
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("exec.queries").Inc()
+		e.Metrics.Histogram("exec.work", workBuckets).Observe(float64(st.work))
+	}
+	if err != nil {
+		return &Result{Work: st.work, Counters: st.ctr, Explain: st.ex}, err
+	}
+	return &Result{Rows: rows, Work: st.work, Counters: st.ctr, Explain: st.ex}, nil
 }
 
 // ExecuteCount is Execute but discards rows, returning only cardinality and
@@ -102,6 +145,12 @@ type execState struct {
 	work    int64
 	maxWork int64
 	ctr     Counters
+
+	// Observability state, all nil/unused on the fast path.
+	ex    *Explain
+	tr    *obs.Tracer
+	cur   *obs.Span // innermost open span: parent for the next operator
+	clock mlmath.Clock
 }
 
 // charge adds units to the given category counter and the total, enforcing
@@ -115,7 +164,41 @@ func (s *execState) charge(counter *int64, units int64) error {
 	return nil
 }
 
+// run evaluates one plan node. The fast path — no EXPLAIN ANALYZE, no
+// tracer — dispatches directly so uninstrumented execution pays a single
+// branch per operator.
 func (s *execState) run(n *plan.Node) ([][]int64, error) {
+	if s.ex == nil && s.tr == nil {
+		return s.dispatch(n)
+	}
+	return s.runObserved(n)
+}
+
+// runObserved wraps dispatch with a per-operator span and accumulates the
+// node's subtree totals (work, counters, clock time) for EXPLAIN ANALYZE.
+func (s *execState) runObserved(n *plan.Node) ([][]int64, error) {
+	prev := s.cur
+	sp := s.tr.StartSpan(opSpanName(n.Op), prev)
+	s.cur = sp
+	workBefore, ctrBefore := s.work, s.ctr
+	start := s.clock.Now()
+	rows, err := s.dispatch(n)
+	dur := s.clock.Now().Sub(start)
+	if s.ex != nil {
+		st := s.ex.stat(n)
+		st.Loops++
+		st.Rows += int64(len(rows))
+		st.SubtreeWork += s.work - workBefore
+		st.SubtreeCounters = addCounters(st.SubtreeCounters, subCounters(s.ctr, ctrBefore))
+		st.SubtreeDur += dur
+	}
+	sp.SetInt("rows", int64(len(rows))).SetInt("work", s.work-workBefore)
+	sp.End()
+	s.cur = prev
+	return rows, err
+}
+
+func (s *execState) dispatch(n *plan.Node) ([][]int64, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
 		return s.seqScan(n)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"ml4db/internal/obs"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/plan"
@@ -83,6 +84,19 @@ func (o *Optimizer) Plan(q *plan.Query, hint HintSet) (*plan.Node, error) {
 		return nil, fmt.Errorf("optimizer: join graph is disconnected")
 	}
 	return sp.node, nil
+}
+
+// PlanTraced is Plan wrapped in an "optimizer.plan" span under parent,
+// annotated with the query size and the chosen plan's estimated cost. A nil
+// tracer reduces it to Plan.
+func (o *Optimizer) PlanTraced(q *plan.Query, hint HintSet, tr *obs.Tracer, parent *obs.Span) (*plan.Node, error) {
+	sp := tr.StartSpan("optimizer.plan", parent)
+	p, err := o.Plan(q, hint)
+	if p != nil {
+		sp.SetInt("tables", int64(q.NumTables())).SetFloat("est_cost", p.EstCost)
+	}
+	sp.End()
+	return p, err
 }
 
 // scanPlan picks the cheapest access path for the table at pos: a

@@ -32,4 +32,13 @@ go test -race ./...
 echo "==> kernel benchmarks (smoke, 1 iteration)"
 go test -run '^$' -bench 'MatMul|MLPFit' -benchtime=1x ./internal/mlmath/ ./internal/nn/
 
+# Observability smoke: run one traced workload, then re-validate the emitted
+# JSONL with the standalone checker, so any drift in the span/metric schemas
+# fails the gate rather than silently breaking downstream consumers.
+echo "==> observability smoke (traced query + JSONL schema validation)"
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/ml4db-bench -trace "$obsdir/spans.jsonl" -metrics "$obsdir/metrics.jsonl" -trace-queries 2
+go run ./cmd/ml4db-tracecheck -trace "$obsdir/spans.jsonl" -metrics "$obsdir/metrics.jsonl"
+
 echo "All checks passed."
