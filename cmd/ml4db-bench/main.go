@@ -8,6 +8,7 @@
 //	ml4db-bench -kernels [-quick] [-kernels-out FILE]
 //	ml4db-bench -trace spans.jsonl -metrics metrics.jsonl [-trace-queries N]
 //	ml4db-bench -obsbench [-obs-out FILE]
+//	ml4db-bench -serve [-quick] [-serve-out FILE] [-metrics metrics.jsonl]
 //
 // The -kernels mode skips the experiments and instead benchmarks the
 // parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
@@ -19,6 +20,11 @@
 // observability JSONL artifacts (validate with cmd/ml4db-tracecheck); the
 // -obsbench mode measures the instrumentation's execution overhead and
 // writes BENCH_obs.json (see docs/OBSERVABILITY.md).
+//
+// The -serve mode benchmarks the internal/modelsvc serving subsystem —
+// registry round trips, batched vs serial inference, canary-gate rollouts,
+// admission control — writing BENCH_serve.json and, with -metrics, the
+// subsystem's metrics JSONL (see docs/SERVING.md).
 package main
 
 import (
@@ -43,7 +49,17 @@ func main() {
 	traceQueries := flag.Int("trace-queries", 5, "number of queries in the -trace/-metrics workload")
 	obsbench := flag.Bool("obsbench", false, "benchmark observability overhead (traced vs untraced execution)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output file for -obsbench results")
+	serve := flag.Bool("serve", false, "benchmark the modelsvc serving subsystem (registry, batching, rollout)")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -serve results")
 	flag.Parse()
+
+	if *serve {
+		if err := runServeBench(*seed, *serveOut, *metricsPath, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *kernels {
 		if err := runKernelBench(*seed, *kernelsOut, *quick); err != nil {

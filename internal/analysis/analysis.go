@@ -98,6 +98,7 @@ var corePkgSegments = map[string]bool{
 	"cardest":      true,
 	"planrep":      true,
 	"obs":          true,
+	"modelsvc":     true,
 }
 
 // IsCorePackage reports whether pkgPath denotes one of the core model

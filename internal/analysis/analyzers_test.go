@@ -13,6 +13,10 @@ func TestDeterminismFiresInObs(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/obs")
 }
 
+func TestDeterminismFiresInModelsvc(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/modelsvc")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

@@ -1,0 +1,36 @@
+// Package modelsvc is a determinism fixture: the serving subsystem is a
+// core package, so spawning goroutines and reading ambient time must fire
+// here. A batched server coalesces on whichever caller flushes — it never
+// spawns — and all rollout timing flows through an injected clock.
+package modelsvc
+
+import (
+	"sort"
+	"time"
+)
+
+// Flush mirrors a batch executor that wrongly spawns its own workers and
+// times batches off the wall clock instead of an injected one.
+func Flush(pending []string, latencies map[string]float64) []string {
+	start := time.Now() // want "time.Now"
+
+	done := make(chan struct{})
+	go func() { close(done) }() // want "goroutine"
+	<-done
+
+	// Canary-window iteration over a map without sorting: the promotion
+	// decision would depend on map iteration order.
+	var window []string
+	for name := range latencies {
+		window = append(window, name) // want "nondeterministic"
+	}
+	_ = time.Since(start) // want "time.Since"
+
+	// Sorted afterwards: well-defined order, no finding.
+	var versions []string
+	for name := range latencies {
+		versions = append(versions, name)
+	}
+	sort.Strings(versions)
+	return append(append(pending, window...), versions...)
+}

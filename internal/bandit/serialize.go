@@ -1,0 +1,61 @@
+package bandit
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ml4db/internal/mlmath"
+)
+
+// tlState is the gob wire form of a ThompsonLinear: the sufficient statistics
+// of every arm's posterior, nothing more. mlmath.Mat encodes directly (its
+// shape and data are exported), so the stream is self-describing.
+type tlState struct {
+	Arms, Dim    int
+	Noise, Prior float64
+	A            []*mlmath.Mat
+	B            [][]float64
+	N            []int
+}
+
+// SaveState serializes the bandit's full posterior so a registry checkpoint
+// restores Thompson sampling exactly where it left off.
+func (t *ThompsonLinear) SaveState(w io.Writer) error {
+	st := tlState{Arms: t.Arms, Dim: t.Dim, Noise: t.Noise, Prior: t.Prior,
+		A: t.a, B: t.b, N: t.n}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("bandit: save: %w", err)
+	}
+	return nil
+}
+
+// LoadState replaces the receiver's posterior with a previously saved one,
+// validating internal consistency before touching the receiver.
+func (t *ThompsonLinear) LoadState(r io.Reader) error {
+	var st tlState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("bandit: load: %w", err)
+	}
+	if st.Arms < 1 || st.Dim < 1 ||
+		len(st.A) != st.Arms || len(st.B) != st.Arms || len(st.N) != st.Arms {
+		return fmt.Errorf("bandit: load: inconsistent state (arms=%d dim=%d |A|=%d |B|=%d |N|=%d)",
+			st.Arms, st.Dim, len(st.A), len(st.B), len(st.N))
+	}
+	for arm := 0; arm < st.Arms; arm++ {
+		a, b := st.A[arm], st.B[arm]
+		if a == nil || a.Rows != st.Dim || a.Cols != st.Dim || len(a.Data) != st.Dim*st.Dim || len(b) != st.Dim {
+			return fmt.Errorf("bandit: load: arm %d has malformed statistics", arm)
+		}
+	}
+	t.Arms, t.Dim = st.Arms, st.Dim
+	t.Noise, t.Prior = st.Noise, st.Prior
+	t.a, t.b, t.n = st.A, st.B, st.N
+	return nil
+}
+
+// ArchHash identifies the bandit's architecture for registry manifests: two
+// checkpoints interchange only if arms and context dimension agree.
+func (t *ThompsonLinear) ArchHash() string {
+	return fmt.Sprintf("tlinear/arms=%d,dim=%d", t.Arms, t.Dim)
+}

@@ -1,0 +1,92 @@
+package bandit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ml4db/internal/mlmath"
+)
+
+func trainedBandit(t *testing.T) *ThompsonLinear {
+	t.Helper()
+	b := NewThompsonLinear(3, 4, 0.5, 1)
+	rng := mlmath.NewRNG(7)
+	for i := 0; i < 60; i++ {
+		ctx := []float64{1, rng.Float64(), rng.Float64(), rng.Float64()}
+		b.Update(i%3, ctx, rng.Float64()*2-1)
+	}
+	return b
+}
+
+func TestThompsonLinearStateRoundTrip(t *testing.T) {
+	src := trainedBandit(t)
+	var buf bytes.Buffer
+	if err := src.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewThompsonLinear(3, 4, 0.5, 1)
+	if err := dst.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ctx := []float64{1, 0.2, 0.8, 0.5}
+	for arm := 0; arm < 3; arm++ {
+		a, err := src.Mean(arm, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.Mean(arm, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("arm %d posterior mean differs after round trip: %v vs %v", arm, a, b)
+		}
+		if src.Pulls(arm) != dst.Pulls(arm) {
+			t.Fatalf("arm %d pull count differs", arm)
+		}
+	}
+	// Thompson draws from identical RNG states must agree too.
+	w1, err := src.SampleWeights(1, mlmath.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := dst.SampleWeights(1, mlmath.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("sampled weights differ at %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+}
+
+func TestThompsonLinearLoadRejectsGarbage(t *testing.T) {
+	dst := NewThompsonLinear(2, 3, 1, 1)
+	before, err := dst.Mean(0, []float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadState(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("LoadState accepted garbage")
+	}
+	after, err := dst.Mean(0, []float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("rejected load mutated the bandit")
+	}
+}
+
+func TestThompsonLinearArchHash(t *testing.T) {
+	a := NewThompsonLinear(3, 4, 1, 1)
+	b := NewThompsonLinear(3, 5, 1, 1)
+	if a.ArchHash() == b.ArchHash() {
+		t.Fatal("different dims share an arch hash")
+	}
+	if !strings.Contains(a.ArchHash(), "arms=3") {
+		t.Fatalf("arch hash %q does not describe the architecture", a.ArchHash())
+	}
+}

@@ -205,7 +205,10 @@ func TestDriftAdapterRecovers(t *testing.T) {
 		truth := TrueFraction(fact, preds)
 		est := ad.EstimateFraction(preds)
 		qe := mlmath.QError(est*n, truth*n)
-		if ad.Retrainings == 0 {
+		// The serving model only changes at promotion: before the first
+		// promotion (including while a candidate shadows) the stale incumbent
+		// is still answering, so that is the phase split.
+		if ad.Promotions == 0 {
 			preDrift = append(preDrift, qe)
 		} else {
 			postDrift = append(postDrift, qe)
@@ -214,6 +217,9 @@ func TestDriftAdapterRecovers(t *testing.T) {
 	}
 	if ad.Retrainings == 0 {
 		t.Fatal("drift adapter never retrained under drift")
+	}
+	if ad.Promotions == 0 {
+		t.Fatal("retrained candidate was never promoted through the shadow gate")
 	}
 	if len(postDrift) < 10 {
 		t.Fatalf("too few post-adaptation samples: %d", len(postDrift))

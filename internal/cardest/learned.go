@@ -42,6 +42,30 @@ func NewMLPEstimator(f *Featurizer, hidden []int, rng *mlmath.RNG) *MLPEstimator
 	return &MLPEstimator{F: f, Net: nn.NewMLP(sizes, nn.LeakyReLU{}, nn.Identity{}, rng), rng: rng}
 }
 
+// Clone returns an estimator with the same architecture and copied
+// parameters, sharing the featurizer and runtime knobs (clock, pool,
+// metrics) but no mutable parameter state with the receiver — training the
+// clone never disturbs the original, which is what lets drift adaptation
+// fit candidates off to the side while the incumbent keeps serving. A nil
+// rng shares the receiver's RNG stream (deterministic as long as only one
+// of the two trains at a time).
+func (m *MLPEstimator) Clone(rng *mlmath.RNG) *MLPEstimator {
+	if rng == nil {
+		rng = m.rng
+	}
+	hidden := make([]int, 0, len(m.Net.Layers)-1)
+	for _, l := range m.Net.Layers[:len(m.Net.Layers)-1] {
+		hidden = append(hidden, l.Out)
+	}
+	c := NewMLPEstimator(m.F, hidden, rng)
+	dst, src := c.Net.Params(), m.Net.Params()
+	for i, p := range src {
+		copy(dst[i].Val, p.Val)
+	}
+	c.Clock, c.Pool, c.Metrics = m.Clock, m.Pool, m.Metrics
+	return c
+}
+
 // Train fits the network on labeled queries.
 func (m *MLPEstimator) Train(queries [][]expr.Pred, fractions []float64, epochs int) {
 	xs := make([][]float64, len(queries))

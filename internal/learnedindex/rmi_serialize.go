@@ -1,0 +1,89 @@
+package learnedindex
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ml4db/internal/modelsvc"
+)
+
+// rmiState is the gob wire form of a built RMI: both model stages, the error
+// bounds, and the indexed data they are valid for. An RMI is static — its
+// error bounds only hold for the exact sorted array it was built over — so
+// the checkpoint must carry the data, not just the models.
+type rmiState struct {
+	Keys, Vals          []int64
+	RootSlope, RootBias float64
+	Slope, Bias         []float64
+	ErrLo, ErrHi        []int
+}
+
+// SaveState serializes the built index.
+func (r *RMI) SaveState(w io.Writer) error {
+	st := rmiState{
+		Keys: r.keys, Vals: r.vals,
+		RootSlope: r.rootSlope, RootBias: r.rootBias,
+		Slope: r.slope, Bias: r.bias,
+		ErrLo: r.errLo, ErrHi: r.errHi,
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("learnedindex: save rmi: %w", err)
+	}
+	return nil
+}
+
+// LoadRMIState reconstructs a saved index, validating internal consistency
+// (matching stage widths) before returning it. The restored index is
+// uninstrumented; call Instrument to attach probe counters.
+func LoadRMIState(rd io.Reader) (*RMI, error) {
+	var st rmiState
+	if err := gob.NewDecoder(rd).Decode(&st); err != nil {
+		return nil, fmt.Errorf("learnedindex: load rmi: %w", err)
+	}
+	leaves := len(st.Slope)
+	if leaves < 1 || len(st.Bias) != leaves || len(st.ErrLo) != leaves || len(st.ErrHi) != leaves ||
+		len(st.Keys) != len(st.Vals) {
+		return nil, fmt.Errorf("learnedindex: load rmi: inconsistent state (leaves=%d keys=%d vals=%d)",
+			leaves, len(st.Keys), len(st.Vals))
+	}
+	return &RMI{
+		keys: st.Keys, vals: st.Vals,
+		rootSlope: st.RootSlope, rootBias: st.RootBias,
+		slope: st.Slope, bias: st.Bias,
+		errLo: st.ErrLo, errHi: st.ErrHi,
+	}, nil
+}
+
+// ArchHash identifies the index structure for registry manifests: two RMI
+// checkpoints interchange only if their second-stage fanout agrees.
+func (r *RMI) ArchHash() string {
+	return fmt.Sprintf("rmi/leaves=%d", r.NumLeaves())
+}
+
+// PublishRMI checkpoints a built index as a new registry version.
+func PublishRMI(reg *modelsvc.Registry, name string, r *RMI, meta map[string]string) (modelsvc.Manifest, error) {
+	return reg.Publish(name, r.ArchHash(), meta, r.SaveState)
+}
+
+// LoadRMI restores a published index (version 0 = latest). The registry
+// verifies the payload checksum; the decoded index's structure must match
+// the manifest's architecture hash or the load is rejected with
+// *modelsvc.ArchMismatchError.
+func LoadRMI(reg *modelsvc.Registry, name string, version int) (*RMI, modelsvc.Manifest, error) {
+	payload, man, err := reg.Load(name, version)
+	if err != nil {
+		return nil, modelsvc.Manifest{}, err
+	}
+	r, err := LoadRMIState(bytes.NewReader(payload))
+	if err != nil {
+		return nil, modelsvc.Manifest{}, err
+	}
+	if got := r.ArchHash(); got != man.ArchHash {
+		return nil, modelsvc.Manifest{}, &modelsvc.ArchMismatchError{
+			Name: man.Name, Version: man.Version, Want: man.ArchHash, Got: got,
+		}
+	}
+	return r, man, nil
+}

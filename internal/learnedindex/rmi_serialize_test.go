@@ -1,0 +1,100 @@
+package learnedindex
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/modelsvc"
+)
+
+func builtRMI(t *testing.T) (*RMI, []KV) {
+	t.Helper()
+	rng := mlmath.NewRNG(17)
+	seen := map[int64]bool{}
+	var kvs []KV
+	for len(kvs) < 3000 {
+		k := rng.Int63() % 1_000_000
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kvs = append(kvs, KV{Key: k, Value: k * 2})
+	}
+	SortKVs(kvs)
+	return BuildRMIPool(kvs, 64, nil), kvs
+}
+
+func TestRMIRegistryRoundTrip(t *testing.T) {
+	src, kvs := builtRMI(t)
+	reg, err := modelsvc.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Clock = &mlmath.ManualClock{T: time.Unix(1700000000, 0)}
+	man, err := PublishRMI(reg, "rmi-fact", src, map[string]string{"keys": "3000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ArchHash != src.ArchHash() {
+		t.Fatalf("manifest arch hash %q != model %q", man.ArchHash, src.ArchHash())
+	}
+	dst, got, err := LoadRMI(reg, "rmi-fact", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != man.Version {
+		t.Fatalf("loaded version %d, want %d", got.Version, man.Version)
+	}
+	if dst.NumLeaves() != src.NumLeaves() || dst.MaxError() != src.MaxError() {
+		t.Fatalf("restored structure differs: leaves %d/%d maxErr %d/%d",
+			dst.NumLeaves(), src.NumLeaves(), dst.MaxError(), src.MaxError())
+	}
+	// Every key resolves identically through both indexes; a probe for an
+	// absent key misses in both.
+	for _, kv := range kvs {
+		a, okA := src.Get(kv.Key)
+		b, okB := dst.Get(kv.Key)
+		if okA != okB || a != b {
+			t.Fatalf("key %d: src (%d,%v) dst (%d,%v)", kv.Key, a, okA, b, okB)
+		}
+	}
+	if _, ok := dst.Get(-1); ok {
+		t.Fatal("restored index found an absent key")
+	}
+}
+
+func TestLoadRMIRejectsForeignPayload(t *testing.T) {
+	reg, err := modelsvc.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("rmi-fact", "rmi/leaves=64", nil, func(w io.Writer) error {
+		_, werr := w.Write([]byte("not a gob stream"))
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRMI(reg, "rmi-fact", 0); err == nil {
+		t.Fatal("LoadRMI accepted a non-RMI payload")
+	}
+}
+
+func TestLoadRMIRejectsArchMismatch(t *testing.T) {
+	src, _ := builtRMI(t)
+	reg, err := modelsvc.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish with a lying arch hash: the decoded structure won't match.
+	if _, err := reg.Publish("rmi-fact", "rmi/leaves=8", nil, src.SaveState); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadRMI(reg, "rmi-fact", 0)
+	var aerr *modelsvc.ArchMismatchError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("want *modelsvc.ArchMismatchError, got %v", err)
+	}
+}

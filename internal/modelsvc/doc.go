@@ -1,0 +1,53 @@
+// Package modelsvc is the model lifecycle subsystem: the SysML layer that
+// owns model versioning, serving, and deployment apart from the learned
+// components themselves (the separation Baihe argues ML4DB needs). A learned
+// component is only production-viable if it can be retrained, validated, and
+// swapped into the serving path without regressing the system it replaced;
+// this package provides the three pieces of that loop:
+//
+//   - Registry: a versioned on-disk model store. Every published checkpoint
+//     gets a manifest (version, architecture hash, payload checksum, byte
+//     count, training metadata, creation instant from an injected clock);
+//     loads verify the checksum and architecture hash, so a truncated,
+//     bit-flipped, or mismatched checkpoint is rejected before it can reach
+//     the serving path. List/Latest/Prune manage the version history.
+//
+//   - Server: a batched inference server. Single-prediction requests queue
+//     up (bounded depth — a full queue rejects with ErrQueueFull, the
+//     admission-control backpressure signal) and are coalesced into batches
+//     executed over an mlmath.Pool. The contract, property-tested across
+//     worker counts: batched results are bit-identical to serial
+//     per-request inference, because each request's output slot is computed
+//     independently by the same pure per-item function.
+//
+//   - Rollout: guarded deployment. A candidate model shadows the incumbent
+//     on live observed requests; a canary gate compares windowed error and
+//     latency deltas; promotion is an atomic hot-swap under the rollout
+//     lock (readers always see exactly one coherent version), and demotion
+//     falls back to the previous incumbent or a configured expert fallback.
+//     A candidate with worse windowed error is provably never promoted.
+//
+// Contract:
+//
+//   - Determinism. modelsvc is a core package under the determinism
+//     analyzer: no ambient clock reads (an injected mlmath.Clock times
+//     shadow predictions, so canary decisions replay exactly under
+//     ManualClock), no math/rand, and no goroutine launches — all
+//     parallelism routes through mlmath.Pool. The Server and Rollout use
+//     only mutexes and channels for coordination; batch execution order is
+//     submission order.
+//
+//   - Models are immutable once deployed. The rollout hands out the same
+//     Predictor to every reader; retraining must build a new model (clone,
+//     then train) and deploy it as a candidate, never mutate the incumbent
+//     in place. cardest.DriftAdapter follows this discipline.
+//
+//   - Everything is instrumented. Queue depth, batch sizes, served and
+//     rejected requests, shadow wins/losses, promotions, rejections, and
+//     demotions all land in an optional obs.Registry (nil is off, and
+//     free).
+//
+// docs/SERVING.md documents the registry layout, the rollout state machine,
+// the determinism contract, and how to read BENCH_serve.json from
+// `ml4db-bench -serve`.
+package modelsvc

@@ -1,0 +1,163 @@
+package modelsvc
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ml4db/internal/mlmath"
+)
+
+// versionPredictor returns its version as the prediction, so every served
+// value proves which deployment produced it: a torn read — a value from one
+// version paired with another version's number — is detectable exactly.
+type versionPredictor struct{ version int }
+
+func (p versionPredictor) Predict(x []float64) float64 { return float64(p.version) }
+
+// TestRolloutHotSwapUnderRace hammers a Rollout-backed Server with reader
+// goroutines while the main goroutine drives promotions and demotions
+// through the canary gate. Run under -race this checks the subsystem's
+// concurrency contract: no data races, no torn reads, and every request is
+// served by exactly one coherent version (val == float64(version) always).
+//
+// Test files are exempt from the determinism analyzer, so goroutines are
+// fine here; the production code under test still spawns none.
+func TestRolloutHotSwapUnderRace(t *testing.T) {
+	clock := &mlmath.ManualClock{T: time.Unix(1700000000, 0)}
+	rollout := NewRollout(Deployment{Version: 1, Model: versionPredictor{version: 1}},
+		RolloutOptions{Window: 4, Clock: clock, ErrFn: func(pred, truth float64) float64 {
+			// Score a versionPredictor by distance from the truth the driver
+			// chooses, letting the driver steer promotions and rejections.
+			return math.Abs(pred - truth)
+		}})
+	pool := mlmath.NewPool(4)
+	defer pool.Close()
+	srv := NewServer(rollout, ServerOptions{MaxQueue: 1 << 14, MaxBatch: 16, Pool: pool})
+
+	const readers = 8
+	const perReader = 400
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := []float64{float64(g)}
+			for i := 0; i < perReader; i++ {
+				val, version, err := srv.Predict(x)
+				if err != nil {
+					// Queue pressure is legal under admission control; just
+					// retry on the next iteration.
+					continue
+				}
+				if val != float64(version) {
+					errs <- "torn read: value " + strconv.Itoa(int(val)) + " served as version " + strconv.Itoa(version)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Drive promotions 1→2→3→… and periodic demotions concurrently with the
+	// readers. Truth equal to the candidate's version makes the candidate
+	// strictly better; truth equal to the incumbent's makes it strictly worse.
+	next := 2
+	for round := 0; round < 25; round++ {
+		cand := versionPredictor{version: next}
+		rollout.SetCandidate(Deployment{Version: next, Model: cand})
+		promote := round%3 != 2
+		truth := float64(next)
+		if !promote {
+			truth = float64(rollout.Current().Version)
+		}
+		var out Outcome
+		for i := 0; i < 4; i++ {
+			out = rollout.Observe([]float64{0}, truth)
+		}
+		if promote {
+			if out != OutcomePromoted {
+				t.Fatalf("round %d: expected promotion, got %v", round, out)
+			}
+			next++
+			if round%5 == 4 {
+				rollout.Demote()
+			}
+		} else if out != OutcomeRejected {
+			t.Fatalf("round %d: expected rejection, got %v", round, out)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// TestServerConcurrentSubmitFlush races many submitters against many
+// flushers on a fixed deployment: every ticket must resolve exactly once
+// with the correct value.
+func TestServerConcurrentSubmitFlush(t *testing.T) {
+	model := sinPredictor{scale: 1.3}
+	pool := mlmath.NewPool(3)
+	defer pool.Close()
+	srv := NewServer(Single{Deployment{Version: 1, Model: model}},
+		ServerOptions{MaxQueue: 1 << 14, MaxBatch: 8, Pool: pool})
+
+	const writers = 6
+	const perWriter = 300
+	var wg sync.WaitGroup
+	fail := make(chan string, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := serveInputs(uint64(100+g), perWriter, 3)
+			for _, x := range xs {
+				tk, err := srv.Submit(x)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if g%2 == 0 {
+					srv.Flush()
+				}
+				got, version := tk.Wait()
+				if version != 1 {
+					fail <- "served by version " + strconv.Itoa(version)
+					return
+				}
+				want := model.Predict(x)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					fail <- "value mismatch under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	// A dedicated flusher keeps odd writers (which never flush themselves)
+	// from deadlocking on Wait.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				srv.Flush()
+				return
+			default:
+				srv.Flush()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	if srv.QueueDepth() != 0 {
+		t.Fatalf("queue not drained: %d pending", srv.QueueDepth())
+	}
+}

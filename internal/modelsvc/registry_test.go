@@ -1,0 +1,190 @@
+package modelsvc
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/nn"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Clock = &mlmath.ManualClock{T: time.Unix(1700000000, 0)}
+	return reg
+}
+
+func testMLP(seed uint64) *nn.MLP {
+	return nn.NewMLP([]int{3, 6, 1}, nn.Tanh{}, nn.Identity{}, mlmath.NewRNG(seed))
+}
+
+func TestRegistryPublishLoadRoundTrip(t *testing.T) {
+	reg := testRegistry(t)
+	src := testMLP(1)
+	man, err := PublishModule(reg, "cardest-mlp", src, map[string]string{"trigger": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 1 || man.Name != "cardest-mlp" {
+		t.Fatalf("unexpected manifest %+v", man)
+	}
+	if man.ArchHash != nn.ArchHash(src) {
+		t.Error("manifest arch hash does not match the model")
+	}
+	if man.CreatedUnixNano != time.Unix(1700000000, 0).UnixNano() {
+		t.Errorf("manifest timestamp did not come from the injected clock: %d", man.CreatedUnixNano)
+	}
+
+	dst := testMLP(99)
+	got, err := LoadModule(reg, "cardest-mlp", 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 {
+		t.Fatalf("latest version = %d, want 1", got.Version)
+	}
+	probe := []float64{0.1, -0.5, 0.9}
+	a, b := src.Forward(probe), dst.Forward(probe)
+	if a[0] != b[0] {
+		t.Fatalf("loaded model differs: %v vs %v", a, b)
+	}
+}
+
+func TestRegistryVersionsIncrease(t *testing.T) {
+	reg := testRegistry(t)
+	m := testMLP(2)
+	for want := 1; want <= 3; want++ {
+		man, err := PublishModule(reg, "line", m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.Version != want {
+			t.Fatalf("version = %d, want %d", man.Version, want)
+		}
+	}
+	list, err := reg.List("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("List returned %d manifests, want 3", len(list))
+	}
+	for i, man := range list {
+		if man.Version != i+1 {
+			t.Fatalf("List order broken: %+v", list)
+		}
+	}
+	latest, ok, err := reg.Latest("line")
+	if err != nil || !ok || latest.Version != 3 {
+		t.Fatalf("Latest = %+v, %v, %v", latest, ok, err)
+	}
+}
+
+func TestRegistryLoadMissing(t *testing.T) {
+	reg := testRegistry(t)
+	if _, _, err := reg.Load("ghost", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, _, err := reg.Load("ghost", 4); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestRegistryRejectsCorruptPayload(t *testing.T) {
+	reg := testRegistry(t)
+	m := testMLP(3)
+	man, err := PublishModule(reg, "line", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored checkpoint behind the registry's back.
+	path := filepath.Join(reg.Dir(), "line", "v000001.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = reg.Load("line", man.Version)
+	var ierr *IntegrityError
+	if !errors.As(err, &ierr) {
+		t.Fatalf("want *IntegrityError, got %v", err)
+	}
+	// Truncation is also caught by the manifest checksum.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Load("line", man.Version); !errors.As(err, &ierr) {
+		t.Fatalf("want *IntegrityError on truncation, got %v", err)
+	}
+}
+
+func TestRegistryRejectsArchMismatch(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := PublishModule(reg, "line", testMLP(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	other := nn.NewMLP([]int{3, 7, 1}, nn.Tanh{}, nn.Identity{}, mlmath.NewRNG(5))
+	_, err := LoadModule(reg, "line", 0, other)
+	var aerr *ArchMismatchError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("want *ArchMismatchError, got %v", err)
+	}
+	// The mismatched load must not have touched the model.
+	probe := []float64{1, 2, 3}
+	fresh := nn.NewMLP([]int{3, 7, 1}, nn.Tanh{}, nn.Identity{}, mlmath.NewRNG(5))
+	if other.Forward(probe)[0] != fresh.Forward(probe)[0] {
+		t.Error("rejected load mutated the model")
+	}
+}
+
+func TestRegistryPrune(t *testing.T) {
+	reg := testRegistry(t)
+	m := testMLP(6)
+	for i := 0; i < 5; i++ {
+		if _, err := PublishModule(reg, "line", m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := reg.Prune("line", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("Prune removed %d, want 3", removed)
+	}
+	list, err := reg.List("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Version != 4 || list[1].Version != 5 {
+		t.Fatalf("after prune: %+v", list)
+	}
+	// Publishing after a prune continues the version sequence.
+	man, err := PublishModule(reg, "line", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 6 {
+		t.Fatalf("post-prune version = %d, want 6", man.Version)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := testRegistry(t)
+	for _, name := range []string{"", "..", "a/b", "a\\b", "a b", "../escape"} {
+		if _, err := reg.Publish(name, "h", nil, func(w io.Writer) error { return nil }); err == nil {
+			t.Errorf("Publish accepted invalid name %q", name)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package modelsvc
+
+import (
+	"sync"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+)
+
+// State is the rollout's deployment phase.
+type State int
+
+const (
+	// Stable: the incumbent serves alone; no candidate is deployed.
+	Stable State = iota
+	// Shadowing: a candidate runs in shadow mode on observed requests,
+	// accumulating the canary window that decides promotion.
+	Shadowing
+)
+
+// String renders the state for logs and manifests.
+func (s State) String() string {
+	if s == Shadowing {
+		return "shadowing"
+	}
+	return "stable"
+}
+
+// Outcome is what one Observe call decided.
+type Outcome int
+
+const (
+	// OutcomeNone: the canary window is still filling (or no candidate is
+	// deployed).
+	OutcomeNone Outcome = iota
+	// OutcomePromoted: the candidate won its window and was atomically
+	// hot-swapped in as the new incumbent.
+	OutcomePromoted
+	// OutcomeRejected: the candidate lost its window and was dropped;
+	// serving falls back to the (never-disturbed) incumbent.
+	OutcomeRejected
+)
+
+// RolloutOptions configures the canary gate.
+type RolloutOptions struct {
+	// Window is the number of shadow observations compared before the gate
+	// decides. Values below one default to 32.
+	Window int
+	// MaxErrRatio scales the promotion bar: the candidate's windowed median
+	// error must be strictly below the incumbent's median times this ratio.
+	// Values <= 0 default to 1 (the candidate must be strictly better).
+	MaxErrRatio float64
+	// MaxLatencyRatio, when positive, additionally requires the candidate's
+	// median shadow-prediction latency to be at most the incumbent's median
+	// times this ratio. Zero disables the latency gate.
+	MaxLatencyRatio float64
+	// ErrFn scores one prediction against the observed truth (lower is
+	// better). Nil defaults to mlmath.QError.
+	ErrFn func(pred, truth float64) float64
+	// Clock times shadow predictions for the latency gate; nil means the
+	// system clock. Under a ManualClock the whole rollout — predictions,
+	// gate decisions, manifest-ready counters — replays deterministically.
+	Clock mlmath.Clock
+	// Fallback, when non-nil, is the expert model Demote falls back to when
+	// there is no previous incumbent to restore.
+	Fallback Predictor
+	// Metrics, when non-nil, receives modelsvc.rollout.* instruments.
+	Metrics *obs.Registry
+}
+
+// latBuckets cover shadow-prediction latencies (seconds) from sub-µs to
+// seconds.
+var latBuckets = obs.ExpBuckets(1e-7, 4, 14)
+
+// errBuckets cover shadow error scores (q-error-like, 1 = perfect).
+var errBuckets = obs.ExpBuckets(1, 2, 17)
+
+// Rollout guards the deployment of a candidate model against the incumbent.
+// Reads (Predict, PredictBatch, Current) snapshot the incumbent under a
+// read-lock; Observe runs the canary comparison and, when the window fills,
+// promotes or rejects the candidate under the write-lock — so a promotion is
+// an atomic hot-swap: every read sees exactly one coherent deployment,
+// before or after, never a torn mixture.
+type Rollout struct {
+	opts RolloutOptions
+
+	mu          sync.RWMutex
+	incumbent   Deployment
+	previous    Deployment // restored by Demote
+	hasPrevious bool
+	candidate   Deployment
+	state       State
+	incErr      []float64
+	candErr     []float64
+	incLat      []float64
+	candLat     []float64
+	promotions  int
+	rejections  int
+	demotions   int
+}
+
+// NewRollout starts a rollout serving the incumbent in the Stable state.
+func NewRollout(incumbent Deployment, opts RolloutOptions) *Rollout {
+	if opts.Window < 1 {
+		opts.Window = 32
+	}
+	if opts.MaxErrRatio <= 0 {
+		opts.MaxErrRatio = 1
+	}
+	if opts.ErrFn == nil {
+		opts.ErrFn = mlmath.QError
+	}
+	r := &Rollout{opts: opts, incumbent: incumbent}
+	opts.Metrics.Gauge("modelsvc.rollout.version").Set(float64(incumbent.Version))
+	return r
+}
+
+// Current returns the deployment serving reads right now.
+func (r *Rollout) Current() Deployment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.incumbent
+}
+
+// State returns the rollout phase.
+func (r *Rollout) State() State {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.state
+}
+
+// Stats returns the lifetime promotion/rejection/demotion counts.
+func (r *Rollout) Stats() (promotions, rejections, demotions int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.promotions, r.rejections, r.demotions
+}
+
+// SetCandidate deploys d as the shadow candidate, resetting the canary
+// window. A candidate already shadowing is replaced (counted as a
+// rejection: it never won its window).
+func (r *Rollout) SetCandidate(d Deployment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == Shadowing {
+		r.rejections++
+		r.opts.Metrics.Counter("modelsvc.rollout.rejections").Inc()
+	}
+	r.candidate = d
+	r.state = Shadowing
+	r.resetWindowLocked()
+	r.opts.Metrics.Counter("modelsvc.rollout.candidates").Inc()
+}
+
+func (r *Rollout) resetWindowLocked() {
+	r.incErr = r.incErr[:0]
+	r.candErr = r.candErr[:0]
+	r.incLat = r.incLat[:0]
+	r.candLat = r.candLat[:0]
+}
+
+// Predict serves one request from the incumbent, returning the value and
+// the coherent version that produced it. The candidate never serves reads
+// until promoted.
+func (r *Rollout) Predict(x []float64) (val float64, version int) {
+	dep := r.Current()
+	return dep.Model.Predict(x), dep.Version
+}
+
+// PredictBatch implements Backend: the deployment is snapshotted once, so
+// the whole batch — and therefore every ticket in a Server flush — is served
+// by one coherent version even if a promotion lands mid-batch. Each output
+// slot is computed independently; the result is bit-identical to the serial
+// per-request loop for every worker count.
+func (r *Rollout) PredictBatch(xs [][]float64, out []float64, pool *mlmath.Pool) int {
+	dep := r.Current()
+	pool.ParallelFor(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = dep.Model.Predict(xs[i])
+		}
+	})
+	return dep.Version
+}
+
+// Observe feeds back one request with known ground truth. In the Shadowing
+// state both models predict x (each timed via the injected clock), the
+// errors join the canary window, and once Window observations have
+// accumulated the gate decides: the candidate is promoted — an atomic
+// hot-swap, the previous incumbent retained for Demote — only if its
+// windowed median error beats the incumbent's (scaled by MaxErrRatio) and
+// it passes the latency gate; otherwise it is rejected and the incumbent
+// keeps serving. In the Stable state Observe records the incumbent's error
+// and returns OutcomeNone.
+func (r *Rollout) Observe(x []float64, truth float64) Outcome {
+	m := r.opts.Metrics
+	clock := mlmath.ClockOrSystem(r.opts.Clock)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	t0 := clock.Now()
+	incPred := r.incumbent.Model.Predict(x)
+	t1 := clock.Now()
+	incErr := r.opts.ErrFn(incPred, truth)
+	m.Histogram("modelsvc.rollout.incumbent_err", errBuckets).Observe(incErr)
+	if r.state != Shadowing {
+		return OutcomeNone
+	}
+
+	t2 := clock.Now()
+	candPred := r.candidate.Model.Predict(x)
+	t3 := clock.Now()
+	candErr := r.opts.ErrFn(candPred, truth)
+	m.Histogram("modelsvc.rollout.candidate_err", errBuckets).Observe(candErr)
+
+	incLat := t1.Sub(t0).Seconds()
+	candLat := t3.Sub(t2).Seconds()
+	m.Histogram("modelsvc.rollout.shadow_latency", latBuckets).Observe(candLat)
+	r.incErr = append(r.incErr, incErr)
+	r.candErr = append(r.candErr, candErr)
+	r.incLat = append(r.incLat, incLat)
+	r.candLat = append(r.candLat, candLat)
+	switch {
+	case candErr < incErr:
+		m.Counter("modelsvc.rollout.shadow_wins").Inc()
+	case candErr > incErr:
+		m.Counter("modelsvc.rollout.shadow_losses").Inc()
+	}
+
+	if len(r.candErr) < r.opts.Window {
+		return OutcomeNone
+	}
+	return r.decideLocked()
+}
+
+// decideLocked applies the canary gate at the end of a full window.
+func (r *Rollout) decideLocked() Outcome {
+	m := r.opts.Metrics
+	incMed := mlmath.Median(r.incErr)
+	candMed := mlmath.Median(r.candErr)
+	promote := candMed < incMed*r.opts.MaxErrRatio
+	if promote && r.opts.MaxLatencyRatio > 0 {
+		incLatMed := mlmath.Median(r.incLat)
+		candLatMed := mlmath.Median(r.candLat)
+		if candLatMed > incLatMed*r.opts.MaxLatencyRatio {
+			promote = false
+		}
+	}
+	m.Gauge("modelsvc.rollout.last_window_incumbent_err").Set(incMed)
+	m.Gauge("modelsvc.rollout.last_window_candidate_err").Set(candMed)
+	if !promote {
+		r.candidate = Deployment{}
+		r.state = Stable
+		r.resetWindowLocked()
+		r.rejections++
+		m.Counter("modelsvc.rollout.rejections").Inc()
+		return OutcomeRejected
+	}
+	r.previous = r.incumbent
+	r.hasPrevious = true
+	r.incumbent = r.candidate
+	r.candidate = Deployment{}
+	r.state = Stable
+	r.resetWindowLocked()
+	r.promotions++
+	m.Counter("modelsvc.rollout.promotions").Inc()
+	m.Gauge("modelsvc.rollout.version").Set(float64(r.incumbent.Version))
+	return OutcomePromoted
+}
+
+// Demote reverts the last promotion: the previous incumbent is restored, or
+// — when no previous incumbent exists — the configured expert Fallback takes
+// over. Any shadowing candidate is dropped (counted as a rejection). Returns
+// false if there is nothing to fall back to.
+func (r *Rollout) Demote() bool {
+	m := r.opts.Metrics
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == Shadowing {
+		r.candidate = Deployment{}
+		r.state = Stable
+		r.resetWindowLocked()
+		r.rejections++
+		m.Counter("modelsvc.rollout.rejections").Inc()
+	}
+	switch {
+	case r.hasPrevious:
+		r.incumbent = r.previous
+		r.previous = Deployment{}
+		r.hasPrevious = false
+	case r.opts.Fallback != nil:
+		r.incumbent = Deployment{Version: 0, Model: r.opts.Fallback}
+	default:
+		return false
+	}
+	r.demotions++
+	m.Counter("modelsvc.rollout.demotions").Inc()
+	m.Gauge("modelsvc.rollout.version").Set(float64(r.incumbent.Version))
+	return true
+}

@@ -1,0 +1,222 @@
+package modelsvc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+)
+
+// biasPredictor predicts truth*factor for the synthetic workload below
+// (inputs carry the truth in x[0]), so its q-error against the truth is
+// exactly factor — a model whose quality is dialed in directly.
+type biasPredictor struct{ factor float64 }
+
+func (p biasPredictor) Predict(x []float64) float64 { return x[0] * p.factor }
+
+// driveWindow feeds n observations whose truth is x[0].
+func driveWindow(r *Rollout, n int) Outcome {
+	out := OutcomeNone
+	for i := 0; i < n; i++ {
+		truth := 10 + float64(i%7)
+		if o := r.Observe([]float64{truth}, truth); o != OutcomeNone {
+			out = o
+		}
+	}
+	return out
+}
+
+func manualRollout(incumbent, window int, metrics *obs.Registry) (*Rollout, *mlmath.ManualClock) {
+	clock := &mlmath.ManualClock{T: time.Unix(1700000000, 0)}
+	r := NewRollout(Deployment{Version: incumbent, Model: biasPredictor{factor: 2}},
+		RolloutOptions{Window: window, Clock: clock, Metrics: metrics})
+	return r, clock
+}
+
+// TestRolloutPromotesBetterCandidate exercises the promotion path under a
+// ManualClock: a candidate with lower windowed q-error is atomically
+// hot-swapped in after exactly Window shadow observations.
+func TestRolloutPromotesBetterCandidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	r, _ := manualRollout(1, 8, reg)
+	r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 1.1}})
+	if r.State() != Shadowing {
+		t.Fatal("SetCandidate did not enter Shadowing")
+	}
+	// Reads still come from the incumbent during shadowing.
+	if _, v := r.Predict([]float64{5}); v != 1 {
+		t.Fatalf("shadowing read served by version %d, want incumbent 1", v)
+	}
+	if out := driveWindow(r, 8); out != OutcomePromoted {
+		t.Fatalf("outcome = %v, want promotion", out)
+	}
+	if dep := r.Current(); dep.Version != 2 {
+		t.Fatalf("post-promotion version = %d, want 2", dep.Version)
+	}
+	if r.State() != Stable {
+		t.Fatal("promotion did not return to Stable")
+	}
+	promos, rejects, _ := r.Stats()
+	if promos != 1 || rejects != 0 {
+		t.Fatalf("stats = %d promotions, %d rejections", promos, rejects)
+	}
+	if got := reg.Counter("modelsvc.rollout.promotions").Value(); got != 1 {
+		t.Fatalf("promotions counter = %d", got)
+	}
+	if got := reg.Counter("modelsvc.rollout.shadow_wins").Value(); got != 8 {
+		t.Fatalf("shadow_wins counter = %d, want 8", got)
+	}
+	if got := reg.Gauge("modelsvc.rollout.version").Value(); got != 2 {
+		t.Fatalf("version gauge = %v, want 2", got)
+	}
+}
+
+// TestRolloutRejectsWorseCandidate is the guarantee the issue demands: a
+// candidate with worse windowed q-error is provably never promoted — the
+// incumbent keeps serving, untouched.
+func TestRolloutRejectsWorseCandidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	r, _ := manualRollout(1, 8, reg)
+	r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 5}})
+	if out := driveWindow(r, 8); out != OutcomeRejected {
+		t.Fatalf("outcome = %v, want rejection", out)
+	}
+	if dep := r.Current(); dep.Version != 1 {
+		t.Fatalf("post-rejection version = %d, want incumbent 1", dep.Version)
+	}
+	promos, rejects, _ := r.Stats()
+	if promos != 0 || rejects != 1 {
+		t.Fatalf("stats = %d promotions, %d rejections", promos, rejects)
+	}
+	if got := reg.Counter("modelsvc.rollout.shadow_losses").Value(); got != 8 {
+		t.Fatalf("shadow_losses counter = %d, want 8", got)
+	}
+}
+
+// TestRolloutTieKeepsIncumbent: an equal candidate does not clear the
+// strictly-better bar — conservative by design.
+func TestRolloutTieKeepsIncumbent(t *testing.T) {
+	r, _ := manualRollout(1, 4, nil)
+	r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 2}})
+	if out := driveWindow(r, 4); out != OutcomeRejected {
+		t.Fatalf("outcome = %v, want rejection on tie", out)
+	}
+	if dep := r.Current(); dep.Version != 1 {
+		t.Fatalf("tie swapped the incumbent (version %d)", dep.Version)
+	}
+}
+
+// TestRolloutLatencyGate: a more accurate candidate is still rejected when
+// its shadow latency blows the latency budget. The TickClock makes each
+// Now() read advance a fixed step, so both models "take" the same measured
+// time; a tighter-than-1 ratio then fails the candidate deterministically.
+func TestRolloutLatencyGate(t *testing.T) {
+	clock := &mlmath.TickClock{T: time.Unix(1700000000, 0), Step: time.Millisecond}
+	r := NewRollout(Deployment{Version: 1, Model: biasPredictor{factor: 2}},
+		RolloutOptions{Window: 4, Clock: clock, MaxLatencyRatio: 0.5})
+	r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 1.1}})
+	if out := driveWindow(r, 4); out != OutcomeRejected {
+		t.Fatalf("outcome = %v, want latency-gate rejection", out)
+	}
+	if dep := r.Current(); dep.Version != 1 {
+		t.Fatal("latency-gated candidate was promoted")
+	}
+}
+
+func TestRolloutDemoteRestoresPrevious(t *testing.T) {
+	reg := obs.NewRegistry()
+	r, _ := manualRollout(1, 4, reg)
+	r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 1.1}})
+	if out := driveWindow(r, 4); out != OutcomePromoted {
+		t.Fatalf("setup promotion failed: %v", out)
+	}
+	if !r.Demote() {
+		t.Fatal("Demote found nothing to restore")
+	}
+	if dep := r.Current(); dep.Version != 1 {
+		t.Fatalf("demotion restored version %d, want 1", dep.Version)
+	}
+	_, _, demotions := r.Stats()
+	if demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", demotions)
+	}
+}
+
+func TestRolloutDemoteFallsBackToExpert(t *testing.T) {
+	expert := biasPredictor{factor: 3}
+	r := NewRollout(Deployment{Version: 1, Model: biasPredictor{factor: 2}},
+		RolloutOptions{Window: 4, Clock: &mlmath.ManualClock{}, Fallback: expert})
+	// No promotion has happened, so there is no previous incumbent: Demote
+	// must fall back to the expert.
+	if !r.Demote() {
+		t.Fatal("Demote with a Fallback returned false")
+	}
+	dep := r.Current()
+	if dep.Version != 0 {
+		t.Fatalf("expert fallback version = %d, want 0", dep.Version)
+	}
+	if got := dep.Model.Predict([]float64{2}); got != 6 {
+		t.Fatalf("fallback model predict = %v, want expert's 6", got)
+	}
+	// With neither previous nor fallback, Demote refuses.
+	r2, _ := manualRollout(1, 4, nil)
+	if r2.Demote() {
+		t.Fatal("Demote with nothing to fall back to returned true")
+	}
+}
+
+// TestRolloutDeterministicUnderManualClock replays the same shadow schedule
+// twice and requires identical decisions and metric values — the replay
+// contract of the subsystem.
+func TestRolloutDeterministicUnderManualClock(t *testing.T) {
+	run := func() (Outcome, string) {
+		reg := obs.NewRegistry()
+		r, clock := manualRollout(1, 8, reg)
+		r.SetCandidate(Deployment{Version: 2, Model: biasPredictor{factor: 1.1}})
+		var last Outcome
+		for i := 0; i < 8; i++ {
+			clock.Advance(time.Millisecond)
+			truth := 10 + float64(i%7)
+			if o := r.Observe([]float64{truth}, truth); o != OutcomeNone {
+				last = o
+			}
+		}
+		return last, reg.Summary()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if o1 != o2 || s1 != s2 {
+		t.Fatalf("replay diverged:\n%v\n%s\nvs\n%v\n%s", o1, s1, o2, s2)
+	}
+	if o1 != OutcomePromoted {
+		t.Fatalf("replayed outcome = %v, want promotion", o1)
+	}
+}
+
+// TestRolloutBatchCoherence: PredictBatch snapshots one deployment for the
+// whole batch and matches the serial loop bit-for-bit at every worker count.
+func TestRolloutBatchCoherence(t *testing.T) {
+	r, _ := manualRollout(3, 4, nil)
+	xs := serveInputs(33, 257, 4)
+	model := biasPredictor{factor: 2}
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = model.Predict(x)
+	}
+	for workers := 1; workers <= 6; workers++ {
+		pool := mlmath.NewPool(workers)
+		out := make([]float64, len(xs))
+		version := r.PredictBatch(xs, out, pool)
+		if version != 3 {
+			t.Fatalf("workers=%d: batch version = %d, want 3", workers, version)
+		}
+		for i := range out {
+			if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, out[i], want[i])
+			}
+		}
+		pool.Close()
+	}
+}

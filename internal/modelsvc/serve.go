@@ -1,0 +1,198 @@
+package modelsvc
+
+import (
+	"errors"
+	"sync"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+)
+
+// Predictor is the single-input inference interface served by this
+// subsystem: a pure function of its input (and of the model's immutable
+// parameters), which is what makes batched execution bit-identical to
+// serial execution for every worker count.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// Deployment pairs a model with the registry version it was loaded from.
+// Version 0 denotes an unversioned (e.g. expert fallback) model.
+type Deployment struct {
+	Version int
+	Model   Predictor
+}
+
+// Backend resolves the current deployment and executes one coalesced batch
+// against it. The whole batch must be served by one coherent deployment:
+// implementations snapshot the deployment once, then fill out[i] from xs[i].
+type Backend interface {
+	PredictBatch(xs [][]float64, out []float64, pool *mlmath.Pool) (version int)
+}
+
+// Single is the trivial Backend: one fixed deployment, no rollout.
+type Single struct {
+	Deployment
+}
+
+// PredictBatch implements Backend. Each output slot is computed
+// independently, so the result is bit-identical for any worker count.
+func (s Single) PredictBatch(xs [][]float64, out []float64, pool *mlmath.Pool) int {
+	pool.ParallelFor(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = s.Model.Predict(xs[i])
+		}
+	})
+	return s.Version
+}
+
+// ErrQueueFull is the admission-control signal: the server's bounded queue
+// is at capacity and the request was rejected. Callers shed load or retry
+// after draining.
+var ErrQueueFull = errors.New("modelsvc: inference queue full")
+
+// Ticket is one queued prediction. Wait blocks until a flush has executed
+// the request's batch and returns the value plus the version that served it.
+type Ticket struct {
+	x       []float64
+	val     float64
+	version int
+	done    chan struct{}
+}
+
+// Wait blocks until the ticket's batch has executed.
+func (t *Ticket) Wait() (val float64, version int) {
+	<-t.done
+	return t.val, t.version
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// MaxQueue bounds the pending-request queue; Submit rejects with
+	// ErrQueueFull beyond it. Values below one default to 1024.
+	MaxQueue int
+	// MaxBatch caps how many requests one batch coalesces. Values below one
+	// default to 64.
+	MaxBatch int
+	// Pool executes batches; nil runs them serially on the flushing
+	// goroutine.
+	Pool *mlmath.Pool
+	// Metrics, when non-nil, receives modelsvc.serve.* instruments.
+	Metrics *obs.Registry
+}
+
+// batchBuckets cover coalesced batch sizes from singletons up to the
+// queue-bound scale.
+var batchBuckets = obs.ExpBuckets(1, 2, 12)
+
+// Server coalesces single predictions into batches. Requests enter a
+// bounded queue via Submit; Flush drains the queue in batches of at most
+// MaxBatch, executing each over the pool through the backend. Predict is
+// the synchronous convenience (Submit + Flush + Wait).
+//
+// The server spawns no goroutines of its own (modelsvc is a determinism-core
+// package): batches run on whichever caller flushes, and concurrent callers
+// coalesce naturally — whoever acquires the flush lock first executes
+// everything queued at that moment, including requests submitted by callers
+// still on their way to Flush, whose Wait then returns immediately.
+type Server struct {
+	backend Backend
+	opts    ServerOptions
+
+	mu      sync.Mutex // guards pending
+	pending []*Ticket
+
+	flushMu sync.Mutex // serializes batch execution
+}
+
+// NewServer builds a server over the backend.
+func NewServer(backend Backend, opts ServerOptions) *Server {
+	if opts.MaxQueue < 1 {
+		opts.MaxQueue = 1024
+	}
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = 64
+	}
+	return &Server{backend: backend, opts: opts}
+}
+
+// Submit enqueues one prediction, returning ErrQueueFull when the bounded
+// queue is at capacity (the rejection is counted, the request dropped).
+func (s *Server) Submit(x []float64) (*Ticket, error) {
+	m := s.opts.Metrics
+	s.mu.Lock()
+	if len(s.pending) >= s.opts.MaxQueue {
+		s.mu.Unlock()
+		m.Counter("modelsvc.serve.rejected").Inc()
+		return nil, ErrQueueFull
+	}
+	t := &Ticket{x: x, done: make(chan struct{})}
+	s.pending = append(s.pending, t)
+	depth := len(s.pending)
+	s.mu.Unlock()
+	m.Counter("modelsvc.serve.submitted").Inc()
+	m.Gauge("modelsvc.serve.queue_depth").Set(float64(depth))
+	return t, nil
+}
+
+// QueueDepth returns the number of pending (unflushed) requests.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Flush drains the queue, executing pending requests in submission order in
+// batches of at most MaxBatch, and returns how many requests this call
+// served. Concurrent flushes serialize; a flush that finds the queue already
+// drained returns 0.
+func (s *Server) Flush() int {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	served := 0
+	for {
+		s.mu.Lock()
+		n := len(s.pending)
+		if n == 0 {
+			s.mu.Unlock()
+			return served
+		}
+		if n > s.opts.MaxBatch {
+			n = s.opts.MaxBatch
+		}
+		batch := s.pending[:n:n]
+		s.pending = s.pending[n:]
+		s.mu.Unlock()
+
+		xs := make([][]float64, len(batch))
+		for i, t := range batch {
+			xs[i] = t.x
+		}
+		out := make([]float64, len(batch))
+		version := s.backend.PredictBatch(xs, out, s.opts.Pool)
+		for i, t := range batch {
+			t.val = out[i]
+			t.version = version
+			close(t.done)
+		}
+		served += len(batch)
+		m := s.opts.Metrics
+		m.Counter("modelsvc.serve.served").Add(int64(len(batch)))
+		m.Counter("modelsvc.serve.batches").Inc()
+		m.Histogram("modelsvc.serve.batch_size", batchBuckets).Observe(float64(len(batch)))
+	}
+}
+
+// Predict is the synchronous path: enqueue, flush, wait. Under concurrency
+// the flush may be performed by another caller; either way the returned
+// value was computed in a coalesced batch served by exactly one deployment,
+// whose version is returned alongside.
+func (s *Server) Predict(x []float64) (val float64, version int, err error) {
+	t, err := s.Submit(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Flush()
+	val, version = t.Wait()
+	return val, version, nil
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"ml4db/internal/mlmath"
@@ -68,5 +69,115 @@ func TestLoadDoesNotPartiallyMutateOnError(t *testing.T) {
 		if before[i] != after[i] {
 			t.Error("failed load mutated the model")
 		}
+	}
+}
+
+// trainedCheckpoint builds a trained model and its serialized checkpoint.
+func trainedCheckpoint(t *testing.T, seed uint64) (*MLP, []byte) {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	src := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, rng)
+	xs := [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}}
+	ys := [][]float64{{1, 0}, {0, 1}}
+	src.Fit(xs, ys, FitOptions{Epochs: 10, Optimizer: NewAdam(0.01), RNG: rng})
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	return src, buf.Bytes()
+}
+
+// loadRejects asserts that loading data into a fresh model returns a
+// *CheckpointError with the given reason and leaves the model untouched.
+func loadRejects(t *testing.T, data []byte, wantReason string) {
+	t.Helper()
+	dst := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, mlmath.NewRNG(7))
+	probe := []float64{0.3, -0.2, 0.7, 0.1}
+	before := dst.Forward(probe)
+	err := LoadCheckpoint(bytes.NewReader(data), dst)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("expected *CheckpointError, got %v", err)
+	}
+	if cerr.Reason != wantReason {
+		t.Fatalf("reason = %q, want %q (detail: %s)", cerr.Reason, wantReason, cerr.Detail)
+	}
+	after := dst.Forward(probe)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("rejected load mutated the model")
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src, data := trainedCheckpoint(t, 11)
+	dst := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, mlmath.NewRNG(99))
+	if err := LoadCheckpoint(bytes.NewReader(data), dst); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2, 0.7, 0.1}
+	a, b := src.Forward(probe), dst.Forward(probe)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ after checkpoint round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	_, data := trainedCheckpoint(t, 12)
+	// Cut the stream at several depths: inside the header, inside the
+	// payload, and one byte short of complete. All must be caught.
+	for _, n := range []int{0, 1, 10, len(data) / 3, 2 * len(data) / 3, len(data) - 1} {
+		loadRejects(t, data[:n], CorruptTruncated)
+	}
+}
+
+func TestCheckpointRejectsBitFlip(t *testing.T) {
+	_, data := trainedCheckpoint(t, 13)
+	// Flip one byte deep inside the payload region: gob framing survives,
+	// so the checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-10] ^= 0xff
+	loadRejects(t, corrupt, CorruptChecksum)
+}
+
+func TestCheckpointRejectsArchMismatch(t *testing.T) {
+	_, data := trainedCheckpoint(t, 14)
+	dst := NewMLP([]int{4, 6, 2}, Tanh{}, Identity{}, mlmath.NewRNG(7))
+	err := LoadCheckpoint(bytes.NewReader(data), dst)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) || cerr.Reason != CorruptArchHash {
+		t.Fatalf("expected arch-hash rejection, got %v", err)
+	}
+}
+
+func TestCheckpointRejectsForeignStream(t *testing.T) {
+	// A gob stream that is not a checkpoint at all: either the first decode
+	// fails (truncated) or the header decodes with the wrong magic.
+	var buf bytes.Buffer
+	src := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, mlmath.NewRNG(15))
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, mlmath.NewRNG(7))
+	err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), dst)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("expected *CheckpointError, got %v", err)
+	}
+}
+
+func TestArchHashDistinguishesArchitectures(t *testing.T) {
+	rng := mlmath.NewRNG(16)
+	a := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, rng)
+	b := NewMLP([]int{4, 8, 2}, Tanh{}, Identity{}, rng)
+	c := NewMLP([]int{4, 9, 2}, Tanh{}, Identity{}, rng)
+	if ArchHash(a) != ArchHash(b) {
+		t.Error("identical architectures hash differently")
+	}
+	if ArchHash(a) == ArchHash(c) {
+		t.Error("different architectures share a hash")
 	}
 }

@@ -1,0 +1,39 @@
+package bao
+
+import (
+	"bytes"
+	"io"
+
+	"ml4db/internal/modelsvc"
+)
+
+// PublishModel checkpoints the bandit's latency-model posterior as a new
+// version in the registry, so a steered optimizer can be restored — or
+// shadow-compared against a retrained candidate — without replaying its
+// training queries.
+func (b *Bao) PublishModel(reg *modelsvc.Registry, name string, meta map[string]string) (modelsvc.Manifest, error) {
+	return reg.Publish(name, b.Bandit.ArchHash(), meta, func(w io.Writer) error {
+		return b.Bandit.SaveState(w)
+	})
+}
+
+// LoadModel restores the bandit posterior from a published version
+// (version 0 = latest). The manifest's architecture hash must match the
+// receiver's bandit — a mismatch returns *modelsvc.ArchMismatchError before
+// any state is touched — and payload corruption is rejected by the
+// registry's checksum verification.
+func (b *Bao) LoadModel(reg *modelsvc.Registry, name string, version int) (modelsvc.Manifest, error) {
+	payload, man, err := reg.Load(name, version)
+	if err != nil {
+		return modelsvc.Manifest{}, err
+	}
+	if got := b.Bandit.ArchHash(); got != man.ArchHash {
+		return modelsvc.Manifest{}, &modelsvc.ArchMismatchError{
+			Name: man.Name, Version: man.Version, Want: man.ArchHash, Got: got,
+		}
+	}
+	if err := b.Bandit.LoadState(bytes.NewReader(payload)); err != nil {
+		return modelsvc.Manifest{}, err
+	}
+	return man, nil
+}

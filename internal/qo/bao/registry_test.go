@@ -1,0 +1,88 @@
+package bao
+
+import (
+	"errors"
+	"testing"
+
+	"ml4db/internal/bandit"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/modelsvc"
+	"ml4db/internal/sqlkit/optimizer"
+)
+
+// TestBaoModelRegistryRoundTrip trains BAO on a few queries, publishes the
+// bandit posterior, and restores it into a fresh instance: the restored
+// optimizer must sample and select exactly like the original under the same
+// RNG stream.
+func TestBaoModelRegistryRoundTrip(t *testing.T) {
+	env, gen := setup(t, 21)
+	src := New(env, optimizer.StandardHintSets(), mlmath.NewRNG(22))
+	for i := 0; i < 30; i++ {
+		if _, _, err := src.RunQuery(gen.Query()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := modelsvc.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := src.PublishModel(reg, "bao-latency", map[string]string{"queries": "30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 1 || man.ArchHash != src.Bandit.ArchHash() {
+		t.Fatalf("unexpected manifest %+v", man)
+	}
+
+	dst := New(env, optimizer.StandardHintSets(), mlmath.NewRNG(99))
+	if _, err := dst.LoadModel(reg, "bao-latency", 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx := []float64{1, 2, 3, 0, 1, 0, 2, 2, 0.5}
+	a, err := src.Bandit.Mean(0, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dst.Bandit.Mean(0, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restored posterior mean differs: %v vs %v", a, b)
+	}
+	// Same RNG state on both sides → identical plan selection.
+	q := gen.QueryWithDims(2)
+	srcRNG, dstRNG := mlmath.NewRNG(5), mlmath.NewRNG(5)
+	src.rng, dst.rng = srcRNG, dstRNG
+	_, armA, err := src.SelectPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, armB, err := dst.SelectPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armA != armB {
+		t.Fatalf("restored BAO selects arm %d, original %d", armB, armA)
+	}
+}
+
+func TestBaoLoadModelRejectsArchMismatch(t *testing.T) {
+	env, _ := setup(t, 23)
+	src := New(env, optimizer.StandardHintSets(), mlmath.NewRNG(24))
+	reg, err := modelsvc.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.PublishModel(reg, "bao-latency", nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(env, optimizer.StandardHintSets(), mlmath.NewRNG(25))
+	// A different context dimension must be rejected before any state moves.
+	dst.Bandit = bandit.NewThompsonLinear(1, planFeatDim+1, 0.3, 1)
+	_, err = dst.LoadModel(reg, "bao-latency", 0)
+	var aerr *modelsvc.ArchMismatchError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("want *modelsvc.ArchMismatchError, got %v", err)
+	}
+}

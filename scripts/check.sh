@@ -41,4 +41,12 @@ trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/ml4db-bench -trace "$obsdir/spans.jsonl" -metrics "$obsdir/metrics.jsonl" -trace-queries 2
 go run ./cmd/ml4db-tracecheck -trace "$obsdir/spans.jsonl" -metrics "$obsdir/metrics.jsonl"
 
+# Serving smoke: exercise the modelsvc lifecycle end to end (registry round
+# trip, batched-vs-serial bit identity, canary gate blocking a worse
+# candidate, admission control) and re-validate its metrics JSONL. The bench
+# exits nonzero if any serving contract is violated.
+echo "==> serving smoke (modelsvc registry + batching + canary gate)"
+go run ./cmd/ml4db-bench -serve -quick -serve-out "$obsdir/BENCH_serve.json" -metrics "$obsdir/serve_metrics.jsonl"
+go run ./cmd/ml4db-tracecheck -metrics "$obsdir/serve_metrics.jsonl"
+
 echo "All checks passed."
