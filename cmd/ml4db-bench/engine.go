@@ -1,0 +1,289 @@
+package main
+
+// Engine benchmark mode (-engine): exercises the internal/engine concurrent
+// query-session front end and writes BENCH_engine.json.
+//
+//   - plan cache: a repeated workload (Q distinct star-join queries × R
+//     passes) through one engine vs the same workload re-planned from scratch
+//     every time. The cache hit-rate must be exactly Q·(R−1)/(Q·R) — every
+//     replay hits, every first sighting misses — and the cached workload must
+//     run at least 1.5× faster than the plan-every-time baseline (the win is
+//     skipped join-order DP, so it holds even on one core);
+//   - admission control: a one-slot engine with a query deterministically
+//     parked in planning must reject every concurrent arrival with the typed
+//     overload error — exactly as many rejections as arrivals, and the slot
+//     must be reusable after the in-flight query drains;
+//   - graceful degradation: with a learned estimator that returns NaN for
+//     every estimate, every query must still succeed through the classical
+//     re-plan (Bao's safety contract: the learned path may be useless, never
+//     harmful), with the fallback counter accounting for each run.
+//
+// Any violated contract makes the benchmark exit nonzero; check.sh runs the
+// -quick variant as a smoke test.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+type engineReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+
+	Tables  int `json:"tables"`
+	Queries int `json:"queries"`
+	Repeats int `json:"repeats"`
+
+	BaselineSec float64 `json:"baseline_sec"`
+	CachedSec   float64 `json:"cached_sec"`
+	Speedup     float64 `json:"speedup"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	HitRate      float64 `json:"hit_rate"`
+	HitRateExact bool    `json:"hit_rate_exact"`
+
+	OverloadOffered  int  `json:"overload_offered"`
+	OverloadRejected int  `json:"overload_rejected"`
+	OverloadExact    bool `json:"overload_exact"`
+
+	FallbackRuns      int  `json:"fallback_runs"`
+	FallbackNeverFail bool `json:"fallback_never_fails"`
+}
+
+// starWorkload builds the benchmark schema and Q distinct star-join queries:
+// same shape (fact ⋈ every dimension), different range literals, so each is
+// its own plan-cache entry on first sighting and a pure hit afterwards.
+func starWorkload(seed uint64, queries int) (*datagen.StarSchema, []*plan.Query, error) {
+	sch, err := datagen.NewStarSchema(mlmath.NewRNG(seed), 4000, 200, 5)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs := make([]*plan.Query, queries)
+	for i := range qs {
+		q := plan.NewQuery(append([]int{sch.FactID}, sch.DimIDs...)...)
+		// Selective filter: execution stays cheap, so the repeated workload is
+		// planning-dominated — the regime a plan cache exists for.
+		q.AddFilter(0, expr.Pred{Col: sch.AttrCols[0], Op: expr.GE, Lo: int64(860 + 7*i)})
+		for d, col := range sch.FKCol {
+			q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: col, RightTable: d + 1, RightCol: 0})
+		}
+		qs[i] = q
+	}
+	return sch, qs, nil
+}
+
+// nanLearnedEstimator is a pathologically broken learned estimator: every
+// estimate is NaN, so the engine's guard must trip on the first call.
+type nanLearnedEstimator struct{}
+
+func (nanLearnedEstimator) ScanRows(q *plan.Query, pos int) float64 { return math.NaN() }
+func (nanLearnedEstimator) JoinSelectivity(q *plan.Query, c expr.JoinCond) float64 {
+	return math.NaN()
+}
+
+// parkingEstimator blocks the first estimator call until released, holding
+// its session's admission slot open while the benchmark offers concurrent
+// arrivals. Benchmark-only; the engine itself spawns nothing.
+type parkingEstimator struct {
+	inner   optimizer.CardEstimator
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (p *parkingEstimator) park() {
+	p.once.Do(func() {
+		close(p.entered)
+		<-p.release
+	})
+}
+
+func (p *parkingEstimator) ScanRows(q *plan.Query, pos int) float64 {
+	p.park()
+	return p.inner.ScanRows(q, pos)
+}
+
+func (p *parkingEstimator) JoinSelectivity(q *plan.Query, c expr.JoinCond) float64 {
+	p.park()
+	return p.inner.JoinSelectivity(q, c)
+}
+
+func runEngineBench(seed uint64, outPath string, quick bool) error {
+	reps := 3
+	queries, repeats := 12, 25
+	if quick {
+		reps = 1
+		queries, repeats = 6, 10
+	}
+	sch, qs, err := starWorkload(seed, queries)
+	if err != nil {
+		return err
+	}
+	rep := engineReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Seed: seed, Quick: quick,
+		Tables: 1 + len(sch.DimIDs), Queries: queries, Repeats: repeats,
+	}
+
+	// Baseline: every run plans from scratch, then executes.
+	opt := optimizer.New(sch.Cat)
+	exc := exec.New(sch.Cat)
+	var baselineRows int
+	rep.BaselineSec = bestOf(reps, func() {
+		baselineRows = 0
+		for r := 0; r < repeats; r++ {
+			for _, q := range qs {
+				p, err := opt.Plan(q, optimizer.NoHint())
+				if err != nil {
+					panic(err)
+				}
+				res, err := exc.Execute(p, exec.Options{})
+				if err != nil {
+					panic(err)
+				}
+				baselineRows += len(res.Rows)
+			}
+		}
+	})
+
+	// Cached: the same workload through one engine; after the first pass every
+	// plan comes from the cache. A fresh engine per timed run keeps the cold
+	// misses inside the measurement.
+	runCached := func(reg *obs.Registry) int {
+		eng := engine.New(sch.Cat, engine.Options{Metrics: reg})
+		sess := eng.Session()
+		rows := 0
+		for r := 0; r < repeats; r++ {
+			for _, q := range qs {
+				res, err := sess.Run(q)
+				if err != nil {
+					panic(err)
+				}
+				rows += len(res.Rows)
+			}
+		}
+		return rows
+	}
+	reg := obs.NewRegistry()
+	if got := runCached(reg); got != baselineRows {
+		return fmt.Errorf("cached workload returned %d rows, baseline %d", got, baselineRows)
+	}
+	rep.CacheHits = reg.Counter("engine.plancache.hits").Value()
+	rep.CacheMisses = reg.Counter("engine.plancache.misses").Value()
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(total)
+	}
+	rep.HitRateExact = rep.CacheMisses == int64(queries) &&
+		rep.CacheHits == int64(queries*(repeats-1))
+	if !rep.HitRateExact {
+		return fmt.Errorf("cache hit-rate is not exact: hits=%d misses=%d, want %d/%d",
+			rep.CacheHits, rep.CacheMisses, queries*(repeats-1), queries)
+	}
+	rep.CachedSec = bestOf(reps, func() { runCached(nil) })
+	rep.Speedup = rep.BaselineSec / rep.CachedSec
+	if rep.Speedup < 1.5 {
+		return fmt.Errorf("plan cache speedup %.2fx < 1.5x on the repeated workload", rep.Speedup)
+	}
+
+	// Admission overflow exactness: park the only slot inside planning, offer
+	// N arrivals, and require N typed rejections — then a clean drain.
+	const offered = 32
+	rep.OverloadOffered = offered
+	admReg := obs.NewRegistry()
+	one := engine.New(sch.Cat, engine.Options{MaxConcurrent: 1, Metrics: admReg})
+	parked := &parkingEstimator{
+		inner:   &optimizer.HistEstimator{Cat: sch.Cat},
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	if err := one.SetEstimator(parked, 1); err != nil {
+		return err
+	}
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := one.Run(qs[0])
+		inflight <- err
+	}()
+	<-parked.entered
+	for i := 0; i < offered; i++ {
+		_, err := one.Run(qs[i%len(qs)])
+		if errors.Is(err, engine.ErrOverloaded) {
+			rep.OverloadRejected++
+		} else if err != nil {
+			return fmt.Errorf("overloaded engine returned a non-overload error: %v", err)
+		}
+	}
+	close(parked.release)
+	if err := <-inflight; err != nil {
+		return fmt.Errorf("in-flight query failed after drain: %v", err)
+	}
+	if _, err := one.Run(qs[0]); err != nil {
+		return fmt.Errorf("run after drain: %v", err)
+	}
+	rep.OverloadExact = rep.OverloadRejected == offered &&
+		admReg.Counter("engine.rejected").Value() == offered &&
+		admReg.Counter("engine.admitted").Value() == 2
+	if !rep.OverloadExact {
+		return fmt.Errorf("admission overflow is not exact: rejected %d of %d (counters: rejected=%d admitted=%d)",
+			rep.OverloadRejected, offered,
+			admReg.Counter("engine.rejected").Value(), admReg.Counter("engine.admitted").Value())
+	}
+
+	// Fallback never fails: a NaN-spewing learned estimator must not cost a
+	// single query — every run re-plans classically and matches the baseline.
+	fbReg := obs.NewRegistry()
+	fb := engine.New(sch.Cat, engine.Options{Metrics: fbReg})
+	if err := fb.SetEstimator(nanLearnedEstimator{}, 1); err != nil {
+		return err
+	}
+	rep.FallbackNeverFail = true
+	for _, q := range qs {
+		res, err := fb.Run(q)
+		if err != nil || !res.Fallback {
+			rep.FallbackNeverFail = false
+			return fmt.Errorf("broken-estimator run: err=%v fallback=%v, want clean classical fallback", err, res != nil && res.Fallback)
+		}
+		rep.FallbackRuns++
+	}
+	if got := fbReg.Counter("engine.fallbacks").Value(); got != int64(queries) {
+		rep.FallbackNeverFail = false
+		return fmt.Errorf("fallback counter = %d, want %d", got, queries)
+	}
+
+	fmt.Printf("%-24s baseline %8.4fs  cached %8.4fs  speedup %.2fx\n",
+		fmt.Sprintf("engine_q%d_r%d", queries, repeats), rep.BaselineSec, rep.CachedSec, rep.Speedup)
+	fmt.Printf("%-24s hits %d  misses %d  hit-rate %.3f  exact %v\n",
+		"plan_cache", rep.CacheHits, rep.CacheMisses, rep.HitRate, rep.HitRateExact)
+	fmt.Printf("%-24s offered %d  rejected %d  exact %v\n",
+		"admission_overflow", rep.OverloadOffered, rep.OverloadRejected, rep.OverloadExact)
+	fmt.Printf("%-24s runs %d  never-fails %v\n",
+		"estimator_fallback", rep.FallbackRuns, rep.FallbackNeverFail)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d)\n", outPath, rep.GOMAXPROCS)
+	return nil
+}

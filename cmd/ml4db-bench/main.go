@@ -9,6 +9,7 @@
 //	ml4db-bench -trace spans.jsonl -metrics metrics.jsonl [-trace-queries N]
 //	ml4db-bench -obsbench [-obs-out FILE]
 //	ml4db-bench -serve [-quick] [-serve-out FILE] [-metrics metrics.jsonl]
+//	ml4db-bench -engine [-quick] [-engine-out FILE]
 //
 // The -kernels mode skips the experiments and instead benchmarks the
 // parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
@@ -25,6 +26,12 @@
 // registry round trips, batched vs serial inference, canary-gate rollouts,
 // admission control — writing BENCH_serve.json and, with -metrics, the
 // subsystem's metrics JSONL (see docs/SERVING.md).
+//
+// The -engine mode benchmarks the internal/engine query-session front end —
+// plan-cache speedup on a repeated workload, exact cache hit accounting,
+// admission overflow, and learned-estimator fallback — writing
+// BENCH_engine.json and exiting nonzero if any engine contract is violated
+// (see docs/ENGINE.md).
 package main
 
 import (
@@ -51,7 +58,17 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output file for -obsbench results")
 	serve := flag.Bool("serve", false, "benchmark the modelsvc serving subsystem (registry, batching, rollout)")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -serve results")
+	engineBench := flag.Bool("engine", false, "benchmark the query-session engine (plan cache, admission, fallback)")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "output file for -engine results")
 	flag.Parse()
+
+	if *engineBench {
+		if err := runEngineBench(*seed, *engineOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serve {
 		if err := runServeBench(*seed, *serveOut, *metricsPath, *quick); err != nil {

@@ -99,6 +99,7 @@ var corePkgSegments = map[string]bool{
 	"planrep":      true,
 	"obs":          true,
 	"modelsvc":     true,
+	"engine":       true,
 }
 
 // IsCorePackage reports whether pkgPath denotes one of the core model

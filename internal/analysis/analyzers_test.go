@@ -17,6 +17,10 @@ func TestDeterminismFiresInModelsvc(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/modelsvc")
 }
 
+func TestDeterminismFiresInEngine(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/engine")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

@@ -1,0 +1,43 @@
+// Package engine is a determinism fixture: the query-session front end is a
+// core package, so ad-hoc goroutines, wall-clock reads, and map-order cache
+// sweeps must fire here. The real engine admits on a channel semaphore
+// (callers bring the concurrency), budgets queries in work units instead of
+// wall time, and walks its cache through an LRU list, never a map range.
+package engine
+
+import (
+	"sort"
+	"time"
+)
+
+// Admit mirrors an admission controller that wrongly spawns a watchdog
+// goroutine and enforces its "budget" with the wall clock.
+func Admit(pending []string, deadline time.Duration) []string {
+	start := time.Now() // want "time.Now"
+
+	done := make(chan struct{})
+	go func() { close(done) }() // want "goroutine"
+	<-done
+
+	if time.Since(start) > deadline { // want "time.Since"
+		return nil
+	}
+	return pending
+}
+
+// SweepCache mirrors a cache eviction pass that collects victim keys by
+// ranging over the cache map: the eviction order would differ run to run.
+func SweepCache(entries map[string]int) []string {
+	var victims []string
+	for key := range entries {
+		victims = append(victims, key) // want "nondeterministic"
+	}
+
+	// Sorted afterwards: well-defined order, no finding.
+	var keys []string
+	for key := range entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return append(victims, keys...)
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// cacheKey renders the canonical identity of a planning problem: the query's
+// tables, filters (literals included), and join conditions in a normalized
+// order, plus the hint-set name and the catalog/estimator versions the plan
+// would be built against.
+//
+// Normalization makes the key insensitive to the incidental order in which
+// filters and joins were added — two spellings of the same query share one
+// cache entry — while the version fields make every entry planned against
+// stale statistics or a superseded estimator unreachable without scanning
+// the cache.
+func cacheKey(q *plan.Query, hintName string, statsVersion, estimatorVersion int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d/e%d/h%s", statsVersion, estimatorVersion, hintName)
+	for pos, tid := range q.Tables {
+		fmt.Fprintf(&b, "|T%d", tid)
+		preds := append([]expr.Pred(nil), q.Filters[pos]...)
+		sort.Slice(preds, func(i, j int) bool { return predLess(preds[i], preds[j]) })
+		for _, p := range preds {
+			fmt.Fprintf(&b, ":%s", p)
+		}
+	}
+	joins := make([]expr.JoinCond, len(q.Joins))
+	for i, j := range q.Joins {
+		// Orient each condition smaller side first; equality is symmetric.
+		if j.RightTable < j.LeftTable || (j.RightTable == j.LeftTable && j.RightCol < j.LeftCol) {
+			j = expr.JoinCond{LeftTable: j.RightTable, LeftCol: j.RightCol, RightTable: j.LeftTable, RightCol: j.LeftCol}
+		}
+		joins[i] = j
+	}
+	sort.Slice(joins, func(i, j int) bool { return joinLess(joins[i], joins[j]) })
+	for _, j := range joins {
+		fmt.Fprintf(&b, "|%s", j)
+	}
+	return b.String()
+}
+
+func predLess(a, b expr.Pred) bool {
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return a.Hi < b.Hi
+}
+
+func joinLess(a, b expr.JoinCond) bool {
+	if a.LeftTable != b.LeftTable {
+		return a.LeftTable < b.LeftTable
+	}
+	if a.LeftCol != b.LeftCol {
+		return a.LeftCol < b.LeftCol
+	}
+	if a.RightTable != b.RightTable {
+		return a.RightTable < b.RightTable
+	}
+	return a.RightCol < b.RightCol
+}
+
+// cacheEntry is one cached plan under its full key.
+type cacheEntry struct {
+	key  string
+	plan *plan.Node
+}
+
+// planCache is a mutex-guarded LRU of optimized plans shared by all sessions
+// of an engine. Plans are stored and served as deep clones: the executor
+// mutates ActualRows annotations in place, so handing the stored tree to two
+// concurrent sessions would race.
+type planCache struct {
+	capacity int
+	metrics  *obs.Registry // nil-safe; counters under engine.plancache.*
+
+	mu    sync.Mutex
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // element value: *cacheEntry
+}
+
+func newPlanCache(capacity int, metrics *obs.Registry) *planCache {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &planCache{
+		capacity: capacity,
+		metrics:  metrics,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns a deep clone of the cached plan for key, promoting the entry
+// to most recently used.
+func (c *planCache) Get(key string) (*plan.Node, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.mu.Unlock()
+		c.metrics.Counter("engine.plancache.misses").Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	p := el.Value.(*cacheEntry).plan.Clone()
+	c.mu.Unlock()
+	c.metrics.Counter("engine.plancache.hits").Inc()
+	return p, true
+}
+
+// Put stores a deep clone of the plan under key, evicting the least recently
+// used entry past capacity. Re-putting an existing key refreshes its
+// recency but keeps the first plan (both were built from identical inputs).
+func (c *planCache) Put(key string, p *plan.Node) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, plan: p.Clone()})
+	evicted := 0
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.metrics.Counter("engine.plancache.evictions").Add(int64(evicted))
+	}
+}
+
+// Invalidate drops every entry, returning how many were dropped. Version
+// bumps already make stale keys unreachable; dropping them too frees the
+// memory immediately instead of waiting for LRU pressure.
+func (c *planCache) Invalidate() int {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element, c.capacity)
+	c.mu.Unlock()
+	if n > 0 {
+		c.metrics.Counter("engine.plancache.invalidations").Add(int64(n))
+	}
+	return n
+}
+
+// Len returns the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+func twoTableQuery(mutate func(q *plan.Query)) *plan.Query {
+	q := plan.NewQuery(3, 5)
+	q.AddFilter(0, expr.Pred{Col: 1, Op: expr.GE, Lo: 10})
+	q.AddFilter(0, expr.Pred{Col: 2, Op: expr.EQ, Lo: 7})
+	q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
+	if mutate != nil {
+		mutate(q)
+	}
+	return q
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	base := cacheKey(twoTableQuery(nil), "default", 1, 2)
+
+	// Filter order is incidental: reversed filters share the key.
+	reordered := plan.NewQuery(3, 5)
+	reordered.AddFilter(0, expr.Pred{Col: 2, Op: expr.EQ, Lo: 7})
+	reordered.AddFilter(0, expr.Pred{Col: 1, Op: expr.GE, Lo: 10})
+	reordered.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
+	if got := cacheKey(reordered, "default", 1, 2); got != base {
+		t.Errorf("filter order changed the key:\n%s\nvs\n%s", got, base)
+	}
+
+	// Join orientation is incidental: the flipped condition shares the key.
+	flipped := twoTableQuery(func(q *plan.Query) {
+		q.Joins = []expr.JoinCond{{LeftTable: 1, LeftCol: 0, RightTable: 0, RightCol: 0}}
+	})
+	if got := cacheKey(flipped, "default", 1, 2); got != base {
+		t.Errorf("join orientation changed the key:\n%s\nvs\n%s", got, base)
+	}
+
+	// Everything that changes the planning problem changes the key.
+	distinct := map[string]string{
+		"literal":   cacheKey(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Lo = 11 }), "default", 1, 2),
+		"operator":  cacheKey(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Op = expr.LE }), "default", 1, 2),
+		"table":     cacheKey(twoTableQuery(func(q *plan.Query) { q.Tables[1] = 6 }), "default", 1, 2),
+		"join col":  cacheKey(twoTableQuery(func(q *plan.Query) { q.Joins[0].RightCol = 1 }), "default", 1, 2),
+		"hint":      cacheKey(twoTableQuery(nil), "hash-only", 1, 2),
+		"stats ver": cacheKey(twoTableQuery(nil), "default", 2, 2),
+		"est ver":   cacheKey(twoTableQuery(nil), "default", 1, 3),
+	}
+	seen := map[string]string{base: "base"}
+	for what, key := range distinct {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s collides with %s: %s", what, prev, key)
+		}
+		seen[key] = what
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newPlanCache(2, reg)
+	mk := func(i int) *plan.Node { return plan.NewScan(i, i, nil) }
+	c.Put("a", mk(1))
+	c.Put("b", mk(2))
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", mk(3))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived past capacity")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry c was evicted")
+	}
+	if got := reg.Counter("engine.plancache.evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheServesClones(t *testing.T) {
+	c := newPlanCache(4, nil)
+	orig := plan.NewJoin(plan.OpHashJoin, plan.NewScan(0, 0, nil), plan.NewScan(1, 1, nil), 0, 0)
+	c.Put("k", orig)
+
+	// Mutating the inserted tree after Put must not reach the cache.
+	orig.ActualRows = 999
+	got1, _ := c.Get("k")
+	if got1.ActualRows != 0 {
+		t.Error("Put aliased the caller's tree instead of storing a clone")
+	}
+	// Mutating a served tree must not reach later readers (the executor
+	// writes ActualRows into whatever tree it runs).
+	got1.Children[0].ActualRows = 123
+	got2, _ := c.Get("k")
+	if got2.Children[0].ActualRows != 0 {
+		t.Error("Get aliased the stored tree instead of serving a clone")
+	}
+	if got1 == got2 {
+		t.Error("two Gets returned the same tree")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newPlanCache(8, reg)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), plan.NewScan(i, i, nil))
+	}
+	if n := c.Invalidate(); n != 5 {
+		t.Errorf("Invalidate dropped %d, want 5", n)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after invalidate, want 0", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("entry survived invalidation")
+	}
+	if got := reg.Counter("engine.plancache.invalidations").Value(); got != 5 {
+		t.Errorf("invalidations = %d, want 5", got)
+	}
+	// Cache keeps working after invalidation.
+	c.Put("fresh", plan.NewScan(0, 0, nil))
+	if _, ok := c.Get("fresh"); !ok {
+		t.Error("cache unusable after invalidation")
+	}
+}

@@ -1,0 +1,189 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/modelsvc"
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// constEstimator is a healthy learned estimator with estimates far from the
+// histogram path: tiny scans, selectivity one. It deliberately steers the
+// optimizer toward different plans than the classical estimator would pick.
+type constEstimator struct{}
+
+func (constEstimator) ScanRows(q *plan.Query, pos int) float64                { return 2 }
+func (constEstimator) JoinSelectivity(q *plan.Query, c expr.JoinCond) float64 { return 1 }
+
+// TestCacheCoherenceAcrossHints is the plan-cache coherence property, checked
+// for every standard hint set: a cached plan is never served after a stats
+// refresh or an estimator promotion — the next run re-plans against current
+// state and must produce exactly the plan a fresh optimizer would build.
+func TestCacheCoherenceAcrossHints(t *testing.T) {
+	plansChangedOnRefresh := 0
+	plansChangedOnPromotion := 0
+	for _, hint := range optimizer.StandardHintSets() {
+		hint := hint
+		t.Run(hint.Name, func(t *testing.T) {
+			sch := chainCatalog(t, 11)
+			eng := engine.New(sch.Cat, engine.Options{Metrics: obs.NewRegistry()})
+			sess := eng.Session()
+			sess.Hint = hint
+			q := chainQuery(sch)
+
+			warm, err := sess.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res, err := sess.Run(q); err != nil || !res.CacheHit {
+				t.Fatalf("warm replay: err=%v hit=%v, want cached", err, res.CacheHit)
+			}
+
+			// Shift the data distribution hard: t2 grows 50x, so join
+			// cardinalities (and with them many hinted plans) change.
+			t2 := sch.Cat.Table(sch.TableIDs[2])
+			for i := 0; i < 5000; i++ {
+				if err := t2.AppendRow([]int64{int64(100 + i), 0, int64(i % 37)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.RefreshStats(32, 512)
+
+			afterRefresh, err := sess.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterRefresh.CacheHit {
+				t.Error("cached plan served after a stats refresh")
+			}
+			fresh, err := optimizer.New(sch.Cat).Plan(q, hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterRefresh.Plan.String() != fresh.String() {
+				t.Errorf("post-refresh plan is not the fresh classical plan:\n%svs\n%s", afterRefresh.Plan, fresh)
+			}
+			if afterRefresh.Plan.String() != warm.Plan.String() {
+				plansChangedOnRefresh++
+			}
+
+			// Estimator promotion: the next run must re-plan under the new
+			// estimator, matching a fresh optimizer using it directly.
+			if err := eng.SetEstimator(constEstimator{}, 2); err != nil {
+				t.Fatal(err)
+			}
+			afterPromo, err := sess.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterPromo.CacheHit {
+				t.Error("cached plan served after an estimator promotion")
+			}
+			if afterPromo.Fallback {
+				t.Error("healthy promoted estimator triggered fallback")
+			}
+			learnedOpt := &optimizer.Optimizer{Cat: sch.Cat, Est: constEstimator{}, Cost: optimizer.DefaultCostParams()}
+			freshLearned, err := learnedOpt.Plan(q, hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterPromo.Plan.String() != freshLearned.String() {
+				t.Errorf("post-promotion plan is not the fresh learned plan:\n%svs\n%s", afterPromo.Plan, freshLearned)
+			}
+			if afterPromo.Plan.String() != afterRefresh.Plan.String() {
+				plansChangedOnPromotion++
+			}
+
+			// And the cache works again afterwards.
+			if res, err := sess.Run(q); err != nil || !res.CacheHit {
+				t.Fatalf("replay after promotion: err=%v hit=%v, want cached", err, res.CacheHit)
+			}
+		})
+	}
+	// The property must not hold vacuously: the invalidation events actually
+	// changed the chosen plan for at least one hint set.
+	if plansChangedOnRefresh == 0 {
+		t.Error("stats refresh changed no plan under any hint set; property test is vacuous")
+	}
+	if plansChangedOnPromotion == 0 {
+		t.Error("estimator promotion changed no plan under any hint set; property test is vacuous")
+	}
+}
+
+// TestSyncRolloutPromotion drives a modelsvc canary promotion and checks the
+// engine picks it up exactly once, invalidating the plan cache.
+func TestSyncRolloutPromotion(t *testing.T) {
+	sch := chainCatalog(t, 12)
+	reg := obs.NewRegistry()
+	eng := engine.New(sch.Cat, engine.Options{Metrics: reg})
+	q := chainQuery(sch)
+
+	clock := &mlmath.ManualClock{T: time.Unix(1700000000, 0)}
+	rollout := modelsvc.NewRollout(
+		modelsvc.Deployment{Version: 1, Model: versionModel{1}},
+		modelsvc.RolloutOptions{Window: 2, Clock: clock, ErrFn: func(pred, truth float64) float64 {
+			if pred == truth {
+				return 0
+			}
+			return 1
+		}})
+	mk := func(d modelsvc.Deployment) optimizer.CardEstimator {
+		if d.Version >= 2 {
+			return constEstimator{}
+		}
+		return &optimizer.HistEstimator{Cat: sch.Cat}
+	}
+
+	if installed, err := eng.SyncRollout(rollout, mk); err != nil || !installed {
+		t.Fatalf("initial sync: installed=%v err=%v, want install of v1", installed, err)
+	}
+	if v := eng.EstimatorVersion(); v != 1 {
+		t.Fatalf("EstimatorVersion = %d, want 1", v)
+	}
+	if _, err := eng.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	// No promotion yet: syncing again is a no-op and the cache survives.
+	if installed, err := eng.SyncRollout(rollout, mk); err != nil || installed {
+		t.Fatalf("idle sync: installed=%v err=%v, want no-op", installed, err)
+	}
+	if res, err := eng.Run(q); err != nil || !res.CacheHit {
+		t.Fatalf("pre-promotion replay: err=%v, hit=%v", err, res.CacheHit)
+	}
+
+	// Promote version 2 through the canary gate: candidate matches the truth
+	// on every window sample, incumbent never does.
+	rollout.SetCandidate(modelsvc.Deployment{Version: 2, Model: versionModel{2}})
+	for i := 0; i < 2; i++ {
+		if out := rollout.Observe([]float64{0}, 2); i == 1 && out != modelsvc.OutcomePromoted {
+			t.Fatalf("observe %d: outcome %v, want promotion", i, out)
+		}
+	}
+	if installed, err := eng.SyncRollout(rollout, mk); err != nil || !installed {
+		t.Fatalf("post-promotion sync: installed=%v err=%v, want install", installed, err)
+	}
+	if v := eng.EstimatorVersion(); v != 2 {
+		t.Fatalf("EstimatorVersion = %d, want 2", v)
+	}
+	res, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("cached plan served across a rollout promotion")
+	}
+	if res.EstimatorVersion != 2 {
+		t.Errorf("result EstimatorVersion = %d, want 2", res.EstimatorVersion)
+	}
+}
+
+// versionModel predicts its own version (see modelsvc race tests).
+type versionModel struct{ v int }
+
+func (m versionModel) Predict(x []float64) float64 { return float64(m.v) }

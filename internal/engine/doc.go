@@ -1,0 +1,27 @@
+// Package engine is the concurrent query-session front end of the relational
+// engine: the layer a driver program talks to instead of wiring optimizer,
+// executor, and estimator together by hand.
+//
+// It composes four mechanisms the ML4DB survey treats as prerequisites for
+// deploying learned components inside a database (§4):
+//
+//   - Bounded admission: at most MaxConcurrent sessions run at once; excess
+//     arrivals are rejected immediately with ErrOverloaded rather than queued
+//     without bound (load shedding, mirroring modelsvc's inference queue).
+//   - A shared plan cache keyed by the normalized query shape plus the
+//     catalog-statistics version, the learned-estimator version, and the hint
+//     set. A hit replays the identical plan; any stats refresh or estimator
+//     promotion makes every stale key unreachable.
+//   - Deterministic work budgets: per-query limits counted in executor work
+//     units and materialized rows (exec.Budget), never wall time, so an
+//     aborted query aborts at the same point on every replay.
+//   - Graceful degradation: when a learned cardinality estimator misbehaves
+//     during planning — a non-finite estimate or an exhausted call budget —
+//     the engine re-plans through the classical histogram path and counts the
+//     fallback (Bao's safety contract: the learned component may lose, but it
+//     must never take the system down with it).
+//
+// engine is a determinism-core package: it spawns no goroutines (concurrency
+// is whatever its callers bring) and reads no ambient time or randomness, so
+// a single-threaded replay of a recorded workload is byte-identical.
+package engine

@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"ml4db/internal/modelsvc"
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// ErrOverloaded is the admission-control sentinel: the engine is already
+// running its maximum number of concurrent sessions and rejected the query
+// instead of queueing it. Rejections surface as *OverloadedError, which
+// matches this sentinel under errors.Is.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// OverloadedError reports an admission rejection with the concurrency limit
+// that was saturated at the time.
+type OverloadedError struct {
+	Limit int
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("engine: overloaded (%d sessions already active)", e.Limit)
+}
+
+// Is reports admission rejections as ErrOverloaded for errors.Is callers.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Options configures an Engine.
+type Options struct {
+	// MaxConcurrent bounds the number of sessions executing at once; further
+	// arrivals are rejected with ErrOverloaded. Values below one default
+	// to 8.
+	MaxConcurrent int
+	// CacheSize bounds the shared plan cache in entries. Values below one
+	// default to 256.
+	CacheSize int
+	// DefaultBudget, when non-nil, applies to every query whose session does
+	// not set its own budget.
+	DefaultBudget *exec.Budget
+	// EstimatorCallBudget caps how many times one planning pass may invoke
+	// the learned estimator before the engine gives up on it and re-plans
+	// classically — the deterministic analogue of an inference timeout.
+	// Zero means unlimited.
+	EstimatorCallBudget int64
+	// Metrics, when non-nil, receives the engine.* instruments.
+	Metrics *obs.Registry
+	// Trace, when non-nil, wraps each query in an engine.query span.
+	Trace *obs.Tracer
+}
+
+// Result is the outcome of one engine query.
+type Result struct {
+	*exec.Result
+	// Plan is the executed physical plan (the session's private copy).
+	Plan *plan.Node
+	// CacheHit reports whether the plan came from the shared plan cache.
+	CacheHit bool
+	// Fallback reports that the learned estimator failed during planning and
+	// the plan was rebuilt through the classical path.
+	Fallback bool
+	// EstimatorVersion is the learned-estimator version the plan was built
+	// under (0 when planning was classical).
+	EstimatorVersion int
+}
+
+// Engine is the concurrent query front end: admission control, a shared plan
+// cache, per-query budgets, and learned-estimator fallback over one catalog.
+//
+// The engine spawns no goroutines; each session runs on its caller. All
+// methods are safe for concurrent use.
+type Engine struct {
+	cat  *catalog.Catalog
+	exc  *exec.Executor
+	opts Options
+
+	// slots is the admission semaphore: one token per running session.
+	slots chan struct{}
+	cache *planCache
+
+	mu           sync.Mutex
+	statsVersion int
+	estVersion   int
+	learned      optimizer.CardEstimator
+	classical    *optimizer.Optimizer
+}
+
+// New builds an engine over the catalog. The catalog should already be
+// analyzed (AnalyzeAll); RefreshStats re-analyzes later.
+func New(cat *catalog.Catalog, opts Options) *Engine {
+	if opts.MaxConcurrent < 1 {
+		opts.MaxConcurrent = 8
+	}
+	e := &Engine{
+		cat:       cat,
+		exc:       exec.New(cat),
+		opts:      opts,
+		slots:     make(chan struct{}, opts.MaxConcurrent),
+		cache:     newPlanCache(opts.CacheSize, opts.Metrics),
+		classical: optimizer.New(cat),
+	}
+	e.exc.Trace = opts.Trace
+	e.exc.Metrics = opts.Metrics
+	return e
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// StatsVersion returns the current catalog-statistics version. It starts at
+// zero and increments on every RefreshStats.
+func (e *Engine) StatsVersion() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statsVersion
+}
+
+// EstimatorVersion returns the installed learned-estimator version (zero
+// when none is installed).
+func (e *Engine) EstimatorVersion() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.estVersion
+}
+
+// CachedPlans returns the number of plans currently cached.
+func (e *Engine) CachedPlans() int { return e.cache.Len() }
+
+// RefreshStats re-analyzes every table (a database-wide ANALYZE), bumps the
+// statistics version, and invalidates the plan cache: no plan built against
+// the old statistics can be served afterwards.
+//
+// The refresh quiesces the engine first by taking every admission slot, so
+// statistics never change under a session that is planning or executing;
+// it blocks until in-flight sessions drain, and admissions arriving
+// meanwhile are rejected with ErrOverloaded.
+func (e *Engine) RefreshStats(buckets, sampleSize int) {
+	for i := 0; i < cap(e.slots); i++ {
+		e.slots <- struct{}{}
+	}
+	e.cat.AnalyzeAll(buckets, sampleSize)
+	e.mu.Lock()
+	e.statsVersion++
+	e.mu.Unlock()
+	e.cache.Invalidate()
+	e.opts.Metrics.Counter("engine.stats_refreshes").Inc()
+	for i := 0; i < cap(e.slots); i++ {
+		<-e.slots
+	}
+}
+
+// SetEstimator installs (or, with a nil estimator, removes) the learned
+// cardinality estimator under the given deployment version and invalidates
+// the plan cache. Version zero always means "classical only"; installing an
+// estimator requires a nonzero version so cache keys distinguish it.
+func (e *Engine) SetEstimator(est optimizer.CardEstimator, version int) error {
+	if est != nil && version == 0 {
+		return fmt.Errorf("engine: learned estimator requires a nonzero version")
+	}
+	if est == nil {
+		version = 0
+	}
+	e.mu.Lock()
+	e.learned = est
+	e.estVersion = version
+	e.mu.Unlock()
+	e.cache.Invalidate()
+	e.opts.Metrics.Counter("engine.estimator_installs").Inc()
+	return nil
+}
+
+// SyncRollout aligns the engine with a modelsvc canary rollout: when the
+// rollout's current deployment version differs from the installed estimator
+// version, the estimator built by mk for that deployment is installed (which
+// invalidates the plan cache). Call it after observing rollout outcomes; a
+// promotion or demotion then reaches the planner exactly once. Returns
+// whether an install happened.
+func (e *Engine) SyncRollout(r *modelsvc.Rollout, mk func(modelsvc.Deployment) optimizer.CardEstimator) (bool, error) {
+	d := r.Current()
+	if d.Version == e.EstimatorVersion() {
+		return false, nil
+	}
+	if err := e.SetEstimator(mk(d), d.Version); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Session returns a new session with the default hint set and the engine's
+// default budget. Sessions are lightweight; create one per logical client.
+func (e *Engine) Session() *Session {
+	return &Session{eng: e, Hint: optimizer.NoHint()}
+}
+
+// Run executes q with the default hint set, budget, and no EXPLAIN — the
+// one-shot convenience over Session.
+func (e *Engine) Run(q *plan.Query) (*Result, error) {
+	return e.run(q, optimizer.NoHint(), e.opts.DefaultBudget, false)
+}
+
+// run is the shared query path: admit, plan (through the cache), execute.
+func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget, analyze bool) (*Result, error) {
+	m := e.opts.Metrics
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		m.Counter("engine.rejected").Inc()
+		return nil, &OverloadedError{Limit: cap(e.slots)}
+	}
+	defer func() {
+		m.Gauge("engine.active").Set(float64(len(e.slots) - 1))
+		<-e.slots
+	}()
+	m.Counter("engine.admitted").Inc()
+	m.Gauge("engine.active").Set(float64(len(e.slots)))
+
+	sp := e.opts.Trace.StartSpan("engine.query", nil)
+	defer sp.End()
+
+	e.mu.Lock()
+	statsV, estV, learned := e.statsVersion, e.estVersion, e.learned
+	e.mu.Unlock()
+
+	key := cacheKey(q, hint.Name, statsV, estV)
+	p, hit := e.cache.Get(key)
+	fallback := false
+	if !hit {
+		var err error
+		p, fallback, err = e.plan(q, hint, learned)
+		if err != nil {
+			m.Counter("engine.plan_errors").Inc()
+			return nil, err
+		}
+		if fallback {
+			m.Counter("engine.fallbacks").Inc()
+		}
+		e.cache.Put(key, p)
+	}
+	sp.SetStr("hint", hint.Name).SetInt("cache_hit", boolInt(hit))
+
+	res, err := e.exc.Execute(p, exec.Options{Budget: budget, Analyze: analyze, Span: sp})
+	out := &Result{Result: res, Plan: p, CacheHit: hit, Fallback: fallback, EstimatorVersion: estV}
+	if err != nil {
+		if errors.Is(err, exec.ErrWorkBudgetExceeded) {
+			m.Counter("engine.budget_aborts").Inc()
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// plan builds a plan for q under hint. With a learned estimator installed it
+// plans through a guarded wrapper first; if the wrapper trips — a non-finite
+// estimate or an exhausted call budget — the result is discarded and the
+// query is re-planned through the classical path (fallback=true). Planning
+// never lets a learned component's failure escape as a query failure unless
+// the classical path fails too.
+func (e *Engine) plan(q *plan.Query, hint optimizer.HintSet, learned optimizer.CardEstimator) (p *plan.Node, fallback bool, err error) {
+	if learned == nil {
+		p, err = e.classical.Plan(q, hint)
+		return p, false, err
+	}
+	g := &guardedEstimator{inner: learned, safe: e.classical.Est, limit: e.opts.EstimatorCallBudget}
+	opt := &optimizer.Optimizer{Cat: e.cat, Est: g, Cost: e.classical.Cost}
+	p, err = opt.Plan(q, hint)
+	if err == nil && !g.failed {
+		return p, false, nil
+	}
+	// Learned path failed (planning error or tripped guard): classical
+	// re-plan, Bao-style.
+	p, err = e.classical.Plan(q, hint)
+	return p, true, err
+}
+
+// guardedEstimator wraps a learned cardinality estimator with a
+// deterministic call budget and output validation. Once tripped it answers
+// through the safe classical estimator so the planning pass still completes
+// structurally; the engine then discards that plan and re-plans classically.
+// One instance serves exactly one planning pass on one goroutine.
+type guardedEstimator struct {
+	inner  optimizer.CardEstimator
+	safe   optimizer.CardEstimator
+	limit  int64 // max inner calls; 0 = unlimited
+	calls  int64
+	failed bool
+}
+
+// tripped charges one call against the budget and reports whether the guard
+// has failed (now or earlier).
+func (g *guardedEstimator) tripped() bool {
+	if g.failed {
+		return true
+	}
+	g.calls++
+	if g.limit > 0 && g.calls > g.limit {
+		g.failed = true
+	}
+	return g.failed
+}
+
+// ScanRows implements optimizer.CardEstimator.
+func (g *guardedEstimator) ScanRows(q *plan.Query, pos int) float64 {
+	if g.tripped() {
+		return g.safe.ScanRows(q, pos)
+	}
+	v := g.inner.ScanRows(q, pos)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		g.failed = true
+		return g.safe.ScanRows(q, pos)
+	}
+	return v
+}
+
+// JoinSelectivity implements optimizer.CardEstimator.
+func (g *guardedEstimator) JoinSelectivity(q *plan.Query, cond expr.JoinCond) float64 {
+	if g.tripped() {
+		return g.safe.JoinSelectivity(q, cond)
+	}
+	v := g.inner.JoinSelectivity(q, cond)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		g.failed = true
+		return g.safe.JoinSelectivity(q, cond)
+	}
+	return v
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

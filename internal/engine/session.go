@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/optimizer"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// Session is one logical client of the engine. Fields are read at each Run,
+// so a session can be reconfigured between queries; a session must not be
+// used from multiple goroutines at once (create one per goroutine — they are
+// cheap, and the engine underneath is shared and concurrent-safe).
+type Session struct {
+	eng *Engine
+
+	// Hint constrains the optimizer's search space for this session's
+	// queries (BAO-style steering). Defaults to the unconstrained hint set.
+	Hint optimizer.HintSet
+	// Budget overrides the engine's default per-query budget; nil inherits
+	// it.
+	Budget *exec.Budget
+	// Analyze collects EXPLAIN ANALYZE stats into each Result.
+	Analyze bool
+}
+
+// Run plans (through the shared cache) and executes q under the session's
+// hint set and budget. It returns ErrOverloaded immediately when the engine
+// is at its concurrency limit, and a *exec.BudgetExceededError (alongside
+// the partial Result) when the query exceeds its budget.
+func (s *Session) Run(q *plan.Query) (*Result, error) {
+	budget := s.Budget
+	if budget == nil {
+		budget = s.eng.opts.DefaultBudget
+	}
+	return s.eng.run(q, s.Hint, budget, s.Analyze)
+}

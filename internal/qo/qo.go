@@ -7,6 +7,7 @@
 package qo
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -56,7 +57,7 @@ var WorkBuckets = obs.ExpBuckets(16, 4, 12)
 // budget and timedOut is true.
 func (e *Env) Run(p *plan.Node, maxWork int64) (work int64, timedOut bool, err error) {
 	res, err := e.Exec.Execute(p, exec.Options{MaxWork: maxWork})
-	if err == exec.ErrWorkBudgetExceeded {
+	if errors.Is(err, exec.ErrWorkBudgetExceeded) {
 		e.Metrics.Counter("qo.env.timeouts").Inc()
 		return res.Work, true, nil
 	}

@@ -186,6 +186,11 @@ func (s *ColumnStats) SelectivityEq(v int64) float64 {
 	if s.Distinct <= 0 {
 		return 0
 	}
+	// The histogram is built over the full column, so a value falling in a
+	// gap between bucket extents provably matches no row.
+	if len(s.Hist.Bounds) > 0 && !s.Hist.Covers(v) {
+		return 0
+	}
 	// Classical assumption: each distinct value is equally frequent within
 	// its bucket; approximate globally by 1/distinct weighted by the
 	// bucket's share of rows.

@@ -1,14 +1,25 @@
 package catalog
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Histogram is an equi-depth histogram: each bucket covers roughly the same
 // number of rows. Buckets store their value bounds, row counts, and distinct
 // counts, exactly the information a classical optimizer keeps.
 type Histogram struct {
-	// Bounds[i] is the inclusive upper bound of bucket i; buckets partition
-	// [min, max]. Lower bound of bucket 0 is Lo.
-	Lo       int64
+	// Lo is the inclusive lower bound of bucket 0 (the column minimum),
+	// retained for backward compatibility; Los[0] == Lo.
+	Lo int64
+	// Los[i] is the inclusive lower bound of bucket i: the smallest value
+	// actually present in the bucket. Without per-bucket lower bounds a
+	// bucket's extent would have to be inferred as Bounds[i-1]+1, which
+	// inflates bucket widths across data gaps (values absent between two
+	// buckets) and skews range selectivities on sparse or skewed columns.
+	Los []int64
+	// Bounds[i] is the inclusive upper bound of bucket i: the largest value
+	// present in the bucket.
 	Bounds   []int64
 	Counts   []int
 	Distinct []int
@@ -46,6 +57,7 @@ func BuildHistogram(sorted []int64, buckets int) *Histogram {
 				d++
 			}
 		}
+		h.Los = append(h.Los, sorted[i])
 		h.Bounds = append(h.Bounds, bound)
 		h.Counts = append(h.Counts, cnt)
 		h.Distinct = append(h.Distinct, d)
@@ -54,13 +66,37 @@ func BuildHistogram(sorted []int64, buckets int) *Histogram {
 	return h
 }
 
+// lowerOf returns the inclusive lower bound of bucket i. Histograms built by
+// BuildHistogram store it exactly; for hand-constructed histograms without
+// Los it falls back to the legacy derivation Bounds[i-1]+1, saturating at
+// MaxInt64 so an extreme upper bound cannot overflow into the next bucket's
+// range.
+func (h *Histogram) lowerOf(i int) int64 {
+	if i < len(h.Los) {
+		return h.Los[i]
+	}
+	if i == 0 {
+		return h.Lo
+	}
+	bound := h.Bounds[i-1]
+	if bound == math.MaxInt64 {
+		return bound
+	}
+	return bound + 1
+}
+
 // bucketOf returns the index of the bucket containing v, or -1 if v is
-// outside the histogram's range.
+// outside the histogram's range or falls in a gap between buckets (a value
+// range provably holding no rows).
 func (h *Histogram) bucketOf(v int64) int {
 	if h.Total == 0 || v < h.Lo || len(h.Bounds) == 0 || v > h.Bounds[len(h.Bounds)-1] {
 		return -1
 	}
-	return sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i] >= v })
+	b := sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i] >= v })
+	if v < h.lowerOf(b) {
+		return -1 // in the gap below bucket b: no rows there
+	}
+	return b
 }
 
 // FracInBucketOf returns the fraction of all rows that fall in v's bucket.
@@ -81,8 +117,17 @@ func (h *Histogram) DistinctInBucketOf(v int64) float64 {
 	return float64(h.Distinct[b])
 }
 
+// Covers reports whether v lies inside some bucket's [lower, upper] extent.
+// A histogram built over the full column is exact: when Covers is false for
+// an in-range v, the value provably appears in no row.
+func (h *Histogram) Covers(v int64) bool { return h.bucketOf(v) >= 0 }
+
 // FracRange estimates the fraction of rows in [lo, hi] assuming uniformity
-// within buckets.
+// within buckets. Bucket extents use the stored per-bucket lower bounds, so
+// buckets spanning data gaps are not widened by the gap (which would dilute
+// their density and underestimate selectivity on the occupied region).
+// Widths are computed in float64 to stay exact-enough and overflow-free even
+// for buckets spanning nearly the whole int64 domain.
 func (h *Histogram) FracRange(lo, hi int64) float64 {
 	if h.Total == 0 || len(h.Bounds) == 0 {
 		return 0
@@ -94,17 +139,9 @@ func (h *Histogram) FracRange(lo, hi int64) float64 {
 	if hi < h.Lo || lo > hiBound {
 		return 0
 	}
-	if lo < h.Lo {
-		lo = h.Lo
-	}
-	if hi > hiBound {
-		hi = hiBound
-	}
 	frac := 0.0
-	bLo := h.Lo
 	for i, bound := range h.Bounds {
-		bucketLo, bucketHi := bLo, bound
-		bLo = bound + 1
+		bucketLo, bucketHi := h.lowerOf(i), bound
 		if hi < bucketLo || lo > bucketHi {
 			continue
 		}
@@ -115,8 +152,10 @@ func (h *Histogram) FracRange(lo, hi int64) float64 {
 		if overlapHi > bucketHi {
 			overlapHi = bucketHi
 		}
-		width := float64(bucketHi-bucketLo) + 1
-		cover := float64(overlapHi-overlapLo) + 1
+		// Subtract in float64: int64 subtraction overflows when a bucket
+		// spans more than half the int64 domain (e.g. MinInt64..MaxInt64).
+		width := float64(bucketHi) - float64(bucketLo) + 1
+		cover := float64(overlapHi) - float64(overlapLo) + 1
 		frac += float64(h.Counts[i]) / float64(h.Total) * cover / width
 	}
 	if frac > 1 {

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+)
+
+// gappyValues builds a column whose values cluster in two dense runs
+// separated by a huge gap: 0..99 and 100000..100099. An equi-depth histogram
+// with a bucket boundary inside either run gives every bucket a tight
+// extent; the regression below checks that the bucket straddling nothing —
+// but whose legacy lower bound would be derived as "previous bound + 1",
+// spanning the gap — no longer dilutes its density across the gap.
+func gappyValues() []int64 {
+	vals := make([]int64, 0, 200)
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(i))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(100000+i))
+	}
+	return vals
+}
+
+func TestFracRangeGapRegression(t *testing.T) {
+	vals := gappyValues()
+	// 2 buckets: bucket 0 = [0,99], bucket 1 = [100000,100099]. The legacy
+	// derivation gave bucket 1 the extent [100, 100099] — width 100000
+	// instead of 100 — underestimating any range inside the upper cluster by
+	// a factor of ~1000.
+	h := BuildHistogram(vals, 2)
+	if len(h.Bounds) != 2 {
+		t.Fatalf("expected 2 buckets, got %d", len(h.Bounds))
+	}
+	if got, want := h.Los[1], int64(100000); got != want {
+		t.Fatalf("bucket 1 lower bound = %d, want %d", got, want)
+	}
+
+	// The whole upper cluster: exactly half the rows.
+	if got := h.FracRange(100000, 100099); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FracRange(upper cluster) = %v, want 0.5", got)
+	}
+	// Half the upper cluster: a quarter of the rows. Under the inflated
+	// width this came out as ~0.00025.
+	got := h.FracRange(100000, 100049)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("FracRange(half upper cluster) = %v, want 0.25", got)
+	}
+	// A range entirely inside the gap provably matches nothing.
+	if got := h.FracRange(500, 99999); got != 0 {
+		t.Errorf("FracRange(gap) = %v, want 0", got)
+	}
+	// A range spanning the gap plus the upper cluster: still half the rows.
+	if got := h.FracRange(150, 100099); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FracRange(gap+upper) = %v, want 0.5", got)
+	}
+}
+
+func TestFracRangeGapRegressionManyBuckets(t *testing.T) {
+	// Sparse/skewed column: powers of two. Every inter-bucket gap used to be
+	// absorbed into the following bucket's width.
+	var vals []int64
+	for i := 0; i < 40; i++ {
+		for r := 0; r < 5; r++ {
+			vals = append(vals, int64(1)<<uint(i))
+		}
+	}
+	h := BuildHistogram(vals, 8)
+	// A full-bucket range must estimate exactly the bucket's row share. With
+	// the legacy gap-inflated widths (bucket extent starting at the previous
+	// bound + 1) the cover/width ratio came out well below 1, so every
+	// bucket following a gap underestimated its own contents.
+	for i := range h.Bounds {
+		got := h.FracRange(h.Los[i], h.Bounds[i])
+		want := float64(h.Counts[i]) / float64(h.Total)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("FracRange(full bucket %d) = %g, want exactly %g", i, got, want)
+		}
+	}
+	// Sum over disjoint per-bucket extents must still cover all rows.
+	sum := 0.0
+	for i := range h.Bounds {
+		sum += h.FracRange(h.Los[i], h.Bounds[i])
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum of per-bucket FracRange = %v, want 1", sum)
+	}
+}
+
+func TestFracRangeExtremeValues(t *testing.T) {
+	// Bounds at the int64 extremes: the legacy code computed the next
+	// bucket's lower bound as bound+1, overflowing at MaxInt64, and bucket
+	// widths as int64 differences, overflowing across the full domain.
+	vals := []int64{math.MinInt64, math.MinInt64, 0, math.MaxInt64, math.MaxInt64}
+	h := BuildHistogram(vals, 3)
+	if got := h.FracRange(math.MinInt64, math.MaxInt64); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FracRange(full domain) = %v, want 1", got)
+	}
+	if got := h.FracRange(math.MaxInt64, math.MaxInt64); got <= 0 {
+		t.Errorf("FracRange(MaxInt64 point) = %v, want > 0", got)
+	}
+	if got := h.FracRange(math.MinInt64, math.MinInt64); got <= 0 {
+		t.Errorf("FracRange(MinInt64 point) = %v, want > 0", got)
+	}
+	// A point in the inter-bucket gap between MinInt64 and the next
+	// bucket's lower bound (0) provably matches nothing.
+	if got := h.FracRange(-5, -5); got != 0 {
+		t.Errorf("FracRange(gap point) = %v, want 0", got)
+	}
+	// A point inside a bucket spanning nearly the whole domain: a tiny but
+	// finite, non-negative density (no overflow to garbage).
+	if got := h.FracRange(42, 42); got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("FracRange(wide-bucket point) = %v, want small finite", got)
+	}
+}
+
+func TestLegacyHistogramWithoutLosStillWorks(t *testing.T) {
+	// Hand-constructed histogram without Los (as older callers might build):
+	// lowerOf falls back to the bound+1 derivation, saturating at MaxInt64.
+	h := &Histogram{
+		Lo:       0,
+		Bounds:   []int64{9, math.MaxInt64},
+		Counts:   []int{10, 10},
+		Distinct: []int{10, 10},
+		Total:    20,
+	}
+	if got := h.FracRange(0, 9); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("legacy FracRange(0,9) = %v, want 0.5", got)
+	}
+	// Must not panic or overflow; the second bucket spans 10..MaxInt64.
+	if got := h.FracRange(10, math.MaxInt64); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("legacy FracRange(10,MaxInt64) = %v, want 0.5", got)
+	}
+}
+
+func TestSelectivityEqGapValue(t *testing.T) {
+	s := BuildStats(gappyValues(), 2, 0)
+	if got := s.SelectivityEq(50); got <= 0 {
+		t.Errorf("SelectivityEq(present value) = %v, want > 0", got)
+	}
+	// In-range but in the inter-bucket gap: provably absent.
+	if got := s.SelectivityEq(50000); got != 0 {
+		t.Errorf("SelectivityEq(gap value) = %v, want 0", got)
+	}
+}
+
+func TestBuildHistogramLosMatchBuckets(t *testing.T) {
+	vals := gappyValues()
+	for _, buckets := range []int{1, 2, 3, 7, 50} {
+		h := BuildHistogram(vals, buckets)
+		if len(h.Los) != len(h.Bounds) {
+			t.Fatalf("buckets=%d: len(Los)=%d != len(Bounds)=%d", buckets, len(h.Los), len(h.Bounds))
+		}
+		if h.Los[0] != h.Lo {
+			t.Errorf("buckets=%d: Los[0]=%d != Lo=%d", buckets, h.Los[0], h.Lo)
+		}
+		for i := range h.Bounds {
+			if h.Los[i] > h.Bounds[i] {
+				t.Errorf("buckets=%d: bucket %d has Lo %d > Hi %d", buckets, i, h.Los[i], h.Bounds[i])
+			}
+			if i > 0 && h.Los[i] <= h.Bounds[i-1] {
+				t.Errorf("buckets=%d: bucket %d lower %d overlaps previous bound %d", buckets, i, h.Los[i], h.Bounds[i-1])
+			}
+		}
+	}
+}

@@ -20,20 +20,74 @@ import (
 	"ml4db/internal/sqlkit/plan"
 )
 
-// ErrWorkBudgetExceeded is returned when execution exceeds Options.MaxWork.
+// ErrWorkBudgetExceeded is the budget-abort sentinel. Execution aborts
+// return a *BudgetExceededError carrying which limit tripped and how far;
+// errors.Is(err, ErrWorkBudgetExceeded) matches any budget abort, so legacy
+// callers keep working.
 var ErrWorkBudgetExceeded = errors.New("exec: work budget exceeded")
+
+// Budget is a deterministic per-query resource limit, checked in the
+// executor's operator loops. Budgets are counted in work units and
+// materialized tuples — never wall-clock time — so an aborted execution
+// aborts at exactly the same point on every replay (the property that keeps
+// engine-level cancellation byte-identical under mlmath.ManualClock).
+type Budget struct {
+	// MaxWork aborts execution once this many work units are consumed.
+	// Zero means unlimited.
+	MaxWork int64
+	// MaxRows aborts execution once the operators have materialized this
+	// many output tuples in total (scan outputs and join outputs alike).
+	// Zero means unlimited.
+	MaxRows int64
+}
+
+// BudgetExceededError reports a deterministic budget abort: which limit
+// tripped, the configured limit, and the counter value at the abort point.
+// It matches ErrWorkBudgetExceeded under errors.Is.
+type BudgetExceededError struct {
+	// Kind is "work" or "rows".
+	Kind        string
+	Limit, Used int64
+}
+
+// Error implements error.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("exec: %s budget exceeded (limit %d, used %d)", e.Kind, e.Limit, e.Used)
+}
+
+// Is reports budget aborts as ErrWorkBudgetExceeded so existing sentinel
+// comparisons via errors.Is keep matching.
+func (e *BudgetExceededError) Is(target error) bool { return target == ErrWorkBudgetExceeded }
 
 // Options configures execution.
 type Options struct {
 	// MaxWork aborts execution once this many work units are consumed.
-	// Zero means unlimited.
+	// Zero means unlimited. Deprecated in favor of Budget; when both are
+	// set the stricter work limit wins.
 	MaxWork int64
+	// Budget, when non-nil, bounds the execution's work units and
+	// materialized rows (see Budget). Aborts surface as
+	// *BudgetExceededError.
+	Budget *Budget
 	// Analyze collects per-operator EXPLAIN ANALYZE stats into
 	// Result.Explain.
 	Analyze bool
 	// Span, when the executor has a Tracer, becomes the parent of the
 	// execution's spans — letting callers nest execute under a query span.
 	Span *obs.Span
+}
+
+// effectiveBudget folds the legacy MaxWork field and the Budget struct into
+// one (maxWork, maxRows) pair, taking the stricter work limit.
+func (o Options) effectiveBudget() (maxWork, maxRows int64) {
+	maxWork = o.MaxWork
+	if o.Budget != nil {
+		if o.Budget.MaxWork > 0 && (maxWork == 0 || o.Budget.MaxWork < maxWork) {
+			maxWork = o.Budget.MaxWork
+		}
+		maxRows = o.Budget.MaxRows
+	}
+	return maxWork, maxRows
 }
 
 // workBuckets are the histogram bounds for the exec.work metric, shared so
@@ -103,7 +157,8 @@ func New(cat *catalog.Catalog) *Executor { return &Executor{Cat: cat} }
 // Execute runs the plan and returns the result. Node.ActualRows annotations
 // are filled in along the way.
 func (e *Executor) Execute(root *plan.Node, opts Options) (*Result, error) {
-	st := &execState{cat: e.Cat, maxWork: opts.MaxWork}
+	maxWork, maxRows := opts.effectiveBudget()
+	st := &execState{cat: e.Cat, maxWork: maxWork, maxRows: maxRows}
 	observed := opts.Analyze || e.Trace != nil
 	if observed {
 		st.tr = e.Trace
@@ -144,6 +199,8 @@ type execState struct {
 	cat     *catalog.Catalog
 	work    int64
 	maxWork int64
+	rows    int64 // tuples materialized by all operators
+	maxRows int64
 	ctr     Counters
 
 	// Observability state, all nil/unused on the fast path.
@@ -159,7 +216,17 @@ func (s *execState) charge(counter *int64, units int64) error {
 	*counter += units
 	s.work += units
 	if s.maxWork > 0 && s.work > s.maxWork {
-		return ErrWorkBudgetExceeded
+		return &BudgetExceededError{Kind: "work", Limit: s.maxWork, Used: s.work}
+	}
+	return nil
+}
+
+// chargeRows counts tuples materialized by an operator, enforcing the row
+// budget.
+func (s *execState) chargeRows(n int64) error {
+	s.rows += n
+	if s.maxRows > 0 && s.rows > s.maxRows {
+		return &BudgetExceededError{Kind: "rows", Limit: s.maxRows, Used: s.rows}
 	}
 	return nil
 }
@@ -234,6 +301,9 @@ func (s *execState) seqScan(n *plan.Node) ([][]int64, error) {
 		if !ok {
 			continue
 		}
+		if err := s.chargeRows(1); err != nil {
+			return nil, err
+		}
 		row := make([]int64, nCols)
 		for c := 0; c < nCols; c++ {
 			row[c] = t.Data[c][r]
@@ -277,6 +347,9 @@ func (s *execState) indexScan(n *plan.Node) ([][]int64, error) {
 		}
 		if !okRow {
 			continue
+		}
+		if err := s.chargeRows(1); err != nil {
+			return nil, err
 		}
 		row := make([]int64, nCols)
 		for c := 0; c < nCols; c++ {
@@ -367,6 +440,9 @@ func (s *execState) hashJoin(n *plan.Node) ([][]int64, error) {
 			if err := s.charge(&s.ctr.OutputTuple, 1); err != nil {
 				return nil, err
 			}
+			if err := s.chargeRows(1); err != nil {
+				return nil, err
+			}
 			out = append(out, joinRows(left[li], rrow))
 		}
 	}
@@ -387,6 +463,9 @@ func (s *execState) nlJoin(n *plan.Node) ([][]int64, error) {
 				return nil, err
 			}
 			if lk == rrow[n.RightCol] {
+				if err := s.chargeRows(1); err != nil {
+					return nil, err
+				}
 				out = append(out, joinRows(lrow, rrow))
 			}
 		}
@@ -438,6 +517,9 @@ func (s *execState) mergeJoin(n *plan.Node) ([][]int64, error) {
 			for ; i < len(left) && left[i][lc] == lv; i++ {
 				for jj := j; jj < jEnd; jj++ {
 					if err := s.charge(&s.ctr.OutputTuple, 1); err != nil {
+						return nil, err
+					}
+					if err := s.chargeRows(1); err != nil {
 						return nil, err
 					}
 					out = append(out, joinRows(left[i], right[jj]))

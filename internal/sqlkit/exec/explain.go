@@ -73,6 +73,13 @@ func (x *Explain) stat(n *plan.Node) *OpStats {
 // finish derives the exclusive fields: each operator's subtree totals minus
 // the subtree totals of its children. The exclusive values telescope, so
 // their sum over the tree equals the root's subtree total exactly.
+//
+// A child node referenced more than once by the same parent (a rescanned
+// subtree, e.g. a self-join reusing one scan on both sides) holds ONE stats
+// entry that already accumulates every loop, so its subtree totals are
+// subtracted once per distinct child — subtracting per reference would
+// double-count the rescans and break the telescoping identity against
+// Counters.Total().
 func (x *Explain) finish() {
 	x.Root.Walk(func(n *plan.Node) {
 		st, ok := x.stats[n]
@@ -82,7 +89,17 @@ func (x *Explain) finish() {
 		st.Work = st.SubtreeWork
 		st.Counters = st.SubtreeCounters
 		st.Dur = st.SubtreeDur
-		for _, c := range n.Children {
+		for i, c := range n.Children {
+			shared := false
+			for _, prev := range n.Children[:i] {
+				if prev == c {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				continue
+			}
 			if cst, ok := x.stats[c]; ok {
 				st.Work -= cst.SubtreeWork
 				st.Counters = subCounters(st.Counters, cst.SubtreeCounters)

@@ -49,4 +49,11 @@ echo "==> serving smoke (modelsvc registry + batching + canary gate)"
 go run ./cmd/ml4db-bench -serve -quick -serve-out "$obsdir/BENCH_serve.json" -metrics "$obsdir/serve_metrics.jsonl"
 go run ./cmd/ml4db-tracecheck -metrics "$obsdir/serve_metrics.jsonl"
 
+# Engine smoke: run the query-session front end contracts end to end — exact
+# plan-cache hit accounting, >=1.5x repeated-workload speedup, admission
+# overflow exactness, and fallback-never-fails under a broken learned
+# estimator. The bench exits nonzero if any engine contract is violated.
+echo "==> engine smoke (plan cache + admission + fallback contracts)"
+go run ./cmd/ml4db-bench -engine -quick -engine-out "$obsdir/BENCH_engine.json"
+
 echo "All checks passed."
