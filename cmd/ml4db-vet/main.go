@@ -1,15 +1,27 @@
 // Command ml4db-vet runs the project's static-analysis suite
-// (internal/analysis) over the module: determinism, unchecked errors, float
-// equality, naked panics, unguarded numerics, and mutex copies. It prints
-// file:line:col diagnostics and exits non-zero when any finding survives
-// //ml4db:allow suppression — making it suitable as a CI gate:
+// (internal/analysis) over the module. Two tiers run together: the
+// package-tier analyzers (determinism, unchecked errors, float equality,
+// naked panics, unguarded numerics, mutex copies, lock discipline, span/file
+// leaks, error-comparison hygiene) and the module-tier call-graph analyzers
+// (spawnreach, clockflow), which check transitive contracts across package
+// boundaries. It prints file:line:col diagnostics and exits non-zero when
+// any finding survives //ml4db:allow suppression — making it suitable as a
+// CI gate:
 //
-//	go run ./cmd/ml4db-vet ./...
+//	go run ./cmd/ml4db-vet -strict-suppress ./...
+//
+// -strict-suppress additionally fails on //ml4db:allow comments that no
+// longer suppress anything (among the analyzers that ran). -json emits the
+// full finding list, suppressed entries included, as a JSON array on stdout
+// (schema: internal/analysis.JSONFinding).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,8 +32,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings (suppressed included) as JSON on stdout")
+	strict := flag.Bool("strict-suppress", false, "fail on //ml4db:allow comments that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ml4db-vet [-list] [-only a,b] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ml4db-vet [-list] [-only a,b] [-json] [-strict-suppress] [patterns...]\n")
 		fmt.Fprintf(os.Stderr, "patterns default to ./... relative to the module root\n")
 		flag.PrintDefaults()
 	}
@@ -31,13 +45,17 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range analysis.AllModule() {
+			fmt.Printf("%-14s %s (module tier)\n", a.Name, a.Doc)
+		}
 		return
 	}
 
-	analyzers := analysis.All()
+	pkgAnalyzers := analysis.All()
+	modAnalyzers := analysis.AllModule()
 	if *only != "" {
 		var err error
-		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		pkgAnalyzers, modAnalyzers, err = analysis.SelectAnalyzers(strings.Split(*only, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -64,23 +82,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "%s: [typecheck] %v\n", pkg.Path, terr)
-			findings++
-		}
-		for _, d := range analysis.RunPackage(pkg, analyzers) {
-			d.Pos.Filename = relPath(modRoot, d.Pos.Filename)
-			fmt.Println(d)
-			findings++
+			pos := token.Position{Filename: pkg.Path, Line: 1}
+			var te types.Error
+			if errors.As(terr, &te) && te.Fset != nil {
+				pos = te.Fset.Position(te.Pos)
+			}
+			findings = append(findings, analysis.Finding{Diagnostic: analysis.Diagnostic{
+				Pos:      pos,
+				Analyzer: "typecheck",
+				Message:  fmt.Sprintf("%s: %v", pkg.Path, terr),
+			}})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "ml4db-vet: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+	// The call graph is built over everything the loader saw — targets plus
+	// their module-internal dependencies — so transitive edges resolve even
+	// when vetting a subset.
+	findings = append(findings, analysis.Analyze(pkgs, loader.AllLoaded(), pkgAnalyzers, modAnalyzers, *strict)...)
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(modRoot, findings[i].Pos.Filename)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteFindingsJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	failing := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		failing++
+		if !*jsonOut {
+			if f.Analyzer == "typecheck" {
+				fmt.Printf("[typecheck] %s\n", f.Message)
+			} else {
+				fmt.Println(f.Diagnostic)
+			}
+		}
+	}
+	nAnalyzers := len(pkgAnalyzers) + len(modAnalyzers)
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "ml4db-vet: %d finding(s) in %d package(s)\n", failing, len(pkgs))
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "ml4db-vet: clean (%d packages, %d analyzers)\n", len(pkgs), len(analyzers))
+	fmt.Fprintf(os.Stderr, "ml4db-vet: clean (%d packages, %d analyzers)\n", len(pkgs), nAnalyzers)
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -21,7 +21,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -141,6 +140,9 @@ func All() []*Analyzer {
 		NakedPanicAnalyzer,
 		NumGuardAnalyzer,
 		MutexCopyAnalyzer,
+		LockCheckAnalyzer,
+		SpanEndAnalyzer,
+		ErrCmpAnalyzer,
 	}
 }
 
@@ -164,37 +166,18 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunPackage runs the analyzers over one loaded package, applies
+// RunPackage runs package-tier analyzers over one loaded package, applies
 // //ml4db:allow suppressions, and returns the surviving diagnostics sorted
-// by position.
+// by position. Module-tier analyzers and suppression auditing go through
+// Analyze (module.go).
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-			sink:     &diags,
+	findings := Analyze([]*Package{pkg}, nil, analyzers, nil, false)
+	diags := make([]Diagnostic, 0, len(findings))
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
 		}
-		a.Run(pass)
+		diags = append(diags, f.Diagnostic)
 	}
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
-	diags = append(sup.filter(diags), sup.malformed...)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
 	return diags
 }

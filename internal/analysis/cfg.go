@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file builds the lightweight per-function control-flow graph behind
+// the path-sensitive checks (lockcheck, spanend). It is deliberately small:
+// blocks hold ast.Node slices (statements, plus the condition/tag
+// expressions of branching statements, so channel operations buried in an
+// `if v, ok := <-ch; ok` are still visited), and edges cover Go's
+// structured control flow — if/else, for, range, switch, type switch,
+// select, break/continue (labeled included), return, and panic. A function
+// containing goto makes the builder give up (ok=false) and the analyzers
+// skip it: the module's style has no gotos, and silence beats a wrong path
+// analysis.
+//
+// Defer is represented as an ordinary node inside its block; the analyzers
+// interpret a DeferStmt as "registered from here on" which is exactly its
+// runtime semantics along any path that executes it.
+
+// cfgBlock is one straight-line run of nodes with successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	// exits marks a block ending in a return (or falling off the function
+	// end); panic-terminated blocks set panics instead so leak checks can
+	// ignore them (a naked panic is an invariant violation, not a resource
+	// path).
+	exits  bool
+	panics bool
+}
+
+// cfg is the graph for one function body.
+type cfg struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+type cfgBuilder struct {
+	g *cfg
+	// breakTargets / continueTargets stack per enclosing loop/switch/select,
+	// keyed by label ("" = innermost).
+	loops  []*loopCtx
+	failed bool
+}
+
+type loopCtx struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select contexts
+}
+
+// buildCFG returns the CFG for body, or ok=false when the body uses goto.
+func buildCFG(body *ast.BlockStmt) (*cfg, bool) {
+	b := &cfgBuilder{g: &cfg{}}
+	entry := b.newBlock()
+	b.g.entry = entry
+	last := b.stmts(body.List, entry, "")
+	if last != nil {
+		last.exits = true // fall off the end of the function
+	}
+	if b.failed {
+		return nil, false
+	}
+	return b.g, true
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	if from != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+// stmts threads a statement list through cur, returning the live block that
+// falls out of the list (nil when every path terminated). label carries a
+// pending statement label for the next loop/switch.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after return/break; keep building so node facts in
+			// unreachable code are still visited by flow-insensitive passes,
+			// but on a detached block.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur, label)
+		label = ""
+	}
+	return cur
+}
+
+// stmt adds one statement to cur, returning the live fallthrough block.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur, "")
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		thenB := b.newBlock()
+		link(cur, thenB)
+		after := b.newBlock()
+		thenEnd := b.stmts(s.Body.List, thenB, "")
+		link(thenEnd, after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			elseEnd := b.stmt(s.Else, elseB, "")
+			link(elseEnd, after)
+		} else {
+			link(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		// A for without a condition only leaves via break.
+		if s.Cond != nil {
+			link(head, after)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		link(post, head)
+		b.loops = append(b.loops, &loopCtx{label: label, breakTo: after, continueTo: post})
+		bodyEnd := b.stmts(s.Body.List, body, "")
+		b.loops = b.loops[:len(b.loops)-1]
+		link(bodyEnd, post)
+		return after
+
+	case *ast.RangeStmt:
+		// Only the ranged expression goes on the node list; the body is built
+		// structurally below (appending s itself would double-visit it).
+		if s.X != nil {
+			cur.nodes = append(cur.nodes, s.X)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		after := b.newBlock()
+		body := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.loops = append(b.loops, &loopCtx{label: label, breakTo: after, continueTo: head})
+		bodyEnd := b.stmts(s.Body.List, body, "")
+		b.loops = b.loops[:len(b.loops)-1]
+		link(bodyEnd, head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(s, cur, label)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		cur.exits = true
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "goto":
+			b.failed = true
+			return nil
+		case "fallthrough":
+			// Handled structurally: switchLike links each case body to the
+			// next when it ends in fallthrough.
+			return cur
+		}
+		isContinue := s.Tok.String() == "continue"
+		target := b.findLoop(s.Label, isContinue)
+		if target == nil {
+			b.failed = true // break/continue without a context (malformed)
+			return nil
+		}
+		if isContinue {
+			link(cur, target.continueTo)
+		} else {
+			link(cur, target.breakTo)
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		// A terminating panic(...) ends the path.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				cur.nodes = append(cur.nodes, s)
+				cur.panics = true
+				return nil
+			}
+		}
+		cur.nodes = append(cur.nodes, s)
+		return cur
+
+	default:
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchLike builds switch, type switch, and select: init/tag on the head
+// block, one branch block per case clause (plus an implicit empty default
+// when none is present), all joining after. Fallthrough chains case bodies.
+func (b *cfgBuilder) switchLike(s ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	after := b.newBlock()
+	b.loops = append(b.loops, &loopCtx{label: label, breakTo: after})
+	hasDefault := false
+	type caseBlocks struct {
+		start *cfgBlock
+		end   *cfgBlock
+		fall  bool
+	}
+	var cases []caseBlocks
+	for _, cl := range body.List {
+		blk := b.newBlock()
+		link(cur, blk)
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		fall := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fall = true
+			}
+		}
+		end := b.stmts(stmts, blk, "")
+		cases = append(cases, caseBlocks{start: blk, end: end, fall: fall})
+	}
+	for i, c := range cases {
+		if c.fall && i+1 < len(cases) {
+			link(c.end, cases[i+1].start)
+		} else {
+			link(c.end, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		// No default: the switch can fall through without taking any case
+		// (select without default blocks, but a lock held there is held
+		// across a blocking select — the edge keeps the state alive).
+		link(cur, after)
+	}
+	return after
+}
+
+// findLoop resolves a break/continue (optionally labeled) to its context:
+// break targets the innermost loop/switch/select, continue only loops.
+func (b *cfgBuilder) findLoop(label *ast.Ident, wantContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if wantContinue && b.loops[i].continueTo == nil {
+			continue // switch/select contexts are transparent to continue
+		}
+		if label == nil || b.loops[i].label == label.Name {
+			return b.loops[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source for CFG construction (the
+// builder is purely syntactic, so no type checking is needed).
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable walks the CFG from the entry block.
+func reachable(g *cfg) map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{g.entry: true}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func countExits(g *cfg, onlyReachable bool) (exits, panics int) {
+	r := reachable(g)
+	for _, b := range g.blocks {
+		if onlyReachable && !r[b] {
+			continue
+		}
+		if b.exits {
+			exits++
+		}
+		if b.panics {
+			panics++
+		}
+	}
+	return
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		if cond {
+			return
+		}
+		work()
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	// Two reachable exits: the early return and falling off the end.
+	if exits, _ := countExits(g, true); exits != 2 {
+		t.Errorf("got %d exits, want 2", exits)
+	}
+}
+
+func TestCFGReturnBothBranches(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		if cond {
+			return
+		} else {
+			return
+		}
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	// Two reachable exits (the returns); the fall-off-the-end block after the
+	// if is marked as an exit too but is unreachable, so path-sensitive
+	// analyzers — which only walk reachable states — never visit it.
+	exits, _ := countExits(g, true)
+	if exits != 2 {
+		t.Errorf("got %d reachable exits, want 2", exits)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		if bad {
+			panic("invariant")
+		}
+		work()
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	exits, panics := countExits(g, true)
+	if panics != 1 {
+		t.Errorf("got %d panic blocks, want 1", panics)
+	}
+	if exits != 1 {
+		t.Errorf("got %d exits, want 1 (fall off the end)", exits)
+	}
+}
+
+func TestCFGGotoBailsOut(t *testing.T) {
+	if _, ok := buildCFG(parseBody(t, `
+	top:
+		work()
+		goto top
+	`)); ok {
+		t.Error("goto should make the builder give up")
+	}
+}
+
+func TestCFGLoopsAndBranches(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		for i := 0; i < n; i++ {
+			if skip(i) {
+				continue
+			}
+			if stop(i) {
+				break
+			}
+			work()
+		}
+		for _, x := range xs {
+			use(x)
+		}
+	outer:
+		for {
+			for {
+				break outer
+			}
+		}
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	if exits, _ := countExits(g, true); exits != 1 {
+		t.Errorf("got %d exits, want 1", exits)
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		switch x {
+		case 1:
+			return
+		case 2:
+			return
+		}
+		work()
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	// Both returns plus the no-case fall-through path off the end.
+	if exits, _ := countExits(g, true); exits != 3 {
+		t.Errorf("got %d exits, want 3", exits)
+	}
+}
+
+func TestCFGDeadCodeStaysDetached(t *testing.T) {
+	g, ok := buildCFG(parseBody(t, `
+		return
+		work()
+	`))
+	if !ok {
+		t.Fatal("builder failed")
+	}
+	r := reachable(g)
+	var detachedNodes int
+	for _, b := range g.blocks {
+		if !r[b] {
+			detachedNodes += len(b.nodes)
+		}
+	}
+	if detachedNodes == 0 {
+		t.Error("dead statement should live on a detached block")
+	}
+}

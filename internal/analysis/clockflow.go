@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// clockflow is the transitive companion to the determinism analyzer's local
+// ambient-time rule: core packages must not *reach* time.Now, time.Since, or
+// the math/rand global source through any call chain. The sanctioned path is
+// an injected mlmath.Clock (or an explicitly seeded source), which is why
+// mlmath functions on Clock-shaped types — SystemClock.Now and friends — are
+// exempt: they are the one reviewed place the ambient clock enters, and
+// callers that hold a Clock made a dependency-injection decision that replay
+// tests can override.
+//
+// Like spawnreach, only boundary edges are reported (core calling into a
+// tainted non-core function); a time.Now written directly in a core package
+// is the determinism analyzer's finding at the call itself.
+var ClockFlowAnalyzer = &ModuleAnalyzer{
+	Name: "clockflow",
+	Doc:  "core packages must not transitively reach time.Now/time.Since or math/rand globals",
+	Run:  runClockFlow,
+}
+
+// ambientClockCall matches the denylisted externals: the wall clock and the
+// process-global (unseedable in place) random source.
+func ambientClockCall(e ExternalCall) bool {
+	switch e.PkgPath {
+	case "time":
+		return e.Name == "Now" || e.Name == "Since"
+	case "math/rand", "math/rand/v2":
+		// Package-level calls hit the global source; methods on an explicitly
+		// constructed *rand.Rand come through as "Rand.X" and are fine (the
+		// caller owns the seed), as are the New* constructors that build such
+		// sources without reading the global one.
+		return !strings.Contains(e.Name, ".") && !strings.HasPrefix(e.Name, "New")
+	}
+	return false
+}
+
+func runClockFlow(p *ModulePass) {
+	facts := map[*FuncNode]string{}
+	res := p.Graph.taint(
+		func(n *FuncNode) (token.Pos, bool) {
+			for _, e := range n.Externals {
+				if ambientClockCall(e) {
+					facts[n] = e.PkgPath + "." + e.Name
+					return e.Pos, true
+				}
+			}
+			return token.NoPos, false
+		},
+		func(n *FuncNode) bool { return mlmathFuncMentions(n, "Clock") },
+	)
+	for _, pkg := range p.Targets {
+		if !IsCorePackage(pkg.Path) {
+			continue
+		}
+		for _, node := range p.NodesIn(pkg) {
+			seen := map[token.Pos]bool{}
+			for _, c := range node.Calls {
+				callee := c.Callee
+				if IsCorePackage(callee.Pkg.Path) {
+					continue // in-core ambient reads are the determinism analyzer's finding
+				}
+				if !res.isTainted(callee) || seen[c.Pos] {
+					continue
+				}
+				seen[c.Pos] = true
+				p.Reportf(c.Pos, "core function %s reaches the ambient clock or global RNG: %s; inject mlmath.Clock or a seeded source instead",
+					node.Name(), renderTaintPath(p.Fset, res, callee, func(n *FuncNode) string {
+						if f, ok := facts[n]; ok {
+							return f
+						}
+						return "ambient call"
+					}))
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errcmp flags error comparisons that break under wrapping. The module's
+// typed errors (*engine.OverloadedError, *exec.BudgetExceededError,
+// *modelsvc.IntegrityError, ...) travel through fmt.Errorf("...: %w", err)
+// chains, so:
+//
+//   - err == ErrSentinel / err != ErrSentinel  →  errors.Is(err, ErrSentinel)
+//   - switch err { case ErrSentinel: }         →  errors.Is
+//   - err.(*TypedError), two-result included   →  errors.As
+//   - switch err.(type) { case *TypedError: }  →  errors.As
+//
+// The one sanctioned `==` on errors is inside a method named Is with
+// signature (error) bool: that is the errors.Is bridge itself (the standard
+// library calls it through errors.Is), and identity comparison is exactly
+// what it must do. Comparisons against nil are always fine.
+var ErrCmpAnalyzer = &Analyzer{
+	Name: "errcmp",
+	Doc:  "error values must be matched with errors.Is/errors.As, not == or type assertions",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isError := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return types.Implements(t, errorIface)
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && isErrIsBridge(pass, fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isNil(n.X) || isNil(n.Y) {
+						return true
+					}
+					if isError(n.X) || isError(n.Y) {
+						pass.Reportf(n.OpPos, "error compared with %s; use errors.Is so wrapped errors still match", n.Op)
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isError(n.Tag) {
+						pass.Reportf(n.Switch, "switch on an error value; use errors.Is so wrapped errors still match")
+					}
+				case *ast.TypeAssertExpr:
+					if n.Type == nil {
+						return true // x.(type): handled as TypeSwitchStmt
+					}
+					if isError(n.X) && typeImplementsError(pass, n.Type, errorIface) {
+						pass.Reportf(n.Lparen, "type assertion on an error value; use errors.As so wrapped errors still match")
+					}
+				case *ast.TypeSwitchStmt:
+					subject := typeSwitchSubject(n)
+					if subject == nil || !isError(subject) {
+						return true
+					}
+					for _, cl := range n.Body.List {
+						cc, ok := cl.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, t := range cc.List {
+							if typeImplementsError(pass, t, errorIface) {
+								pass.Reportf(n.Switch, "type switch on an error value; use errors.As so wrapped errors still match")
+								return true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isErrIsBridge reports whether fd is a sanctioned sentinel bridge: a method
+// named Is taking one error and returning bool, which errors.Is dispatches
+// to and which must compare identities itself.
+func isErrIsBridge(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	errorIface := types.Universe.Lookup("error").Type()
+	if !types.Identical(sig.Params().At(0).Type(), errorIface) {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// typeImplementsError reports whether the case/assert type expression names
+// a type implementing error (the error interface itself excluded: asserting
+// back to plain error is a no-op, not a wrapping hazard).
+func typeImplementsError(pass *Pass, e ast.Expr, errorIface *types.Interface) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// typeSwitchSubject extracts x from `switch x.(type)` or `switch v := x.(type)`.
+func typeSwitchSubject(n *ast.TypeSwitchStmt) ast.Expr {
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestFindingsJSONRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Diagnostic: Diagnostic{
+			Pos:      token.Position{Filename: "a.go", Line: 3, Column: 2},
+			Analyzer: "lockcheck",
+			Message:  "mu is locked here but not released on every return path",
+		}},
+		{Diagnostic: Diagnostic{
+			Pos:      token.Position{Filename: "b.go", Line: 9, Column: 1},
+			Analyzer: "spanend",
+			Message:  "sp may not reach End()",
+		}, Suppressed: true, Reason: "reviewed"},
+	}
+	var buf bytes.Buffer
+	if err := WriteFindingsJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFindingsJSON(buf.Bytes()); err != nil {
+		t.Fatalf("round-trip output fails validation: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"reason": "reviewed"`) {
+		t.Errorf("suppression reason missing from output:\n%s", buf.String())
+	}
+}
+
+func TestFindingsJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFindingsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty findings should encode as []: %q", buf.String())
+	}
+	if err := ValidateFindingsJSON(buf.Bytes()); err != nil {
+		t.Errorf("empty array fails validation: %v", err)
+	}
+}
+
+func TestValidateFindingsJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not an array":     `{"file":"a.go"}`,
+		"unknown analyzer": `[{"file":"a.go","line":1,"col":1,"analyzer":"nosuch","message":"m","suppressed":false}]`,
+		"empty file":       `[{"file":"","line":1,"col":1,"analyzer":"lockcheck","message":"m","suppressed":false}]`,
+		"zero line":        `[{"file":"a.go","line":0,"col":1,"analyzer":"lockcheck","message":"m","suppressed":false}]`,
+		"negative column":  `[{"file":"a.go","line":1,"col":-1,"analyzer":"lockcheck","message":"m","suppressed":false}]`,
+		"empty message":    `[{"file":"a.go","line":1,"col":1,"analyzer":"lockcheck","message":"","suppressed":false}]`,
+		"unknown field":    `[{"file":"a.go","line":1,"col":1,"analyzer":"lockcheck","message":"m","suppressed":false,"extra":1}]`,
+		"orphaned reason":  `[{"file":"a.go","line":1,"col":1,"analyzer":"lockcheck","message":"m","suppressed":false,"reason":"r"}]`,
+	}
+	for name, doc := range cases {
+		if err := ValidateFindingsJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: validation should have failed", name)
+		}
+	}
+	// The synthetic analyzer names the CLI emits are valid.
+	ok := `[{"file":"a.go","line":1,"col":0,"analyzer":"typecheck","message":"m","suppressed":false},
+	       {"file":"a.go","line":2,"col":1,"analyzer":"suppression","message":"m","suppressed":false}]`
+	if err := ValidateFindingsJSON([]byte(ok)); err != nil {
+		t.Errorf("synthetic analyzers rejected: %v", err)
+	}
+}

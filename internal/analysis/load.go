@@ -244,6 +244,22 @@ func (l *Loader) check(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// AllLoaded returns every module package the loader has finished loading —
+// requested targets and their transitive module-internal dependencies —
+// sorted by import path. This is the universe BuildCallGraph should see, so
+// call edges through helper packages resolve even when only a subset is
+// being vetted.
+func (l *Loader) AllLoaded() []*Package {
+	var out []*Package
+	for _, e := range l.pkgs {
+		if e.pkg != nil && !e.inProgress {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.ModRoot, 0)

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockcheck enforces three rules on sync.Mutex/sync.RWMutex (and
+// sync.Locker) critical sections, path-sensitively over the per-function CFG:
+//
+//  1. a lock acquired in a function is released on every return path
+//     (explicitly or by a defer registered on that path);
+//  2. no channel send or receive happens while a lock is held — the engine's
+//     admission semaphore is a channel, and blocking on it under the plan
+//     cache's mutex is a ready-made deadlock;
+//  3. no caller-supplied code runs while a lock is held: function-typed
+//     parameters, function-valued fields (callbacks like rollout's ErrFn),
+//     and interface methods, whose implementations the lock's owner does not
+//     control. Two structural exemptions: error.Error (pure accessors by
+//     convention) and mlmath.Clock methods (the injected clock is read under
+//     locks by design — obs and the model registry timestamp while holding
+//     their own mutex, and clock implementations do not call back).
+//
+// Locks are tracked by the rendered receiver expression ("c.mu"; read locks
+// as "c.mu/R"), so lock/unlock pairs must name the mutex the same way —
+// which, in this module, they do. Functions using goto are skipped (no CFG).
+// sync.Mutex.TryLock is not modeled. Function literals are analyzed as their
+// own functions; a lock held across a synchronously invoked local closure
+// that performs channel operations is out of scope and documented in
+// docs/ANALYSIS.md.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "held mutexes must be released on every path and not held across channel ops or caller-supplied code",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFunc(pass, fd.Body, fd.Type)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockFunc(pass, fl.Body, fl.Type)
+				}
+				return true
+			})
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	lockAcquire lockOpKind = iota
+	lockRelease
+)
+
+// lockState is the dataflow fact: which mutexes are held (keyed by rendered
+// receiver, value = acquisition position) and which have a pending deferred
+// release.
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// key canonicalizes the state for the (block, state) visited set.
+func (s *lockState) key() string {
+	ks := make([]string, 0, len(s.held)+len(s.deferred))
+	for k := range s.held {
+		ks = append(ks, "h:"+k)
+	}
+	for k := range s.deferred {
+		ks = append(ks, "d:"+k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+type lockChecker struct {
+	pass *Pass
+	// fnType is the enclosing function's type, for caller-supplied parameter
+	// detection.
+	fnType *ast.FuncType
+	// reported dedupes diagnostics across the multiple states a block can be
+	// visited under.
+	reported map[token.Pos]bool
+}
+
+func checkLockFunc(pass *Pass, body *ast.BlockStmt, fnType *ast.FuncType) {
+	g, ok := buildCFG(body)
+	if !ok {
+		return
+	}
+	lc := &lockChecker{pass: pass, fnType: fnType, reported: map[token.Pos]bool{}}
+	type work struct {
+		block *cfgBlock
+		state *lockState
+	}
+	visited := map[*cfgBlock]map[string]bool{}
+	stack := []work{{g.entry, newLockState()}}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen := visited[w.block]
+		if seen == nil {
+			seen = map[string]bool{}
+			visited[w.block] = seen
+		}
+		k := w.state.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		st := w.state
+		for _, n := range w.block.nodes {
+			lc.applyNode(n, st)
+		}
+		if w.block.exits {
+			lc.reportLeaks(st)
+		}
+		for _, succ := range w.block.succs {
+			stack = append(stack, work{succ, st.clone()})
+		}
+	}
+}
+
+func (lc *lockChecker) report(pos token.Pos, format string, args ...any) {
+	if lc.reported[pos] {
+		return
+	}
+	lc.reported[pos] = true
+	lc.pass.Reportf(pos, format, args...)
+}
+
+func (lc *lockChecker) reportLeaks(st *lockState) {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		if !st.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		lc.report(st.held[k], "%s is locked here but not released on every return path", displayLockKey(k))
+	}
+}
+
+// applyNode runs the transfer function for one CFG node.
+func (lc *lockChecker) applyNode(n ast.Node, st *lockState) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		lc.applyDefer(d, st)
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function
+		case *ast.SendStmt:
+			lc.channelOp(x.Arrow, st)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lc.channelOp(x.OpPos, st)
+			}
+		case *ast.CallExpr:
+			lc.applyCall(x, st)
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) applyDefer(d *ast.DeferStmt, st *lockState) {
+	if key, op, ok := lc.lockOp(d.Call); ok {
+		if op == lockRelease {
+			st.deferred[key] = true
+		}
+		return
+	}
+	// defer func() { ...; mu.Unlock() }() registers the releases inside.
+	if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(x ast.Node) bool {
+			if c, ok := x.(*ast.CallExpr); ok {
+				if key, op, ok := lc.lockOp(c); ok && op == lockRelease {
+					st.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (lc *lockChecker) applyCall(call *ast.CallExpr, st *lockState) {
+	if key, op, ok := lc.lockOp(call); ok {
+		switch op {
+		case lockAcquire:
+			st.held[key] = call.Pos()
+		case lockRelease:
+			delete(st.held, key)
+		}
+		return
+	}
+	if len(st.held) == 0 {
+		return
+	}
+	if desc, ok := lc.callerSuppliedCall(call); ok {
+		lc.report(call.Pos(), "%s is held across a call to %s; snapshot state under the lock and call outside it", lc.someHeld(st), desc)
+	}
+}
+
+func (lc *lockChecker) channelOp(pos token.Pos, st *lockState) {
+	if len(st.held) == 0 {
+		return
+	}
+	lc.report(pos, "%s is held across a channel operation; release it before blocking on the channel", lc.someHeld(st))
+}
+
+// someHeld names one held lock deterministically for the message.
+func (lc *lockChecker) someHeld(st *lockState) string {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return displayLockKey(keys[0])
+}
+
+func displayLockKey(k string) string {
+	if base, ok := strings.CutSuffix(k, "/R"); ok {
+		return base + " (read-locked)"
+	}
+	return k
+}
+
+// lockOp classifies call as a lock acquire/release on a renderable mutex
+// expression. Matches the methods of sync.Mutex, sync.RWMutex, and the
+// sync.Locker interface.
+func (lc *lockChecker) lockOp(call *ast.CallExpr) (string, lockOpKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	fn, ok := lc.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", 0, false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", 0, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker":
+	default:
+		return "", 0, false
+	}
+	base, ok := renderLockExpr(sel.X)
+	if !ok {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return base, lockAcquire, true
+	case "Unlock":
+		return base, lockRelease, true
+	case "RLock":
+		return base + "/R", lockAcquire, true
+	case "RUnlock":
+		return base + "/R", lockRelease, true
+	}
+	return "", 0, false // TryLock/TryRLock/RLocker: not modeled
+}
+
+// renderLockExpr turns a mutex receiver into a stable key ("c.mu"). Anything
+// beyond ident/selector chains (map index, call result) is not renderable
+// and the op is ignored.
+func renderLockExpr(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := renderLockExpr(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// callerSuppliedCall reports whether call invokes code the lock holder does
+// not control: a function-typed parameter, a function-valued field, or an
+// interface method (error and mlmath.Clock exempted).
+func (lc *lockChecker) callerSuppliedCall(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		v, ok := lc.pass.ObjectOf(fun).(*types.Var)
+		if !ok || !isFuncType(v.Type()) {
+			return "", false
+		}
+		if lc.isParamVar(v) {
+			return fmt.Sprintf("the function parameter %s", fun.Name), true
+		}
+		// Local function-typed variables count as the holder's own code.
+		return "", false
+	case *ast.SelectorExpr:
+		switch obj := lc.pass.ObjectOf(fun.Sel).(type) {
+		case *types.Var:
+			if obj.IsField() && isFuncType(obj.Type()) {
+				return fmt.Sprintf("the function-valued field %s", fun.Sel.Name), true
+			}
+		case *types.Func:
+			sig := obj.Type().(*types.Signature)
+			if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) && !exemptInterfaceMethod(sig.Recv().Type(), obj) {
+				return fmt.Sprintf("the interface method %s", fun.Sel.Name), true
+			}
+		}
+	}
+	return "", false
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// isParamVar reports whether v is declared in the enclosing function's
+// parameter list.
+func (lc *lockChecker) isParamVar(v *types.Var) bool {
+	if lc.fnType == nil || lc.fnType.Params == nil {
+		return false
+	}
+	return v.Pos() >= lc.fnType.Params.Pos() && v.Pos() <= lc.fnType.Params.End()
+}
+
+// exemptInterfaceMethod sanctions interface calls that are safe under a lock
+// by contract: error.Error (accessors), and mlmath.Clock (the injected clock
+// is read while holding a lock by design and never calls back).
+func exemptInterfaceMethod(recv types.Type, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return true // universe error.Error
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() == "error"
+	}
+	return obj.Name() == "Clock" && strings.HasSuffix(obj.Pkg().Path(), "mlmath")
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// spawnreach upgrades the determinism analyzer's local rule — "core packages
+// do not contain go statements outside mlmath.Pool" — to a transitive one:
+// core packages must not *reach* an unsanctioned goroutine launch through any
+// chain of calls, however many helper packages deep.
+//
+// Division of labor with the determinism analyzer: a go statement written
+// directly in a core package is determinism's finding, at the statement
+// itself, and a suppression there is a reviewed decision that covers it.
+// spawnreach therefore reports only boundary edges — a call from a core
+// function into a *non-core* function that transitively spawns. That keeps
+// one root cause at one position instead of cascading a finding onto every
+// transitive caller.
+var SpawnReachAnalyzer = &ModuleAnalyzer{
+	Name: "spawnreach",
+	Doc:  "core packages must not transitively reach a go statement outside mlmath.Pool",
+	Run:  runSpawnReach,
+}
+
+func runSpawnReach(p *ModulePass) {
+	res := p.Graph.taint(
+		func(n *FuncNode) (token.Pos, bool) {
+			if len(n.GoStmts) > 0 {
+				return n.GoStmts[0], true
+			}
+			return token.NoPos, false
+		},
+		func(n *FuncNode) bool { return mlmathFuncMentions(n, "Pool") },
+	)
+	for _, pkg := range p.Targets {
+		if !IsCorePackage(pkg.Path) {
+			continue
+		}
+		for _, node := range p.NodesIn(pkg) {
+			seen := map[token.Pos]bool{}
+			for _, c := range node.Calls {
+				callee := c.Callee
+				if IsCorePackage(callee.Pkg.Path) {
+					continue // in-core spawns are the determinism analyzer's finding
+				}
+				if !res.isTainted(callee) || seen[c.Pos] {
+					continue
+				}
+				seen[c.Pos] = true
+				p.Reportf(c.Pos, "core function %s reaches a goroutine launch outside mlmath.Pool: %s; route fan-out through mlmath.Pool or break the dependency",
+					node.Name(), renderTaintPath(p.Fset, res, callee, func(*FuncNode) string { return "go statement" }))
+			}
+		}
+	}
+}
+
+// mlmathFuncMentions reports whether n is declared in an mlmath package with
+// a receiver or result type whose name contains marker — the structural
+// signature of the sanctioned concurrency (Pool) and clock (Clock,
+// SystemClock, ManualClock, ...) surfaces. Mirrors determinism's isPoolFunc
+// but is substring-based so SystemClock-style concrete types qualify.
+func mlmathFuncMentions(n *FuncNode, marker string) bool {
+	segs := strings.Split(n.Pkg.Path, "/")
+	if segs[len(segs)-1] != "mlmath" {
+		return false
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && strings.Contains(id.Name, marker) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if n.Decl.Recv != nil {
+		for _, f := range n.Decl.Recv.List {
+			if mentions(f.Type) {
+				return true
+			}
+		}
+	}
+	if n.Decl.Type.Results != nil {
+		for _, f := range n.Decl.Type.Results.List {
+			if mentions(f.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renderTaintPath formats the call chain from start to its offending fact,
+// e.g. "qo.train -> util.fanOut (go statement at util.go:12)". factLabel
+// names the fact in the final node.
+func renderTaintPath(fset *token.FileSet, res taintResult, start *FuncNode, factLabel func(*FuncNode) string) string {
+	steps := res.pathFrom(start)
+	parts := make([]string, 0, len(steps))
+	for i, st := range steps {
+		pos := fset.Position(st.Pos)
+		if i == len(steps)-1 {
+			parts = append(parts, fmt.Sprintf("%s (%s at %s:%d)",
+				st.Node.Name(), factLabel(st.Node), filepath.Base(pos.Filename), pos.Line))
+		} else {
+			parts = append(parts, st.Node.Name())
+		}
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -22,10 +22,16 @@ var allowRe = regexp.MustCompile(`^//ml4db:allow\s+([a-z]+)\s+"([^"]+)"\s*$`)
 
 type suppression struct {
 	analyzer string
+	reason   string
 	file     string
+	// pos is where the comment itself sits (reported by the
+	// unused-suppression check).
+	pos token.Position
 	// lines the comment covers (its own line, and the next line when the
 	// comment stands alone on its line).
 	lines map[int]bool
+	// used is set once the entry suppresses at least one diagnostic.
+	used bool
 }
 
 type suppressionSet struct {
@@ -52,7 +58,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet 
 					})
 					continue
 				}
-				if _, err := ByName([]string{m[1]}); err != nil {
+				if !knownAnalyzerNames()[m[1]] {
 					set.malformed = append(set.malformed, Diagnostic{
 						Pos:      pos,
 						Analyzer: "suppression",
@@ -63,7 +69,9 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet 
 				lines := map[int]bool{pos.Line: true, pos.Line + 1: true}
 				set.entries = append(set.entries, suppression{
 					analyzer: m[1],
+					reason:   m[2],
 					file:     pos.Filename,
+					pos:      pos,
 					lines:    lines,
 				})
 			}
@@ -72,22 +80,27 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet 
 	return set
 }
 
+// match finds the entry suppressing d, returning its index.
+func (s suppressionSet) match(d Diagnostic) (int, bool) {
+	for i, e := range s.entries {
+		if e.analyzer == d.Analyzer && e.file == d.Pos.Filename && e.lines[d.Pos.Line] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 func (s suppressionSet) filter(diags []Diagnostic) []Diagnostic {
 	if len(s.entries) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		suppressed := false
-		for _, e := range s.entries {
-			if e.analyzer == d.Analyzer && e.file == d.Pos.Filename && e.lines[d.Pos.Line] {
-				suppressed = true
-				break
-			}
+		if i, ok := s.match(d); ok {
+			s.entries[i].used = true
+			continue
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
+		kept = append(kept, d)
 	}
 	return kept
 }

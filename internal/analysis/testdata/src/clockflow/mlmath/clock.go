@@ -1,0 +1,24 @@
+// Package mlmath mirrors the sanctioned clock-injection shape: functions
+// whose receiver or result type mentions Clock may read the ambient clock.
+package mlmath
+
+import "time"
+
+// Clock abstracts time for deterministic replay.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock is the production Clock backed by the real time package; its
+// methods are the sanctioned bridge to time.Now.
+type SystemClock struct{}
+
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// ClockOrSystem returns c, defaulting to the system clock.
+func ClockOrSystem(c Clock) Clock {
+	if c == nil {
+		return SystemClock{}
+	}
+	return c
+}

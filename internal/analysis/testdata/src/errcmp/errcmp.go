@@ -1,0 +1,81 @@
+// Package errcmp exercises the errcmp analyzer: comparing error values with
+// == / type assertions / type switches breaks under fmt.Errorf("%w") chains
+// and must go through errors.Is / errors.As.
+package errcmp
+
+import "errors"
+
+var ErrSentinel = errors.New("sentinel")
+
+type TypedError struct{ Code int }
+
+func (e *TypedError) Error() string { return "typed" }
+
+type BridgedError struct{}
+
+func (e *BridgedError) Error() string { return "bridged" }
+
+// Is is the sanctioned sentinel bridge: errors.Is dispatches here, and
+// identity comparison is exactly its job.
+func (e *BridgedError) Is(target error) bool {
+	return target == ErrSentinel
+}
+
+func work() error { return ErrSentinel }
+
+func compare() bool {
+	err := work()
+	if err == ErrSentinel { // want "errors.Is"
+		return true
+	}
+	if err != ErrSentinel { // want "errors.Is"
+		return false
+	}
+	return err != nil // nil comparisons are always fine
+}
+
+func switchOnErr(err error) int {
+	switch err { // want "switch on an error value"
+	case nil:
+		return 0
+	case ErrSentinel:
+		return 1
+	}
+	return 2
+}
+
+func assertTyped(err error) int {
+	if te, ok := err.(*TypedError); ok { // want "errors.As"
+		return te.Code
+	}
+	return -1
+}
+
+func typeSwitchTyped(err error) int {
+	switch te := err.(type) { // want "errors.As"
+	case *TypedError:
+		return te.Code
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+func suppressedCompare(err error) bool {
+	//ml4db:allow errcmp "this sentinel is never wrapped in this package; identity is intentional"
+	return err == ErrSentinel
+}
+
+func clean(err error) bool {
+	var te *TypedError
+	if errors.As(err, &te) {
+		return te.Code == 0 // int comparison, not an error comparison
+	}
+	return errors.Is(err, ErrSentinel)
+}
+
+// Asserting to a non-error interface is not a wrapping hazard.
+func assertNonError(err error) bool {
+	_, ok := err.(interface{ Timeout() bool })
+	return ok
+}

@@ -1,0 +1,132 @@
+// Package lockcheck exercises the lockcheck analyzer: held mutexes must be
+// released on every return path and must not be held across channel
+// operations or caller-supplied code.
+package lockcheck
+
+import (
+	"sync"
+
+	"ml4db/internal/analysis/testdata/src/lockcheck/mlmath"
+)
+
+type store struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	n       int
+	onEvict func(int)
+	clock   mlmath.Clock
+}
+
+func (s *store) leaky(flag bool) int {
+	s.mu.Lock() // want "not released on every return path"
+	if flag {
+		s.mu.Unlock()
+		return 1
+	}
+	return 0
+}
+
+func (s *store) balanced(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *store) deferredInLiteral() int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.n
+}
+
+func (s *store) readLeak(flag bool) int {
+	s.rw.RLock() // want "not released on every return path"
+	if flag {
+		return 1
+	}
+	s.rw.RUnlock()
+	return 0
+}
+
+func (s *store) readBalanced() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *store) sendUnderLock(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "held across a channel operation"
+	s.mu.Unlock()
+}
+
+func (s *store) recvOutsideLock(ch chan int) {
+	v := <-ch
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *store) paramUnderLock(f func()) {
+	s.mu.Lock()
+	f() // want "function parameter f"
+	s.mu.Unlock()
+}
+
+func (s *store) fieldUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict(s.n) // want "function-valued field"
+}
+
+type flusher interface {
+	Flush() error
+}
+
+func (s *store) ifaceUnderLock(fl flusher) {
+	s.mu.Lock()
+	_ = fl.Flush() // want "interface method"
+	s.mu.Unlock()
+}
+
+// The injected clock is exempt: reading it under a lock is the contract.
+func (s *store) clockUnderLock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Now().UnixNano()
+}
+
+func (s *store) suppressedCallback(f func()) {
+	s.mu.Lock()
+	//ml4db:allow lockcheck "f is documented non-blocking and must run inside the critical section for atomicity"
+	f()
+	s.mu.Unlock()
+}
+
+func (s *store) callbackAfterUnlock(f func()) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	f()
+}
+
+func (s *store) loopDiscipline(items []int) {
+	for _, it := range items {
+		s.mu.Lock()
+		if it < 0 {
+			s.mu.Unlock()
+			continue
+		}
+		s.n += it
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,11 @@
+// Package mlmath mirrors the real module's injected-clock contract, so the
+// lockcheck fixture can exercise the Clock interface exemption.
+package mlmath
+
+import "time"
+
+// Clock is the injected time source; implementations never call back into
+// the code holding a lock.
+type Clock interface {
+	Now() time.Time
+}

@@ -1,0 +1,28 @@
+// Package obs mirrors the real tracer's shape — a Span created by a
+// non-Span receiver, chaining setters, End as the release — so the spanend
+// fixture type-checks like production code.
+package obs
+
+// Tracer starts spans.
+type Tracer struct{}
+
+// Span is one traced operation.
+type Span struct {
+	vals map[string]int64
+}
+
+// StartSpan begins a span under parent (which may be nil).
+func (t *Tracer) StartSpan(name string, parent *Span) *Span {
+	_ = name
+	_ = parent
+	return &Span{vals: map[string]int64{}}
+}
+
+// SetInt annotates the span and returns it for chaining.
+func (s *Span) SetInt(key string, v int64) *Span {
+	s.vals[key] = v
+	return s
+}
+
+// End finishes the span.
+func (s *Span) End() {}

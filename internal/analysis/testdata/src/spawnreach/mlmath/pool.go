@@ -1,0 +1,27 @@
+// Package mlmath mirrors the sanctioned worker-pool shape: functions with a
+// Pool receiver or result may spawn, everything else may not.
+package mlmath
+
+// Pool is the sanctioned fan-out primitive.
+type Pool struct {
+	jobs chan func()
+}
+
+// NewPool starts n workers; the go statement here is sanctioned because the
+// function returns a *Pool.
+func NewPool(n int) *Pool {
+	p := &Pool{jobs: make(chan func(), n)}
+	for i := 0; i < n; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for f := range p.jobs {
+		f()
+	}
+}
+
+// Run executes f on the caller's goroutine (fixture simplification).
+func (p *Pool) Run(f func()) { f() }

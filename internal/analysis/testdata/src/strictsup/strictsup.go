@@ -1,0 +1,9 @@
+// Package strictsup holds a stale suppression: the comparison below is
+// between ints, so floateq never fires and the allow is unused. Strict mode
+// must report it; default mode must stay silent.
+package strictsup
+
+func Equalish(a, b int) bool {
+	//ml4db:allow floateq "stale: this used to compare float64s"
+	return a == b
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runModuleFixture is the module-tier analogue of runFixture: it loads every
+// listed fixture package, runs the analyzer over the whole set (so cross-
+// package call edges resolve), and matches unsuppressed findings against the
+// want comments collected from all of them.
+func runModuleFixture(t *testing.T, a *ModuleAnalyzer, rels []string) {
+	t.Helper()
+	loader := fixtureLoader(t)
+	var targets []*Package
+	for _, rel := range rels {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(dir, "ml4db/internal/analysis/testdata/src/"+rel)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", rel, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture %s has type errors: %v", rel, terr)
+		}
+		targets = append(targets, pkg)
+	}
+
+	wants := map[string]string{}
+	for _, pkg := range targets {
+		for key, substr := range collectWants(pkg) {
+			wants[key] = substr
+		}
+	}
+	got := map[string]string{}
+	for _, f := range Analyze(targets, loader.AllLoaded(), nil, []*ModuleAnalyzer{a}, false) {
+		if f.Suppressed {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = f.Message
+	}
+
+	for key, substr := range wants {
+		msg, ok := got[key]
+		if !ok {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, substr)
+			continue
+		}
+		if !strings.Contains(msg, substr) {
+			t.Errorf("%s: diagnostic %q does not contain %q", key, msg, substr)
+		}
+		delete(got, key)
+	}
+	for key, msg := range got {
+		t.Errorf("%s: unexpected diagnostic %q", key, msg)
+	}
+}
+
+func TestSpawnReachFixture(t *testing.T) {
+	runModuleFixture(t, SpawnReachAnalyzer, []string{
+		"spawnreach/engine", "spawnreach/helper", "spawnreach/mlmath",
+	})
+}
+
+func TestClockFlowFixture(t *testing.T) {
+	runModuleFixture(t, ClockFlowAnalyzer, []string{
+		"clockflow/engine", "clockflow/helper", "clockflow/mlmath",
+	})
+}
+
+func TestLockCheckFixture(t *testing.T) { runFixture(t, LockCheckAnalyzer, "lockcheck") }
+func TestSpanEndFixture(t *testing.T)   { runFixture(t, SpanEndAnalyzer, "spanend") }
+func TestErrCmpFixture(t *testing.T)    { runFixture(t, ErrCmpAnalyzer, "errcmp") }
+
+// TestStrictSuppressUnused pins the -strict-suppress contract: an allow
+// comment that suppresses nothing is a finding in strict mode and silent
+// otherwise — and only for analyzers that actually ran.
+func TestStrictSuppressUnused(t *testing.T) {
+	loader := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "strictsup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "ml4db/internal/analysis/testdata/src/strictsup")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findings := Analyze([]*Package{pkg}, nil, All(), nil, true)
+	var unused []Finding
+	for _, f := range findings {
+		if f.Analyzer == "suppression" {
+			unused = append(unused, f)
+		}
+	}
+	if len(unused) != 1 {
+		t.Fatalf("strict mode: got %d suppression findings, want 1: %+v", len(unused), findings)
+	}
+	if !strings.Contains(unused[0].Message, "unused //ml4db:allow floateq") {
+		t.Errorf("unexpected message %q", unused[0].Message)
+	}
+
+	for _, f := range Analyze([]*Package{pkg}, nil, All(), nil, false) {
+		if f.Analyzer == "suppression" {
+			t.Errorf("non-strict mode reported suppression finding %q", f.Message)
+		}
+	}
+
+	// The floateq allow is only auditable when floateq runs: selecting a
+	// different analyzer must not flag it.
+	for _, f := range Analyze([]*Package{pkg}, nil, []*Analyzer{MutexCopyAnalyzer}, nil, true) {
+		if f.Analyzer == "suppression" {
+			t.Errorf("strict mode flagged an allow for an analyzer that did not run: %q", f.Message)
+		}
+	}
+}
+
+// TestSelfAnalysisClean runs the full analyzer suite — both tiers, strict
+// suppression — over internal/analysis itself: the analysis code must satisfy
+// its own contracts without a single suppression.
+func TestSelfAnalysisClean(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load([]string{"./internal/analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, f := range Analyze(pkgs, loader.AllLoaded(), All(), AllModule(), true) {
+		if f.Suppressed {
+			continue
+		}
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,36 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ml4db/internal/engine"
+)
+
+// The admission-error contract: *OverloadedError matches the ErrOverloaded
+// sentinel through errors.Is — including through fmt.Errorf("%w") wrapping —
+// and errors.As recovers the typed error with its limit. Callers must never
+// need == on the sentinel.
+func TestOverloadedErrorWrapping(t *testing.T) {
+	base := &engine.OverloadedError{Limit: 8}
+	if !errors.Is(base, engine.ErrOverloaded) {
+		t.Fatal("bare *OverloadedError does not match ErrOverloaded")
+	}
+
+	wrapped := fmt.Errorf("session 42: %w", fmt.Errorf("admit: %w", base))
+	if !errors.Is(wrapped, engine.ErrOverloaded) {
+		t.Error("double-wrapped *OverloadedError does not match ErrOverloaded")
+	}
+	var oe *engine.OverloadedError
+	if !errors.As(wrapped, &oe) {
+		t.Fatal("errors.As failed to recover *OverloadedError through wrapping")
+	}
+	if oe.Limit != 8 {
+		t.Errorf("recovered Limit = %d, want 8", oe.Limit)
+	}
+
+	if errors.Is(errors.New("engine: overloaded"), engine.ErrOverloaded) {
+		t.Error("an unrelated error with the same text must not match the sentinel")
+	}
+}

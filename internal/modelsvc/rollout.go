@@ -77,10 +77,11 @@ var errBuckets = obs.ExpBuckets(1, 2, 17)
 
 // Rollout guards the deployment of a candidate model against the incumbent.
 // Reads (Predict, PredictBatch, Current) snapshot the incumbent under a
-// read-lock; Observe runs the canary comparison and, when the window fills,
-// promotes or rejects the candidate under the write-lock — so a promotion is
-// an atomic hot-swap: every read sees exactly one coherent deployment,
-// before or after, never a torn mixture.
+// read-lock; Observe snapshots the deployment pair, runs the canary
+// comparison unlocked, then commits — and, when the window fills, promotes
+// or rejects the candidate — under the write-lock with an epoch guard. A
+// promotion is an atomic hot-swap: every read sees exactly one coherent
+// deployment, before or after, never a torn mixture.
 type Rollout struct {
 	opts RolloutOptions
 
@@ -90,13 +91,18 @@ type Rollout struct {
 	hasPrevious bool
 	candidate   Deployment
 	state       State
-	incErr      []float64
-	candErr     []float64
-	incLat      []float64
-	candLat     []float64
-	promotions  int
-	rejections  int
-	demotions   int
+	// epoch counts deployment-set changes (candidate set, gate decision,
+	// demotion). Observe snapshots it before predicting outside the lock and
+	// drops the observation if the set changed underneath — the errors it
+	// measured belong to a deployment pair that no longer exists.
+	epoch      uint64
+	incErr     []float64
+	candErr    []float64
+	incLat     []float64
+	candLat    []float64
+	promotions int
+	rejections int
+	demotions  int
 }
 
 // NewRollout starts a rollout serving the incumbent in the Stable state.
@@ -148,6 +154,7 @@ func (r *Rollout) SetCandidate(d Deployment) {
 	}
 	r.candidate = d
 	r.state = Shadowing
+	r.epoch++
 	r.resetWindowLocked()
 	r.opts.Metrics.Counter("modelsvc.rollout.candidates").Inc()
 }
@@ -191,23 +198,36 @@ func (r *Rollout) PredictBatch(xs [][]float64, out []float64, pool *mlmath.Pool)
 // it passes the latency gate; otherwise it is rejected and the incumbent
 // keeps serving. In the Stable state Observe records the incumbent's error
 // and returns OutcomeNone.
+//
+// Model inference and ErrFn are caller-supplied code, so they run outside
+// r.mu (lockcheck enforces this): Observe snapshots the deployment pair and
+// epoch under a read-lock, predicts unlocked, then re-acquires the write
+// lock to commit. If the deployment set changed in between, the measured
+// errors describe a pair that no longer exists and the observation is
+// dropped (OutcomeNone) — under a single observer thread this path is
+// unreachable and behavior, clock-read sequence included, is unchanged.
 func (r *Rollout) Observe(x []float64, truth float64) Outcome {
 	m := r.opts.Metrics
 	clock := mlmath.ClockOrSystem(r.opts.Clock)
-	r.mu.Lock()
-	defer r.mu.Unlock()
+
+	r.mu.RLock()
+	epoch := r.epoch
+	inc := r.incumbent
+	cand := r.candidate
+	shadowing := r.state == Shadowing
+	r.mu.RUnlock()
 
 	t0 := clock.Now()
-	incPred := r.incumbent.Model.Predict(x)
+	incPred := inc.Model.Predict(x)
 	t1 := clock.Now()
 	incErr := r.opts.ErrFn(incPred, truth)
 	m.Histogram("modelsvc.rollout.incumbent_err", errBuckets).Observe(incErr)
-	if r.state != Shadowing {
+	if !shadowing {
 		return OutcomeNone
 	}
 
 	t2 := clock.Now()
-	candPred := r.candidate.Model.Predict(x)
+	candPred := cand.Model.Predict(x)
 	t3 := clock.Now()
 	candErr := r.opts.ErrFn(candPred, truth)
 	m.Histogram("modelsvc.rollout.candidate_err", errBuckets).Observe(candErr)
@@ -215,6 +235,12 @@ func (r *Rollout) Observe(x []float64, truth float64) Outcome {
 	incLat := t1.Sub(t0).Seconds()
 	candLat := t3.Sub(t2).Seconds()
 	m.Histogram("modelsvc.rollout.shadow_latency", latBuckets).Observe(candLat)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch != epoch {
+		return OutcomeNone
+	}
 	r.incErr = append(r.incErr, incErr)
 	r.candErr = append(r.candErr, candErr)
 	r.incLat = append(r.incLat, incLat)
@@ -235,6 +261,7 @@ func (r *Rollout) Observe(x []float64, truth float64) Outcome {
 // decideLocked applies the canary gate at the end of a full window.
 func (r *Rollout) decideLocked() Outcome {
 	m := r.opts.Metrics
+	r.epoch++ // either branch retires the current deployment pair
 	incMed := mlmath.Median(r.incErr)
 	candMed := mlmath.Median(r.candErr)
 	promote := candMed < incMed*r.opts.MaxErrRatio
@@ -278,6 +305,7 @@ func (r *Rollout) Demote() bool {
 	if r.state == Shadowing {
 		r.candidate = Deployment{}
 		r.state = Stable
+		r.epoch++
 		r.resetWindowLocked()
 		r.rejections++
 		m.Counter("modelsvc.rollout.rejections").Inc()
@@ -292,6 +320,7 @@ func (r *Rollout) Demote() bool {
 	default:
 		return false
 	}
+	r.epoch++
 	r.demotions++
 	m.Counter("modelsvc.rollout.demotions").Inc()
 	m.Gauge("modelsvc.rollout.version").Set(float64(r.incumbent.Version))

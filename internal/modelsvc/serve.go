@@ -169,6 +169,7 @@ func (s *Server) Flush() int {
 			xs[i] = t.x
 		}
 		out := make([]float64, len(batch))
+		//ml4db:allow lockcheck "flushMu exists to serialize batch execution: holding it across PredictBatch is its whole job, the data lock s.mu is released first, and backends do not call back into the Server"
 		version := s.backend.PredictBatch(xs, out, s.opts.Pool)
 		for i, t := range batch {
 			t.val = out[i]

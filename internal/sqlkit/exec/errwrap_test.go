@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The budget-abort contract: *BudgetExceededError matches the
+// ErrWorkBudgetExceeded sentinel through errors.Is — including through
+// fmt.Errorf("%w") wrapping — and errors.As recovers which limit tripped.
+func TestBudgetErrorWrapping(t *testing.T) {
+	base := &BudgetExceededError{Kind: "rows", Limit: 100, Used: 101}
+	if !errors.Is(base, ErrWorkBudgetExceeded) {
+		t.Fatal("bare *BudgetExceededError does not match ErrWorkBudgetExceeded")
+	}
+
+	wrapped := fmt.Errorf("query q7: %w", fmt.Errorf("operator join: %w", base))
+	if !errors.Is(wrapped, ErrWorkBudgetExceeded) {
+		t.Error("double-wrapped *BudgetExceededError does not match the sentinel")
+	}
+	var be *BudgetExceededError
+	if !errors.As(wrapped, &be) {
+		t.Fatal("errors.As failed to recover *BudgetExceededError through wrapping")
+	}
+	if be.Kind != "rows" || be.Limit != 100 || be.Used != 101 {
+		t.Errorf("recovered %+v, want Kind=rows Limit=100 Used=101", be)
+	}
+
+	if errors.Is(errors.New("exec: work budget exceeded"), ErrWorkBudgetExceeded) {
+		t.Error("an unrelated error with the same text must not match the sentinel")
+	}
+}

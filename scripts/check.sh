@@ -20,8 +20,21 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "==> ml4db-vet ./..."
-go run ./cmd/ml4db-vet ./...
+# The project's own analyzer suite, in strict-suppression mode so stale
+# //ml4db:allow comments fail the gate. The wall-clock budget keeps the
+# module-wide call-graph tier honest: the whole run (including go run's
+# build step) must stay interactive, or vet stops being something people
+# run before every commit.
+echo "==> ml4db-vet -strict-suppress ./..."
+vet_budget=15
+vet_start=$(date +%s)
+go run ./cmd/ml4db-vet -strict-suppress ./...
+vet_elapsed=$(( $(date +%s) - vet_start ))
+echo "    ml4db-vet took ${vet_elapsed}s (budget ${vet_budget}s)"
+if [ "$vet_elapsed" -gt "$vet_budget" ]; then
+    echo "ml4db-vet exceeded its ${vet_budget}s wall-clock budget (took ${vet_elapsed}s)" >&2
+    exit 1
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...
