@@ -60,7 +60,17 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -serve results")
 	engineBench := flag.Bool("engine", false, "benchmark the query-session engine (plan cache, admission, fallback)")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "output file for -engine results")
+	storageBench := flag.Bool("storage", false, "benchmark the disk-backed storage engine (oversized scans, learned eviction, replay)")
+	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -storage results")
 	flag.Parse()
+
+	if *storageBench {
+		if err := runStorageBench(*seed, *storageOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *engineBench {
 		if err := runEngineBench(*seed, *engineOut, *quick); err != nil {

@@ -1,0 +1,33 @@
+// Command ml4db-docslint enforces the repository documentation contract
+// (see internal/docslint): internal packages carry doc.go, docs/*.md pages
+// are reachable from the README or docs index, and relative markdown links
+// resolve. Run by scripts/check.sh; exits nonzero on any finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ml4db/internal/docslint"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	findings, err := docslint.Check(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ml4db-docslint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) == 0 {
+		fmt.Println("ml4db-docslint: clean")
+		return
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "ml4db-docslint: %d finding(s)\n", len(findings))
+	os.Exit(1)
+}

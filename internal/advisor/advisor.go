@@ -1,16 +1,3 @@
-// Package advisor implements a learned index advisor in the spirit of
-// "AI meets AI: leveraging query executions to improve index
-// recommendations" (Ding et al., SIGMOD 2019) — one of the database-advisor
-// applications the paper's introduction lists.
-//
-// A classical what-if advisor ranks candidate indexes by the optimizer's
-// *estimated* cost savings. Those estimates inherit every flaw of the cost
-// model — in particular, unmodeled random-access cost makes index fetches
-// look cheaper than they are, so what-if advisors over-recommend indexes.
-// The learned advisor keeps the what-if machinery but trains a correction
-// model from *executed* configurations: features of a candidate (its what-if
-// saving, estimated fetch volume, predicate frequency) map to the measured
-// saving, and the ranking uses the corrected predictions.
 package advisor
 
 import (

@@ -15,7 +15,10 @@ import (
 //   - an *obs.Span obtained from any non-Span-receiver call (Tracer.StartSpan
 //     and helpers that return a started span) must reach .End();
 //   - an *os.File from os.Open/Create/CreateTemp/OpenFile must reach
-//     .Close().
+//     .Close();
+//   - a *storage.PageHandle obtained from any non-PageHandle-receiver call
+//     (Pool.Fetch, TableFile.FetchPage and helpers) must reach .Unpin(), or
+//     the frame stays pinned and the pool eventually refuses to evict.
 //
 // Chained setters (sp.SetInt(...).End()) resolve through the method chain to
 // the root variable. A release registered with defer — directly or inside a
@@ -28,7 +31,7 @@ import (
 // the os contract). Functions using goto are skipped (no CFG).
 var SpanEndAnalyzer = &Analyzer{
 	Name: "spanend",
-	Doc:  "obs spans must reach End and os files must reach Close on every return path",
+	Doc:  "obs spans must reach End, os files Close, and storage page handles Unpin on every return path",
 	Run:  runSpanEnd,
 }
 
@@ -100,8 +103,8 @@ func (sc *spanChecker) collect(body *ast.BlockStmt) {
 			return false
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok {
-				if release, what, ok := sc.creationCall(call); ok && release == "End" {
-					sc.pass.Reportf(call.Pos(), "%s is discarded; it can never reach End()", what)
+				if release, what, ok := sc.creationCall(call); ok && release != "Close" {
+					sc.pass.Reportf(call.Pos(), "%s is discarded; it can never reach %s()", what, release)
 				}
 			}
 		case *ast.AssignStmt:
@@ -152,19 +155,38 @@ func (sc *spanChecker) creationCall(call *ast.CallExpr) (release, what string, o
 	if tup, isTup := t.(*types.Tuple); isTup && tup.Len() > 0 {
 		t = tup.At(0).Type()
 	}
-	if !isObsSpanPtr(t) {
-		return "", "", false
-	}
-	// Methods on *obs.Span itself (SetInt, SetStr, ...) chain on an existing
-	// span; only non-Span receivers (Tracer.StartSpan, helpers) create one.
-	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
-		if fn, isFn := sc.pass.ObjectOf(sel.Sel).(*types.Func); isFn {
-			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isObsSpanPtr(recv.Type()) {
-				return "", "", false
-			}
+	if isObsSpanPtr(t) {
+		// Methods on *obs.Span itself (SetInt, SetStr, ...) chain on an
+		// existing span; only non-Span receivers (Tracer.StartSpan, helpers)
+		// create one.
+		if sc.receiverIs(call, isObsSpanPtr) {
+			return "", "", false
 		}
+		return "End", "the span started here", true
 	}
-	return "End", "the span started here", true
+	if isStorageHandlePtr(t) {
+		if sc.receiverIs(call, isStorageHandlePtr) {
+			return "", "", false
+		}
+		return "Unpin", "the page handle pinned here", true
+	}
+	return "", "", false
+}
+
+// receiverIs reports whether call is a method call whose receiver type
+// satisfies match — i.e. the call chains on an existing resource rather than
+// creating a new one.
+func (sc *spanChecker) receiverIs(call *ast.CallExpr, match func(types.Type) bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := sc.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && match(recv.Type())
 }
 
 func isObsSpanPtr(t types.Type) bool {
@@ -179,6 +201,22 @@ func isObsSpanPtr(t types.Type) bool {
 	path := named.Obj().Pkg().Path()
 	segs := strings.Split(path, "/")
 	return named.Obj().Name() == "Span" && segs[len(segs)-1] == "obs"
+}
+
+// isStorageHandlePtr reports whether t is *storage.PageHandle (matched by
+// name and final package segment, so the fixture mirror qualifies too).
+func isStorageHandlePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	segs := strings.Split(path, "/")
+	return named.Obj().Name() == "PageHandle" && segs[len(segs)-1] == "storage"
 }
 
 // pruneEscapes drops resources whose variable is used in any way other than

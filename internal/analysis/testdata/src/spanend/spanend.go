@@ -1,5 +1,6 @@
-// Package spanend exercises the spanend analyzer: spans must reach End and
-// os files must reach Close on every return path.
+// Package spanend exercises the spanend analyzer: spans must reach End, os
+// files must reach Close, and page handles must reach Unpin on every return
+// path.
 package spanend
 
 import (
@@ -7,6 +8,7 @@ import (
 	"os"
 
 	"ml4db/internal/analysis/testdata/src/spanend/obs"
+	"ml4db/internal/analysis/testdata/src/spanend/storage"
 )
 
 var errOops = errors.New("oops")
@@ -118,4 +120,48 @@ func fileClosedOnEachPath(path string, cond bool) error {
 		return errOops
 	}
 	return f.Close()
+}
+
+func pinLeakOnError(p *storage.Pool, fail bool) error {
+	h, err := p.Fetch(0) // want "may not reach Unpin"
+	if err != nil {
+		return err // propagating the fetch error: handle is nil, exempt
+	}
+	if fail {
+		return errOops
+	}
+	h.Unpin()
+	return nil
+}
+
+func pinDeferred(p *storage.Pool, fail bool) error {
+	h, err := p.Fetch(0)
+	if err != nil {
+		return err
+	}
+	defer h.Unpin()
+	if fail {
+		return errOops
+	}
+	return nil
+}
+
+func pinDiscarded(p *storage.Pool) {
+	p.Fetch(0) // want "discarded"
+	work()
+}
+
+func pinChainedRelease(p *storage.Pool) error {
+	h, err := p.Fetch(0)
+	if err != nil {
+		return err
+	}
+	h.Touch().Unpin() // chained release resolves to h
+	return nil
+}
+
+// Touch chains on an existing handle; it must not count as a new pin.
+func pinChainIsNotCreation(h *storage.PageHandle) {
+	h.Touch()
+	work()
 }

@@ -1,0 +1,27 @@
+// Package storage mirrors the real buffer pool's shape — a PageHandle
+// created by a non-handle receiver, Unpin as the release — so the spanend
+// fixture type-checks like production code.
+package storage
+
+// Pool hands out pinned page handles.
+type Pool struct{}
+
+// PageHandle is one pinned page frame.
+type PageHandle struct {
+	missed bool
+}
+
+// Fetch pins pageNo and returns a handle the caller must Unpin.
+func (p *Pool) Fetch(pageNo int) (*PageHandle, error) {
+	_ = pageNo
+	return &PageHandle{}, nil
+}
+
+// Missed reports whether the fetch was a pool miss.
+func (h *PageHandle) Missed() bool { return h.missed }
+
+// Touch annotates the handle and returns it for chaining.
+func (h *PageHandle) Touch() *PageHandle { return h }
+
+// Unpin releases the pin.
+func (h *PageHandle) Unpin() {}

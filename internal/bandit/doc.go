@@ -1,0 +1,6 @@
+// Package bandit implements the contextual multi-armed bandit machinery of
+// BAO (§3.2): Thompson sampling over Bayesian linear-regression reward
+// models, one per arm (hint set). The agent balances exploring unproven hint
+// sets against exploiting known-good ones, which is what gives BAO its
+// bounded regret and fast adaptation.
+package bandit

@@ -1,0 +1,7 @@
+// Package docslint enforces the repository's documentation contract: every
+// internal package carries a doc.go, every file under docs/ is reachable
+// from the README or the docs index, and no committed markdown contains a
+// dead relative link. It is the library behind cmd/ml4db-docslint, which
+// scripts/check.sh runs on every commit — documentation drift fails the
+// gate exactly like a broken test.
+package docslint

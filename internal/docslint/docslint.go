@@ -1,0 +1,256 @@
+package docslint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Rule identifiers, one per documentation contract.
+const (
+	RuleMissingDocGo     = "missing-doc-go"
+	RuleUnreferencedDoc  = "unreferenced-doc"
+	RuleDeadLink         = "dead-link"
+	RuleMissingDocsIndex = "missing-docs-index"
+)
+
+// Finding is one violated documentation contract.
+type Finding struct {
+	// Path is repo-relative: the package directory (missing-doc-go), the
+	// orphaned docs file (unreferenced-doc), or the markdown file holding
+	// the broken link (dead-link, missing-docs-index).
+	Path string
+	Rule string
+	Msg  string
+}
+
+// String formats the finding the way cmd/ml4db-docslint prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Path, f.Rule, f.Msg)
+}
+
+// mdLink matches inline markdown links and captures the target. Reference
+// definitions ([id]: url) are out of scope: the repo uses inline links.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// Check runs every documentation rule against the repository rooted at
+// root and returns the findings sorted by path then rule. A nil slice
+// means the docs contract holds.
+func Check(root string) ([]Finding, error) {
+	var findings []Finding
+
+	pkgs, err := packagesMissingDocGo(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range pkgs {
+		findings = append(findings, Finding{
+			Path: dir,
+			Rule: RuleMissingDocGo,
+			Msg:  "internal package has Go files but no doc.go; move the package comment into one",
+		})
+	}
+
+	orphans, err := unreferencedDocs(root)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, orphans...)
+
+	dead, err := deadLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, dead...)
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Path != findings[j].Path {
+			return findings[i].Path < findings[j].Path
+		}
+		if findings[i].Rule != findings[j].Rule {
+			return findings[i].Rule < findings[j].Rule
+		}
+		return findings[i].Msg < findings[j].Msg
+	})
+	return findings, nil
+}
+
+// packagesMissingDocGo returns repo-relative internal/ package directories
+// that contain non-test Go files but no doc.go. Fixture trees under
+// testdata are not packages of the module and are skipped whole.
+func packagesMissingDocGo(root string) ([]string, error) {
+	var missing []string
+	base := filepath.Join(root, "internal")
+	if _, err := os.Stat(base); os.IsNotExist(err) {
+		return nil, nil
+	}
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo, hasDoc := false, false
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			hasGo = true
+			if name == "doc.go" {
+				hasDoc = true
+			}
+		}
+		if hasGo && !hasDoc {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			missing = append(missing, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// linkTargets extracts the relative-file link targets from one markdown
+// file, resolved repo-relative. External URLs and pure fragments are not
+// file links and are dropped.
+func linkTargets(root, mdPath string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(root, mdPath))
+	if err != nil {
+		return nil, err
+	}
+	var targets []string
+	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+		raw := m[1]
+		if strings.Contains(raw, "://") || strings.HasPrefix(raw, "mailto:") || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		if raw == "" {
+			continue
+		}
+		resolved := filepath.ToSlash(filepath.Clean(filepath.Join(filepath.Dir(mdPath), raw)))
+		targets = append(targets, resolved)
+	}
+	return targets, nil
+}
+
+// docsFiles lists docs/*.md repo-relative, sorted.
+func docsFiles(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, "docs/"+e.Name())
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// unreferencedDocs flags docs/*.md files that neither README.md nor the
+// docs index (docs/README.md) links to — documentation nobody can find is
+// documentation that rots. A docs/ directory without an index is itself a
+// finding: the index is the entry point the rule hinges on.
+func unreferencedDocs(root string) ([]Finding, error) {
+	docs, err := docsFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	referenced := map[string]bool{}
+	indexes := []string{"README.md", "docs/README.md"}
+	haveIndex := false
+	for _, idx := range indexes {
+		if _, err := os.Stat(filepath.Join(root, idx)); err != nil {
+			continue
+		}
+		if idx == "docs/README.md" {
+			haveIndex = true
+		}
+		targets, err := linkTargets(root, idx)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
+			referenced[t] = true
+		}
+	}
+	var findings []Finding
+	if !haveIndex {
+		findings = append(findings, Finding{
+			Path: "docs/README.md",
+			Rule: RuleMissingDocsIndex,
+			Msg:  "docs/ has markdown files but no README.md index",
+		})
+	}
+	for _, doc := range docs {
+		if doc == "docs/README.md" || referenced[doc] {
+			continue
+		}
+		findings = append(findings, Finding{
+			Path: doc,
+			Rule: RuleUnreferencedDoc,
+			Msg:  "not linked from README.md or docs/README.md; add it to the docs index",
+		})
+	}
+	return findings, nil
+}
+
+// deadLinks verifies that every relative link in README.md and docs/*.md
+// resolves to an existing file or directory.
+func deadLinks(root string) ([]Finding, error) {
+	sources := []string{"README.md"}
+	docs, err := docsFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	sources = append(sources, docs...)
+	var findings []Finding
+	for _, src := range sources {
+		if _, err := os.Stat(filepath.Join(root, src)); err != nil {
+			continue
+		}
+		targets, err := linkTargets(root, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(t))); err != nil {
+				findings = append(findings, Finding{
+					Path: src,
+					Rule: RuleDeadLink,
+					Msg:  fmt.Sprintf("link target %q does not exist", t),
+				})
+			}
+		}
+	}
+	return findings, nil
+}

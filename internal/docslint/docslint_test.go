@@ -1,0 +1,143 @@
+package docslint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scaffold writes a file tree: map of repo-relative path -> content. A
+// trailing slash creates a bare directory.
+func scaffold(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if strings.HasSuffix(path, "/") {
+			if err := os.MkdirAll(full, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rules(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Path + ":" + f.Rule
+	}
+	return out
+}
+
+func TestCleanTreeHasNoFindings(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md":                "See the [docs index](docs/README.md).\n",
+		"docs/README.md":           "- [Storage](STORAGE.md)\n",
+		"docs/STORAGE.md":          "Back to [index](README.md) and [pool](../internal/storage/pool.go).\n",
+		"internal/storage/doc.go":  "// Package storage.\npackage storage\n",
+		"internal/storage/pool.go": "package storage\n",
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean tree produced findings: %v", rules(fs))
+	}
+}
+
+func TestMissingDocGo(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"internal/storage/pool.go":             "package storage\n",
+		"internal/ok/doc.go":                   "// Package ok.\npackage ok\n",
+		"internal/ok/ok.go":                    "package ok\n",
+		"internal/testonly/only_test.go":       "package testonly\n",
+		"internal/fix/testdata/src/bad/bad.go": "package bad\n",
+		"internal/fix/doc.go":                  "// Package fix.\npackage fix\n",
+		"internal/fix/fix.go":                  "package fix\n",
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"internal/storage:" + RuleMissingDocGo}
+	if got := rules(fs); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+}
+
+func TestUnreferencedDocAndMissingIndex(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md":         "no links here\n",
+		"docs/ORPHAN.md":    "nobody links to me\n",
+		"docs/MENTIONED.md": "linked below\n",
+		"docs/README.md":    "- [Mentioned](MENTIONED.md)\n",
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"docs/ORPHAN.md:" + RuleUnreferencedDoc}
+	if got := rules(fs); len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+
+	// Without an index, the missing index itself is the finding.
+	noIdx := scaffold(t, map[string]string{
+		"README.md":      "no links\n",
+		"docs/ORPHAN.md": "alone\n",
+	})
+	fs, err = Check(noIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rules(fs)
+	if len(got) != 2 || got[0] != "docs/ORPHAN.md:"+RuleUnreferencedDoc || got[1] != "docs/README.md:"+RuleMissingDocsIndex {
+		t.Fatalf("findings = %v", got)
+	}
+}
+
+func TestDeadLinks(t *testing.T) {
+	root := scaffold(t, map[string]string{
+		"README.md":      "[gone](docs/GONE.md) [ok](docs/README.md) [web](https://example.com) [frag](#section)\n",
+		"docs/README.md": "[up](../README.md) [dead](../internal/nope/x.go) [anchored](README.md#top)\n",
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rules(fs)
+	want := []string{
+		"README.md:" + RuleDeadLink,
+		"docs/README.md:" + RuleDeadLink,
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	if !strings.Contains(fs[0].Msg, "docs/GONE.md") || !strings.Contains(fs[1].Msg, "internal/nope/x.go") {
+		t.Fatalf("messages lack targets: %v / %v", fs[0].Msg, fs[1].Msg)
+	}
+}
+
+// TestRepoIsClean pins the real repository to the docs contract: if this
+// fails, a package lost its doc.go or a docs page fell out of the index.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := Check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package learnedindex implements the one-dimensional index family of §3.2:
+// the classical B+tree baseline and the "replacement"-paradigm learned
+// indexes — RMI (Kraska et al.), a PGM-style piecewise-linear index with
+// ε-bounded error, a RadixSpline-style single-pass spline index, and an
+// ALEX-style updatable learned index with gapped arrays.
+//
+// All indexes map int64 keys to int64 values and report their memory
+// footprint, the metric of the paper's model-efficiency discussion.
+package learnedindex

@@ -1,16 +1,3 @@
-// Package mlindex implements the ML-enhanced index systems of §3.2 — the
-// paradigm that keeps the traditional index structure and uses machine
-// learning to improve specific operations:
-//
-//   - RLRTree: reinforcement-learned chooseSubtree and splitNode (insertion)
-//   - RWTree: workload-aware construction with a learned cost model
-//   - Platon: top-down R-tree packing with an MCTS partition policy
-//     (bulk-loading)
-//   - AIRTree: a learned router + leaf-classification access path (search)
-//   - PiecewiseCurve: a workload-learned piecewise space-filling curve
-//
-// Every system degrades gracefully to its classical host structure — the
-// robustness property the paper credits the ML-enhanced paradigm with.
 package mlindex
 
 import (

@@ -1,0 +1,9 @@
+// Package study reproduces the comparative evaluation of query-plan
+// representation techniques ([57] in the paper, discussed in §3.1): it
+// isolates the feature-encoding and tree-model components, interchanges them
+// across a cost-estimation task, and measures both absolute accuracy (MAE on
+// log-cost) and relative accuracy (pairwise plan-ranking).
+//
+// The finding to reproduce: the choice of feature encoding matters more than
+// the choice of tree model.
+package study

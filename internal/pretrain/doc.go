@@ -1,0 +1,17 @@
+// Package pretrain implements the pretrained / unified model foundation of
+// §3.1: a plan-representation model trained across *multiple databases* on
+// *multiple tasks* that transfers to a new database with few-shot
+// fine-tuning. It combines the three ideas the paper surveys:
+//
+//   - database-agnostic features (Hilprecht & Binnig's zero-shot
+//     disentanglement): the encoder sees operator, predicate, and statistics
+//     features but no table identity;
+//   - multi-task heads (MTMLF): one shared encoder feeds separate cost and
+//     cardinality heads, splitting task-specific from task-agnostic
+//     knowledge;
+//   - cross-domain pretraining corpus (Paul et al.): plans from several
+//     schemas with different sizes and skews.
+//
+// The E15/E20 experiments compare few-shot fine-tuning of the pretrained
+// model against training from scratch on the new database.
+package pretrain

@@ -1,0 +1,7 @@
+// Package autosteer implements AutoSteer-style hint-set discovery (Anneser
+// et al., VLDB 2023): where BAO requires a hand-crafted collection of hint
+// sets per database system, AutoSteer explores the space of atomic knob
+// combinations greedily and keeps only those that actually change the
+// query's plan and look promising under the cost model — generating the arm
+// collection automatically, per query.
+package autosteer

@@ -1,0 +1,8 @@
+// Package balsa implements a Balsa-style learned optimizer (Yang et al.,
+// SIGMOD 2022) that learns *without expert demonstrations*: a simulation
+// phase trains the value network purely on the classical cost model's
+// estimates of self-generated plans (avoiding disastrous plans before ever
+// touching the database), and a real-execution phase fine-tunes with a
+// safety timeout that bounds the damage any exploratory plan can do — the
+// model-efficiency technique §3.3 highlights.
+package balsa

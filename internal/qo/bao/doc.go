@@ -1,0 +1,12 @@
+// Package bao implements a BAO-style bandit optimizer (Marcus et al.,
+// SIGMOD 2021): instead of replacing the expert optimizer, BAO steers it —
+// per query, each hint set yields a candidate plan from the expert, a
+// learned model predicts each plan's latency, and Thompson sampling picks
+// the plan to execute, balancing exploration of unproven hint sets against
+// exploitation. The observed latency updates the model.
+//
+// This is the ML-enhanced design the paper credits with production adoption:
+// training cost is tiny (one observation per query), the worst case is
+// bounded by the expert's plan space, and the model adapts to workload and
+// data change automatically.
+package bao

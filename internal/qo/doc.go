@@ -1,0 +1,7 @@
+// Package qo provides the shared machinery of the learned query optimizers
+// of §3.2: an execution environment producing deterministic latency signals,
+// and a value-network-guided bottom-up plan search. The concrete systems —
+// NEO (qo/neo), RTOS (qo/rtos), BAO (qo/bao), AutoSteer (qo/autosteer),
+// LEON (qo/leon), ParamTree (qo/paramtree), and Balsa (qo/balsa) — build on
+// these pieces.
+package qo

@@ -1,15 +1,3 @@
-// Package lemo implements a Lemo-style cache-enhanced learned optimizer
-// (Mo et al., PACMMOD 2023): under a concurrent query stream, full plan
-// optimization is itself a cost, and most arriving queries match a template
-// that was optimized moments ago. Lemo caches plans per template and uses a
-// learned policy to decide, per query, whether to *reuse* the cached plan
-// structure (skipping optimization, risking a stale join order) or to
-// *re-optimize* (paying planning cost for a fresh plan).
-//
-// The decision is a two-armed contextual bandit over query features (the
-// drift of the new constants' estimated cardinalities from the cached
-// ones); each executed query's total cost — execution work plus planning
-// penalty — is the reward signal.
 package lemo
 
 import (

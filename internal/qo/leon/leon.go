@@ -1,10 +1,3 @@
-// Package leon implements a LEON-style ML-aided optimizer (Chen et al.,
-// VLDB 2023): the expert optimizer stays in charge, and a learned model
-// trained with a *pairwise ranking* objective adjusts its cost estimates for
-// the local data and workload. Plan scores mix the expert's formula cost
-// with the learned ranking score, and when the learned model is uncertain
-// the system falls back to the expert entirely — the safety property that
-// distinguishes ML-aided from replacement designs.
 package leon
 
 import (

@@ -1,0 +1,11 @@
+// Package neo implements a NEO-style end-to-end learned query optimizer
+// (Marcus et al., VLDB 2019): a value network trained to predict final query
+// latency from (partial) plans, bootstrapped from an existing expert
+// optimizer's plans and refined from its own execution experience, with a
+// greedy value-guided plan search producing complete execution plans.
+//
+// NEO follows the "replacement" paradigm: at inference time the expert
+// optimizer is gone, and plan quality rests entirely on the network — which
+// is exactly why experiment E8 measures its degradation on unseen query
+// templates and its cold-start behavior.
+package neo

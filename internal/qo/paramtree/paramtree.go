@@ -1,11 +1,3 @@
-// Package paramtree implements ParamTree-style cost-model calibration (Yang
-// et al., PACMMOD 2023): rather than replacing the formula cost model with a
-// learned one, it *learns the formula's hyperparameters* (the R-params: the
-// per-operation cost coefficients) from observed executions. A formula cost
-// is linear in its parameters given the per-operation work counters, so the
-// fit is a ridge regression — explainable, tiny, and adaptive to
-// configuration change, which is ParamTree's argument against starting from
-// scratch.
 package paramtree
 
 import (

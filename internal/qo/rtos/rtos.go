@@ -1,9 +1,3 @@
-// Package rtos implements an RTOS-style join-order selector (Yu et al.,
-// ICDE 2020): reinforcement learning over join orders with a Tree-LSTM plan
-// representation, trained in two phases — first from the optimizer's cost
-// estimates (cheap, plentiful) and then from real execution latencies
-// (expensive, accurate) — the cost/latency curriculum that improves training
-// efficiency over latency-only learning.
 package rtos
 
 import (

@@ -1,0 +1,6 @@
+// Package rl implements the reinforcement-learning machinery the ML-enhanced
+// index and optimizer systems of §3.2 build on: action-feature Q-learning
+// (RLR-tree's formulation, where each candidate action carries its own
+// feature vector) and Monte Carlo Tree Search (PLATON's partition-policy
+// learner).
+package rl

@@ -1,0 +1,7 @@
+// Package spatial implements the spatial index family of §3.2: the R-tree
+// baseline with pluggable chooseSubtree/splitNode strategies (the surface
+// the ML-enhanced RLR-tree hooks into), STR bulk loading (PLATON's
+// baseline), and the "replacement"-paradigm learned spatial indexes —
+// ZM index (Z-curve + learned CDF), LISA-style learned mapping, and an
+// RSMI-style rank-space index.
+package spatial

@@ -1,16 +1,10 @@
-// Package catalog implements the storage and metadata layer of the
-// from-scratch relational engine: column-major in-memory tables, column
-// statistics (min/max, distinct counts, equi-depth histograms, reservoir
-// samples), and a catalog mapping names to tables.
-//
-// It stands in for the PostgreSQL storage/statistics subsystem that the
-// surveyed ML4DB systems depend on. All values are int64; categorical data
-// is dictionary-encoded by the generators.
 package catalog
 
 import (
 	"fmt"
 	"sort"
+
+	"ml4db/internal/storage"
 )
 
 // Column describes one attribute of a table.
@@ -20,18 +14,25 @@ type Column struct {
 	Stats *ColumnStats
 }
 
-// Table is a column-major in-memory relation.
+// Table is a column-major relation. Rows live either in the in-memory Data
+// arrays or, after SpillToDisk, in a disk heap file read through a buffer
+// pool (see disk.go); exactly one backing is active at a time.
 type Table struct {
 	Name    string
 	Columns []Column
-	// Data[c][r] is the value of column c in row r.
+	// Data[c][r] is the value of column c in row r (nil when disk-backed).
 	Data [][]int64
+	// Disk, when non-nil, is the heap file backing the table's rows.
+	Disk *storage.TableFile
 	// indexes holds secondary indexes by column (see secondary.go).
 	indexes map[int]*SecondaryIndex
 }
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
+	if t.Disk != nil {
+		return t.Disk.NumRows()
+	}
 	if len(t.Data) == 0 {
 		return 0
 	}
@@ -55,6 +56,10 @@ func (t *Table) ColIndex(name string) int {
 func (t *Table) AppendRow(vals []int64) error {
 	if len(vals) != len(t.Columns) {
 		return fmt.Errorf("catalog: row width %d != %d columns of %s", len(vals), len(t.Columns), t.Name)
+	}
+	if t.Disk != nil {
+		_, err := t.Disk.AppendRow(vals)
+		return err
 	}
 	for c, v := range vals {
 		t.Data[c] = append(t.Data[c], v)
@@ -122,8 +127,13 @@ func (c *Catalog) AnalyzeAll(buckets, sampleSize int) {
 	}
 }
 
-// AnalyzeTable computes per-column statistics for one table.
+// AnalyzeTable computes per-column statistics for one table. Disk-backed
+// tables are skipped (their stats were computed before the spill); use
+// AnalyzeTableIO to re-analyze one through its buffer pool.
 func AnalyzeTable(t *Table, buckets, sampleSize int) {
+	if t.Disk != nil {
+		return
+	}
 	for i := range t.Columns {
 		t.Columns[i].Stats = BuildStats(t.Data[i], buckets, sampleSize)
 	}

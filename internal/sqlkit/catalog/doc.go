@@ -1,0 +1,9 @@
+// Package catalog implements the storage and metadata layer of the
+// from-scratch relational engine: column-major in-memory tables, column
+// statistics (min/max, distinct counts, equi-depth histograms, reservoir
+// samples), and a catalog mapping names to tables.
+//
+// It stands in for the PostgreSQL storage/statistics subsystem that the
+// surveyed ML4DB systems depend on. All values are int64; categorical data
+// is dictionary-encoded by the generators.
+package catalog

@@ -1,8 +1,3 @@
-// Package datagen generates synthetic relations with controllable
-// distributions — uniform, Zipf, Gaussian, and cross-column correlation.
-// Correlated columns deliberately violate the optimizer's independence
-// assumption, reproducing the estimation errors that motivate the learned
-// cardinality estimators and steered optimizers surveyed in the paper.
 package datagen
 
 import (

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/storage"
+)
+
+// This file holds the disk-table scan paths: the same operators as exec.go,
+// but iterating heap pages through the table's buffer pool. Pool misses are
+// charged as PageMiss work units — the executor-side ground truth for the
+// optimizer's PageRead cost term — and every pinned page is released on
+// every path, including budget aborts, by scoping each page's work in a
+// function with a deferred Unpin.
+
+// seqScanDisk scans a disk-backed table page by page through its pool.
+func (s *execState) seqScanDisk(n *plan.Node, t *catalog.Table) ([][]int64, error) {
+	tf := t.Disk
+	row := make([]int64, t.NumCols())
+	var out [][]int64
+	var misses int64
+	for pageNo := 0; pageNo < tf.NumPages(); pageNo++ {
+		if err := s.scanDiskPage(n, tf, pageNo, row, &out, &misses); err != nil {
+			n.ActualPageMisses = float64(misses)
+			return nil, err
+		}
+	}
+	n.ActualRows = float64(len(out))
+	n.ActualPageMisses = float64(misses)
+	return out, nil
+}
+
+// scanDiskPage pins one page, emits its matching rows, and unpins on every
+// path — including budget aborts — via defer (the pin discipline the
+// spanend analyzer enforces).
+func (s *execState) scanDiskPage(n *plan.Node, tf *storage.TableFile, pageNo int, row []int64, out *[][]int64, misses *int64) error {
+	h, err := tf.FetchPage(pageNo)
+	if err != nil {
+		return err
+	}
+	defer h.Unpin()
+	if h.Missed() {
+		*misses++
+		if err := s.charge(&s.ctr.PageMiss, 1); err != nil {
+			return err
+		}
+	}
+	p := h.Page()
+	for slot := 0; slot < p.NumSlots(); slot++ {
+		if !p.ReadTuple(slot, row) {
+			continue
+		}
+		if err := s.charge(&s.ctr.ScanTuples, 1); err != nil {
+			return err
+		}
+		ok := true
+		for _, f := range n.Filters {
+			if !f.Eval(row[f.Col]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := s.chargeRows(1); err != nil {
+			return err
+		}
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		*out = append(*out, cp)
+	}
+	return nil
+}
+
+// indexScanDisk fetches the index's matching heap rows through the pool —
+// random page access, the classic reason index scans on disk pay more per
+// row than sequential ones.
+func (s *execState) indexScanDisk(n *plan.Node, t *catalog.Table, ix *catalog.SecondaryIndex, lo, hi int64, residual []expr.Pred) ([][]int64, error) {
+	var out [][]int64
+	fetched := 0
+	var misses int64
+	for _, r := range ix.RangeRows(lo, hi) {
+		if err := s.charge(&s.ctr.IndexFetch, 1); err != nil {
+			n.ActualPageMisses = float64(misses)
+			return nil, err
+		}
+		fetched++
+		row, ok, missed, err := t.Disk.ReadRow(int64(r))
+		if err != nil {
+			n.ActualPageMisses = float64(misses)
+			return nil, err
+		}
+		if missed {
+			misses++
+			if err := s.charge(&s.ctr.PageMiss, 1); err != nil {
+				n.ActualPageMisses = float64(misses)
+				return nil, err
+			}
+		}
+		if !ok {
+			continue // the slot was deleted after the index was built
+		}
+		okRow := true
+		for _, f := range residual {
+			if !f.Eval(row[f.Col]) {
+				okRow = false
+				break
+			}
+		}
+		if !okRow {
+			continue
+		}
+		if err := s.chargeRows(1); err != nil {
+			n.ActualPageMisses = float64(misses)
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	n.ActualRows = float64(len(out))
+	n.ActualFetched = float64(fetched)
+	n.ActualPageMisses = float64(misses)
+	return out, nil
+}

@@ -1,0 +1,9 @@
+// Package exec executes physical plans against the in-memory catalog.
+//
+// Besides producing result rows, the executor counts deterministic work
+// units (tuples scanned, hash probes, comparisons). That counter is the
+// latency signal the learned optimizers train on: it is perfectly
+// reproducible across runs, unlike wall-clock time, while preserving the
+// ordering of plan quality. A work budget implements the execution timeouts
+// that Balsa (§3.3) relies on to avoid unpredictable stalls.
+package exec

@@ -1,11 +1,3 @@
-// Package exec executes physical plans against the in-memory catalog.
-//
-// Besides producing result rows, the executor counts deterministic work
-// units (tuples scanned, hash probes, comparisons). That counter is the
-// latency signal the learned optimizers train on: it is perfectly
-// reproducible across runs, unlike wall-clock time, while preserving the
-// ordering of plan quality. A work budget implements the execution timeouts
-// that Balsa (§3.3) relies on to avoid unpredictable stalls.
 package exec
 
 import (
@@ -107,12 +99,14 @@ type Counters struct {
 	OutputTuple int64 // join output tuples (hash and merge)
 	IndexProbe  int64 // binary-search steps of IndexScan probes
 	IndexFetch  int64 // rows fetched through a secondary index
+	PageMiss    int64 // buffer-pool misses charged to disk-table scans
 }
 
 // Total sums all categories (each weighted 1): the executor's work units.
 func (c Counters) Total() int64 {
 	return c.ScanTuples + c.HashBuild + c.HashProbe + c.NLPairs +
-		c.MergeSort + c.MergeScan + c.OutputTuple + c.IndexProbe + c.IndexFetch
+		c.MergeSort + c.MergeScan + c.OutputTuple + c.IndexProbe + c.IndexFetch +
+		c.PageMiss
 }
 
 // Vec returns the counters in optimizer.CostParams.Vec order.
@@ -121,6 +115,7 @@ func (c Counters) Vec() []float64 {
 		float64(c.ScanTuples), float64(c.HashBuild), float64(c.HashProbe),
 		float64(c.NLPairs), float64(c.MergeSort), float64(c.MergeScan),
 		float64(c.OutputTuple), float64(c.IndexProbe), float64(c.IndexFetch),
+		float64(c.PageMiss),
 	}
 }
 
@@ -284,6 +279,9 @@ func (s *execState) dispatch(n *plan.Node) ([][]int64, error) {
 
 func (s *execState) seqScan(n *plan.Node) ([][]int64, error) {
 	t := s.cat.Table(n.TableID)
+	if t.Disk != nil {
+		return s.seqScanDisk(n, t)
+	}
 	nRows := t.NumRows()
 	nCols := t.NumCols()
 	var out [][]int64
@@ -329,6 +327,9 @@ func (s *execState) indexScan(n *plan.Node) ([][]int64, error) {
 	// One probe costs a binary search over the index.
 	if err := s.charge(&s.ctr.IndexProbe, log2int(ix.Len())); err != nil {
 		return nil, err
+	}
+	if t.Disk != nil {
+		return s.indexScanDisk(n, t, ix, lo, hi, residual)
 	}
 	nCols := t.NumCols()
 	var out [][]int64

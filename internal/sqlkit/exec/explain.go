@@ -155,7 +155,7 @@ func opDesc(n *plan.Node) string {
 
 // counterBreakdown lists the nonzero work categories in Counters.Vec order.
 func counterBreakdown(c Counters) string {
-	parts := make([]string, 0, 9)
+	parts := make([]string, 0, 10)
 	add := func(name string, v int64) {
 		if v != 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
@@ -170,6 +170,7 @@ func counterBreakdown(c Counters) string {
 	add("out", c.OutputTuple)
 	add("iprobe", c.IndexProbe)
 	add("ifetch", c.IndexFetch)
+	add("pmiss", c.PageMiss)
 	if len(parts) == 0 {
 		return ""
 	}
@@ -188,6 +189,7 @@ func addCounters(a, b Counters) Counters {
 		OutputTuple: a.OutputTuple + b.OutputTuple,
 		IndexProbe:  a.IndexProbe + b.IndexProbe,
 		IndexFetch:  a.IndexFetch + b.IndexFetch,
+		PageMiss:    a.PageMiss + b.PageMiss,
 	}
 }
 
@@ -203,6 +205,7 @@ func subCounters(a, b Counters) Counters {
 		OutputTuple: a.OutputTuple - b.OutputTuple,
 		IndexProbe:  a.IndexProbe - b.IndexProbe,
 		IndexFetch:  a.IndexFetch - b.IndexFetch,
+		PageMiss:    a.PageMiss - b.PageMiss,
 	}
 }
 

@@ -1,0 +1,5 @@
+// Package expr defines the predicate language of the relational engine:
+// single-column comparison and range predicates, and equi-join conditions.
+// Predicates reference columns positionally so plans can be evaluated without
+// name resolution on the hot path.
+package expr

@@ -1,8 +1,3 @@
-// Package optimizer implements the expert query optimizer of the relational
-// engine: histogram-based cardinality estimation with independence
-// assumptions, a PostgreSQL-style parametric formula cost model, System-R
-// dynamic-programming join enumeration, and hint sets that constrain the
-// search space (the mechanism BAO and AutoSteer steer, §3.2).
 package optimizer
 
 import (
@@ -26,6 +21,7 @@ type CostParams struct {
 	OutputTuple float64 // per output tuple of HashJoin/MergeJoin
 	IndexProbe  float64 // per binary-search step of an IndexScan probe
 	IndexFetch  float64 // per row fetched through a secondary index
+	PageRead    float64 // per buffer-pool miss of a disk-table scan
 }
 
 // TrueCostParams mirror the executor's work charges exactly.
@@ -33,6 +29,7 @@ func TrueCostParams() CostParams {
 	return CostParams{
 		CPUTuple: 1, HashBuild: 1, HashProbe: 1, NLTuple: 1,
 		MergeSort: 1, MergeScan: 1, OutputTuple: 1, IndexProbe: 1, IndexFetch: 1,
+		PageRead: 1,
 	}
 }
 
@@ -43,6 +40,7 @@ func DefaultCostParams() CostParams {
 	return CostParams{
 		CPUTuple: 1, HashBuild: 4, HashProbe: 0.5, NLTuple: 0.25,
 		MergeSort: 0.5, MergeScan: 2, OutputTuple: 0.1, IndexProbe: 2, IndexFetch: 0.25,
+		PageRead: 16,
 	}
 }
 
@@ -52,6 +50,7 @@ func (p CostParams) Vec() []float64 {
 	return []float64{
 		p.CPUTuple, p.HashBuild, p.HashProbe, p.NLTuple,
 		p.MergeSort, p.MergeScan, p.OutputTuple, p.IndexProbe, p.IndexFetch,
+		p.PageRead,
 	}
 }
 
@@ -60,6 +59,7 @@ func ParamsFromVec(v []float64) CostParams {
 	return CostParams{
 		CPUTuple: v[0], HashBuild: v[1], HashProbe: v[2], NLTuple: v[3],
 		MergeSort: v[4], MergeScan: v[5], OutputTuple: v[6], IndexProbe: v[7], IndexFetch: v[8],
+		PageRead: v[9],
 	}
 }
 

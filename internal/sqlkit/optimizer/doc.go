@@ -1,0 +1,6 @@
+// Package optimizer implements the expert query optimizer of the relational
+// engine: histogram-based cardinality estimation with independence
+// assumptions, a PostgreSQL-style parametric formula cost model, System-R
+// dynamic-programming join enumeration, and hint sets that constrain the
+// search space (the mechanism BAO and AutoSteer steer, §3.2).
+package optimizer

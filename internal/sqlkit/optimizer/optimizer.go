@@ -11,6 +11,14 @@ import (
 	"ml4db/internal/sqlkit/plan"
 )
 
+// IOStats exposes the buffer pool's observed miss rate to the cost model —
+// satisfied by *storage.Pool. A nil IOStats means no pool feedback: the
+// optimizer assumes every page read misses (the cold-cache worst case).
+type IOStats interface {
+	// MissRate returns misses/(hits+misses) observed so far, in [0, 1].
+	MissRate() float64
+}
+
 // Optimizer is the expert (System-R style) query optimizer: exhaustive
 // dynamic programming over connected join orders using a cardinality
 // estimator and a formula cost model.
@@ -18,6 +26,42 @@ type Optimizer struct {
 	Cat  *catalog.Catalog
 	Est  CardEstimator
 	Cost CostParams
+	// IO feeds the observed buffer-pool miss rate into the I/O cost term
+	// for disk-backed tables; nil assumes a cold cache (miss rate 1).
+	IO IOStats
+}
+
+// missRate returns the pool-observed miss rate, or 1 without pool feedback.
+func (o *Optimizer) missRate() float64 {
+	if o.IO == nil {
+		return 1
+	}
+	return o.IO.MissRate()
+}
+
+// scanIOCost estimates the I/O term of sequentially scanning t: every heap
+// page is read once, and a fraction missRate of those reads miss the pool.
+func (o *Optimizer) scanIOCost(t *catalog.Table) float64 {
+	pages := float64(t.NumDiskPages())
+	if pages == 0 {
+		return 0
+	}
+	return o.Cost.PageRead * pages * o.missRate()
+}
+
+// indexIOCost estimates the I/O term of fetching estFetched rows through an
+// index on t: each fetch may touch a distinct page (random access), capped
+// at the table's page count.
+func (o *Optimizer) indexIOCost(t *catalog.Table, estFetched float64) float64 {
+	pages := float64(t.NumDiskPages())
+	if pages == 0 {
+		return 0
+	}
+	touched := estFetched
+	if touched > pages {
+		touched = pages
+	}
+	return o.Cost.PageRead * touched * o.missRate()
 }
 
 // New returns an optimizer with histogram estimation and default (untuned)
@@ -108,14 +152,14 @@ func (o *Optimizer) scanPlan(q *plan.Query, pos int, hint HintSet) *subPlan {
 	rows := float64(t.NumRows())
 	best := plan.NewScan(pos, tid, q.Filters[pos])
 	best.EstRows = o.Est.ScanRows(q, pos)
-	best.EstCost = o.Cost.ScanCost(rows)
+	best.EstCost = o.Cost.ScanCost(rows) + o.scanIOCost(t)
 	if !hint.NoIndexScan {
 		for _, col := range t.IndexedCols() {
 			fetched, ok := o.estIndexFetched(t, q.Filters[pos], col)
 			if !ok {
 				continue
 			}
-			cost := o.Cost.IndexScanCost(rows, fetched)
+			cost := o.Cost.IndexScanCost(rows, fetched) + o.indexIOCost(t, fetched)
 			if cost < best.EstCost {
 				node := plan.NewIndexScan(pos, tid, col, q.Filters[pos])
 				node.EstRows = best.EstRows
@@ -255,9 +299,9 @@ func (o *Optimizer) Annotate(q *plan.Query, n *plan.Node) float64 {
 				fetched = float64(t.NumRows())
 			}
 			n.EstFetched = fetched
-			n.EstCost = o.Cost.IndexScanCost(float64(t.NumRows()), fetched)
+			n.EstCost = o.Cost.IndexScanCost(float64(t.NumRows()), fetched) + o.indexIOCost(t, fetched)
 		} else {
-			n.EstCost = o.Cost.ScanCost(float64(t.NumRows()))
+			n.EstCost = o.Cost.ScanCost(float64(t.NumRows())) + o.scanIOCost(t)
 		}
 		return n.EstCost
 	}
@@ -278,10 +322,13 @@ func (o *Optimizer) PlanCostActual(n *plan.Node) float64 {
 func planCostWith(cat *catalog.Catalog, p CostParams, n *plan.Node, rows func(*plan.Node) float64) float64 {
 	if n.IsLeaf() {
 		t := cat.Table(n.TableID)
+		// The I/O term uses the misses the execution actually charged, so
+		// true params reproduce actual work exactly on disk tables too.
+		io := p.PageRead * n.ActualPageMisses
 		if n.Op == plan.OpIndexScan {
-			return p.IndexScanCost(float64(t.NumRows()), n.ActualFetched)
+			return p.IndexScanCost(float64(t.NumRows()), n.ActualFetched) + io
 		}
-		return p.ScanCost(float64(t.NumRows()))
+		return p.ScanCost(float64(t.NumRows())) + io
 	}
 	c := planCostWith(cat, p, n.Children[0], rows) + planCostWith(cat, p, n.Children[1], rows)
 	return c + p.JoinCost(n.Op, rows(n.Children[0]), rows(n.Children[1]), rows(n))

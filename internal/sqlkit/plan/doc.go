@@ -1,0 +1,4 @@
+// Package plan defines queries and physical plan trees — the "directed tree
+// in which each node describes a unit operation" that the paper identifies as
+// the common input of ML4DB systems (§3.1).
+package plan

@@ -1,6 +1,3 @@
-// Package plan defines queries and physical plan trees — the "directed tree
-// in which each node describes a unit operation" that the paper identifies as
-// the common input of ML4DB systems (§3.1).
 package plan
 
 import (
@@ -131,6 +128,9 @@ type Node struct {
 	ActualRows float64
 	// ActualFetched counts rows fetched through the index (IndexScan only).
 	ActualFetched float64
+	// ActualPageMisses counts buffer-pool misses this scan charged
+	// (disk-backed tables only; zero for in-memory scans).
+	ActualPageMisses float64
 }
 
 // IsLeaf reports whether the node is a scan.

@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTable creates a table at path, appends rows {i, i*i} for i < nrows,
+// flushes, and closes it cleanly.
+func buildTable(t *testing.T, path string, nrows int) {
+	t.Helper()
+	pool := NewPool(PoolOptions{Capacity: 4})
+	tf, err := CreateTableFile(path, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nrows; i++ {
+		if _, err := tf.AppendRow([]int64{int64(i), int64(i * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornPageRejectedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	nrows := 2*SlotsPerPage(2) + 3 // three pages
+	buildTable(t, path, nrows)
+
+	// Tear page 1: flip one byte in its tuple area, leaving the stored
+	// checksum stale — as a crash mid-write would.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAB}, PageSize+PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenHeapFile(path, 2)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("reopen of torn file: got %v, want ErrChecksum", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.PageNo != 1 {
+		t.Fatalf("torn page not identified: %v", err)
+	}
+}
+
+func TestTruncatedFileRejectedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	buildTable(t, path, 10)
+	if err := os.Truncate(path, PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenHeapFile(path, 2); err == nil {
+		t.Fatal("reopen of truncated file succeeded")
+	}
+}
+
+func TestFreeMapRebuiltFromPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	spp := SlotsPerPage(2)
+	nrows := 2*spp + 5 // pages 0 and 1 full, page 2 partial
+	buildTable(t, path, nrows)
+
+	// Reopen and delete a few rows from page 0, then close.
+	pool := NewPool(PoolOptions{Capacity: 4})
+	tf, err := OpenTableFile(path, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.NumRows() != nrows {
+		t.Fatalf("reopened NumRows = %d, want %d", tf.NumRows(), nrows)
+	}
+	for slot := 0; slot < 3; slot++ {
+		if ok, err := tf.DeleteRow(int64(slot)); err != nil || !ok {
+			t.Fatalf("delete slot %d: ok=%v err=%v", slot, ok, err)
+		}
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second reopen must rebuild the free map purely from the page
+	// bitmaps: 3 holes on page 0, page 1 full, page 2 partial.
+	tf, err = OpenTableFile(path, 2, NewPool(PoolOptions{Capacity: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tf.Close() }()
+	hf := tf.File()
+	if got := hf.FreeSlots(0); got != 3 {
+		t.Fatalf("page 0 free = %d, want 3", got)
+	}
+	if got := hf.FreeSlots(1); got != 0 {
+		t.Fatalf("page 1 free = %d, want 0", got)
+	}
+	if got := hf.FreeSlots(2); got != spp-5 {
+		t.Fatalf("page 2 free = %d, want %d", got, spp-5)
+	}
+	if tf.NumRows() != nrows-3 {
+		t.Fatalf("NumRows = %d, want %d", tf.NumRows(), nrows-3)
+	}
+	// First-fit steers the next insert into page 0's first hole.
+	rowID, err := tf.AppendRow([]int64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowID != 0 {
+		t.Fatalf("append went to rowid %d, want the first freed slot", rowID)
+	}
+}
+
+func TestAbortedScanLeavesNoPinnedPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	spp := SlotsPerPage(2)
+	buildTable(t, path, 4*spp) // four full pages
+
+	pool := NewPool(PoolOptions{Capacity: 2})
+	tf, err := OpenTableFile(path, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tf.Close() }()
+
+	// Abort mid-scan — the shape of a budget-exceeded abort — after
+	// touching enough rows to be inside the third page.
+	abort := errors.New("budget exceeded")
+	seen := 0
+	err = tf.Scan(func(int64, []int64) error {
+		seen++
+		if seen > 2*spp+1 {
+			return abort
+		}
+		return nil
+	})
+	if !errors.Is(err, abort) {
+		t.Fatalf("scan error = %v", err)
+	}
+	if n := pool.PinnedCount(); n != 0 {
+		t.Fatalf("aborted scan left %d pinned pages", n)
+	}
+	// The pool remains fully usable: a complete scan still works.
+	count := 0
+	if err := tf.Scan(func(int64, []int64) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4*spp {
+		t.Fatalf("post-abort scan saw %d rows, want %d", count, 4*spp)
+	}
+}
+
+func TestLargerThanMemoryScanIsCorrect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	spp := SlotsPerPage(2)
+	npages := 10
+	nrows := npages * spp
+	buildTable(t, path, nrows)
+
+	// Pool capacity far below the table's page count.
+	pool := NewPool(PoolOptions{Capacity: 3})
+	tf, err := OpenTableFile(path, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tf.Close() }()
+	var sum int64
+	count := 0
+	if err := tf.Scan(func(rowID int64, row []int64) error {
+		if row[1] != row[0]*row[0] {
+			return fmt.Errorf("row %d corrupted: %v", rowID, row)
+		}
+		sum += row[0]
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != nrows {
+		t.Fatalf("scanned %d rows, want %d", count, nrows)
+	}
+	want := int64(nrows) * int64(nrows-1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	st := pool.Stats()
+	if st.Resident > 3 {
+		t.Fatalf("pool over capacity: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("larger-than-memory scan evicted nothing")
+	}
+}

@@ -1,0 +1,47 @@
+// Package storage is the disk layer of the relational engine: slotted heap
+// pages, heap files with a free-space map, and a paged buffer pool with a
+// pluggable — and learnable — eviction policy.
+//
+// # Layout
+//
+// A Page is a fixed PageSize (4 KiB) byte array holding fixed-width int64
+// tuples behind a checksummed header and a slot-occupancy bitmap (see
+// page.go for the exact byte layout). A HeapFile is a sequence of pages in
+// one OS file; it maintains an in-memory free-space map (free slots per
+// page) that is rebuilt from the page bitmaps on every open — and open
+// verifies every page checksum, so a torn or corrupted page is rejected at
+// reopen rather than silently scanned. A TableFile wraps a HeapFile with
+// row-level operations (append, read by row id, full scans) for the
+// catalog's disk-backed tables.
+//
+// # Buffer pool and pin discipline
+//
+// All page access goes through a Pool: Fetch pins a page into a frame and
+// returns a PageHandle; the caller must Unpin the handle on every non-error
+// path (the spanend analyzer enforces this the same way it enforces
+// Span.End). A pinned page is never evicted — eviction with every frame
+// pinned fails with ErrAllPinned rather than corrupting a reader. Dirty
+// pages (SetDirty) are written back on eviction and on Flush.
+//
+// # Determinism
+//
+// The pool is a determinism-core package: it keeps a logical access tick
+// instead of wall-clock time, eviction candidates are offered to the policy
+// in sorted key order, and ties break toward the lowest key. Same trace +
+// same policy (and, for the learned policy, same training seed) therefore
+// reproduce a bit-identical eviction sequence — the replay contract the
+// -storage benchmark verifies, mirroring the mlmath.Clock/Pool contracts.
+//
+// # Learned eviction
+//
+// Policy is the eviction interface; LRU is the deterministic baseline. A
+// LearnedPolicy instead scores each candidate's predicted forward reuse
+// distance with a modelsvc.Predictor and evicts the page predicted to be
+// needed furthest in the future (the Belady direction). The predictor is
+// deployed through Gate — a modelsvc.Rollout whose incumbent is the Recency
+// heuristic (predicted reuse = time since last access, which makes the
+// learned policy behave exactly like LRU) — so a trained model serves
+// evictions only after beating the LRU-equivalent incumbent over a shadow
+// window, and Guard demotes it back the moment its live hit rate regresses
+// against a shadowed LRU simulation. See docs/STORAGE.md.
+package storage

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// HeapFile is a sequence of slotted pages in one OS file, plus an in-memory
+// free-space map (free slot count per page). The map is maintained
+// incrementally by TableFile mutations and rebuilt from the page bitmaps on
+// Open — which also verifies every page checksum, so corruption surfaces at
+// reopen, not mid-scan.
+//
+// HeapFile does not cache pages; all cached access goes through a Pool.
+// Methods are safe for concurrent use (the free-space map is mutex-guarded
+// and page I/O uses offset reads/writes), but tuple-level coordination is
+// the buffer pool's and its callers' job.
+type HeapFile struct {
+	mu           sync.Mutex
+	f            *os.File
+	path         string
+	ncols        int
+	slotsPerPage int
+	npages       int
+	free         []int // free slots per page
+}
+
+// CreateHeapFile creates (or truncates) the heap file at path for
+// ncols-wide tuples.
+func CreateHeapFile(path string, ncols int) (*HeapFile, error) {
+	if ncols < 1 {
+		return nil, fmt.Errorf("storage: heap file needs at least one column, got %d", ncols)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &HeapFile{f: f, path: path, ncols: ncols, slotsPerPage: SlotsPerPage(ncols)}, nil
+}
+
+// OpenHeapFile opens an existing heap file, verifying that every page
+// checksums correctly and carries ncols-wide tuples, and rebuilds the
+// free-space map from the slot bitmaps.
+func OpenHeapFile(path string, ncols int) (*HeapFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hf := &HeapFile{f: f, path: path, ncols: ncols, slotsPerPage: SlotsPerPage(ncols)}
+	if err := hf.rebuildFreeMap(); err != nil {
+		_ = f.Close() // surface the rebuild error, not the close
+		return nil, err
+	}
+	return hf, nil
+}
+
+// rebuildFreeMap scans every page, verifying checksums and column width,
+// and recomputes the per-page free slot counts.
+func (hf *HeapFile) rebuildFreeMap() error {
+	st, err := hf.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size()%PageSize != 0 {
+		return fmt.Errorf("storage: %s is %d bytes, not a whole number of %d-byte pages", hf.path, st.Size(), PageSize)
+	}
+	npages := int(st.Size() / PageSize)
+	free := make([]int, npages)
+	buf := make([]byte, PageSize)
+	for pno := 0; pno < npages; pno++ {
+		if _, err := hf.f.ReadAt(buf, int64(pno)*PageSize); err != nil {
+			return fmt.Errorf("storage: reading page %d of %s: %w", pno, hf.path, err)
+		}
+		p, err := PageFromBytes(buf, hf.path, pno)
+		if err != nil {
+			return err
+		}
+		if p.NCols() != hf.ncols {
+			return fmt.Errorf("storage: %s page %d holds %d-column tuples, want %d", hf.path, pno, p.NCols(), hf.ncols)
+		}
+		free[pno] = p.FreeSlots()
+		buf = make([]byte, PageSize) // PageFromBytes retains buf
+	}
+	hf.mu.Lock()
+	hf.npages = npages
+	hf.free = free
+	hf.mu.Unlock()
+	return nil
+}
+
+// Path returns the file path.
+func (hf *HeapFile) Path() string { return hf.path }
+
+// NCols returns the tuple width.
+func (hf *HeapFile) NCols() int { return hf.ncols }
+
+// SlotsPerPage returns the per-page slot capacity.
+func (hf *HeapFile) SlotsPerPage() int { return hf.slotsPerPage }
+
+// NumPages returns the current page count.
+func (hf *HeapFile) NumPages() int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	return hf.npages
+}
+
+// LiveTuples sums the occupied slots across all pages, per the free-space
+// map.
+func (hf *HeapFile) LiveTuples() int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	n := 0
+	for _, fr := range hf.free {
+		n += hf.slotsPerPage - fr
+	}
+	return n
+}
+
+// FreeSlots returns the free-space map's count for pageNo.
+func (hf *HeapFile) FreeSlots(pageNo int) int {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	if pageNo < 0 || pageNo >= len(hf.free) {
+		return 0
+	}
+	return hf.free[pageNo]
+}
+
+// FirstFree returns the lowest page number with at least one free slot
+// (deterministic first-fit), or ok=false when every page is full.
+func (hf *HeapFile) FirstFree() (pageNo int, ok bool) {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	for pno, fr := range hf.free {
+		if fr > 0 {
+			return pno, true
+		}
+	}
+	return 0, false
+}
+
+// noteInsert decrements pageNo's free count after a successful insert.
+func (hf *HeapFile) noteInsert(pageNo int) {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	if pageNo >= 0 && pageNo < len(hf.free) && hf.free[pageNo] > 0 {
+		hf.free[pageNo]--
+	}
+}
+
+// noteDelete increments pageNo's free count after a successful delete.
+func (hf *HeapFile) noteDelete(pageNo int) {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	if pageNo >= 0 && pageNo < len(hf.free) && hf.free[pageNo] < hf.slotsPerPage {
+		hf.free[pageNo]++
+	}
+}
+
+// AllocPage appends an initialized empty page to the file and returns its
+// page number.
+func (hf *HeapFile) AllocPage() (int, error) {
+	hf.mu.Lock()
+	pageNo := hf.npages
+	hf.mu.Unlock()
+	p := NewPage(pageNo, hf.ncols)
+	p.UpdateChecksum()
+	if _, err := hf.f.WriteAt(p.Bytes(), int64(pageNo)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: allocating page %d of %s: %w", pageNo, hf.path, err)
+	}
+	hf.mu.Lock()
+	hf.npages = pageNo + 1
+	hf.free = append(hf.free, hf.slotsPerPage)
+	hf.mu.Unlock()
+	return pageNo, nil
+}
+
+// ReadPage reads and verifies pageNo from disk into a fresh Page.
+func (hf *HeapFile) ReadPage(pageNo int) (*Page, error) {
+	if pageNo < 0 || pageNo >= hf.NumPages() {
+		return nil, fmt.Errorf("storage: page %d out of range of %s (%d pages)", pageNo, hf.path, hf.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if _, err := hf.f.ReadAt(buf, int64(pageNo)*PageSize); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("storage: reading page %d of %s: %w", pageNo, hf.path, err)
+	}
+	return PageFromBytes(buf, hf.path, pageNo)
+}
+
+// WritePage checksums and writes p back to its slot in the file.
+func (hf *HeapFile) WritePage(p *Page) error {
+	p.UpdateChecksum()
+	if _, err := hf.f.WriteAt(p.Bytes(), int64(p.PageNo())*PageSize); err != nil {
+		return fmt.Errorf("storage: writing page %d of %s: %w", p.PageNo(), hf.path, err)
+	}
+	return nil
+}
+
+// Sync flushes the OS file.
+func (hf *HeapFile) Sync() error { return hf.f.Sync() }
+
+// Close closes the OS file. Dirty pooled pages must be flushed first (see
+// Pool.ReleaseFile / TableFile.Close).
+func (hf *HeapFile) Close() error { return hf.f.Close() }

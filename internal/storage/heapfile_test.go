@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestHeapFileAllocWriteRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.heap")
+	hf, err := CreateHeapFile(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hf.Close() }()
+	if hf.NumPages() != 0 || hf.LiveTuples() != 0 {
+		t.Fatalf("fresh file not empty")
+	}
+	pno, err := hf.AllocPage()
+	if err != nil || pno != 0 {
+		t.Fatalf("alloc: page=%d err=%v", pno, err)
+	}
+	p, err := hf.ReadPage(0)
+	if err != nil {
+		t.Fatalf("read fresh page: %v", err)
+	}
+	if _, ok := p.Insert([]int64{1, 2}); !ok {
+		t.Fatal("insert failed")
+	}
+	if err := hf.WritePage(p); err != nil {
+		t.Fatal(err)
+	}
+	hf.noteInsert(0)
+	if hf.LiveTuples() != 1 || hf.FreeSlots(0) != hf.SlotsPerPage()-1 {
+		t.Fatalf("free map: live=%d free=%d", hf.LiveTuples(), hf.FreeSlots(0))
+	}
+	back, err := hf.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]int64, 2)
+	if !back.ReadTuple(0, row) || row[0] != 1 || row[1] != 2 {
+		t.Fatalf("round trip = %v", row)
+	}
+	if _, err := hf.ReadPage(5); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+}
+
+func TestHeapFileFirstFreeIsFirstFit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.heap")
+	hf, err := CreateHeapFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hf.Close() }()
+	if _, ok := hf.FirstFree(); ok {
+		t.Fatal("empty file reported free space")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := hf.AllocPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill page 0 and page 1; page 2 keeps one hole.
+	for pno := 0; pno < 2; pno++ {
+		for s := 0; s < hf.SlotsPerPage(); s++ {
+			hf.noteInsert(pno)
+		}
+	}
+	if pno, ok := hf.FirstFree(); !ok || pno != 2 {
+		t.Fatalf("FirstFree = %d,%v want 2,true", pno, ok)
+	}
+	// Freeing a slot on page 0 makes it the first fit again.
+	hf.noteDelete(0)
+	if pno, ok := hf.FirstFree(); !ok || pno != 0 {
+		t.Fatalf("FirstFree after delete = %d,%v want 0,true", pno, ok)
+	}
+}

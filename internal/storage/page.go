@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the fixed on-disk page size in bytes.
+const PageSize = 4096
+
+// pageHeaderSize is the fixed header: checksum (4) | pageNo (4) | ncols (2)
+// | nslots (2). The checksum is CRC-32 (IEEE) over everything after the
+// checksum field itself.
+const pageHeaderSize = 12
+
+// ErrChecksum matches any page-checksum failure under errors.Is.
+var ErrChecksum = errors.New("storage: page checksum mismatch")
+
+// ChecksumError reports a torn or corrupted page: the stored checksum does
+// not cover the page bytes read back.
+type ChecksumError struct {
+	Path   string
+	PageNo int
+}
+
+// Error implements error.
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("storage: checksum mismatch on page %d of %s (torn or corrupted page)", e.PageNo, e.Path)
+}
+
+// Is reports checksum failures as ErrChecksum so errors.Is matches.
+func (e *ChecksumError) Is(target error) bool { return target == ErrChecksum }
+
+// SlotsPerPage returns how many ncols-wide tuples fit in one page after the
+// header and the slot-occupancy bitmap (one bit per slot).
+func SlotsPerPage(ncols int) int {
+	usable := PageSize - pageHeaderSize
+	s := usable * 8 / (1 + 64*ncols)
+	for s > 0 && (s+7)/8+s*8*ncols > usable {
+		s--
+	}
+	return s
+}
+
+// Page is one slotted heap page: a PageSize buffer whose header, bitmap,
+// and tuple area are read and written in place. Tuples are fixed-width rows
+// of ncols little-endian int64s; the slot directory is a bitmap marking
+// which slots hold live tuples.
+type Page struct {
+	buf    []byte
+	ncols  int
+	nslots int
+}
+
+// NewPage returns an initialized empty page for pageNo with ncols-wide
+// tuples.
+func NewPage(pageNo, ncols int) *Page {
+	p := &Page{buf: make([]byte, PageSize), ncols: ncols, nslots: SlotsPerPage(ncols)}
+	binary.LittleEndian.PutUint32(p.buf[4:8], uint32(pageNo))
+	binary.LittleEndian.PutUint16(p.buf[8:10], uint16(ncols))
+	binary.LittleEndian.PutUint16(p.buf[10:12], uint16(p.nslots))
+	return p
+}
+
+// PageFromBytes parses a page from buf (which must be PageSize long and is
+// retained, not copied), verifying the checksum and the header's internal
+// consistency. path and pageNo label the error on failure.
+func PageFromBytes(buf []byte, path string, pageNo int) (*Page, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("storage: page buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	stored := binary.LittleEndian.Uint32(buf[0:4])
+	if stored != crc32.ChecksumIEEE(buf[4:]) {
+		return nil, &ChecksumError{Path: path, PageNo: pageNo}
+	}
+	ncols := int(binary.LittleEndian.Uint16(buf[8:10]))
+	nslots := int(binary.LittleEndian.Uint16(buf[10:12]))
+	if ncols < 1 || nslots != SlotsPerPage(ncols) {
+		return nil, &ChecksumError{Path: path, PageNo: pageNo}
+	}
+	if got := int(binary.LittleEndian.Uint32(buf[4:8])); got != pageNo {
+		return nil, fmt.Errorf("storage: page %d of %s carries page number %d", pageNo, path, got)
+	}
+	return &Page{buf: buf, ncols: ncols, nslots: nslots}, nil
+}
+
+// UpdateChecksum recomputes the header checksum over the page contents.
+// Call it before writing the page to disk.
+func (p *Page) UpdateChecksum() {
+	binary.LittleEndian.PutUint32(p.buf[0:4], crc32.ChecksumIEEE(p.buf[4:]))
+}
+
+// Bytes returns the page's backing buffer (PageSize long).
+func (p *Page) Bytes() []byte { return p.buf }
+
+// PageNo returns the page number stored in the header.
+func (p *Page) PageNo() int { return int(binary.LittleEndian.Uint32(p.buf[4:8])) }
+
+// NCols returns the tuple width in columns.
+func (p *Page) NCols() int { return p.ncols }
+
+// NumSlots returns the slot-directory capacity.
+func (p *Page) NumSlots() int { return p.nslots }
+
+// Used reports whether slot holds a live tuple.
+func (p *Page) Used(slot int) bool {
+	if slot < 0 || slot >= p.nslots {
+		return false
+	}
+	return p.buf[pageHeaderSize+slot/8]&(1<<uint(slot%8)) != 0
+}
+
+func (p *Page) setUsed(slot int, used bool) {
+	if used {
+		p.buf[pageHeaderSize+slot/8] |= 1 << uint(slot%8)
+	} else {
+		p.buf[pageHeaderSize+slot/8] &^= 1 << uint(slot%8)
+	}
+}
+
+// FreeSlots counts the unoccupied slots.
+func (p *Page) FreeSlots() int {
+	free := 0
+	for s := 0; s < p.nslots; s++ {
+		if !p.Used(s) {
+			free++
+		}
+	}
+	return free
+}
+
+// LiveTuples counts the occupied slots.
+func (p *Page) LiveTuples() int { return p.nslots - p.FreeSlots() }
+
+func (p *Page) tupleOff(slot int) int {
+	bitmap := (p.nslots + 7) / 8
+	return pageHeaderSize + bitmap + slot*8*p.ncols
+}
+
+// Insert places row into the lowest free slot, returning the slot, or
+// ok=false when the page is full or the row width is wrong.
+func (p *Page) Insert(row []int64) (slot int, ok bool) {
+	if len(row) != p.ncols {
+		return 0, false
+	}
+	for s := 0; s < p.nslots; s++ {
+		if p.Used(s) {
+			continue
+		}
+		off := p.tupleOff(s)
+		for c, v := range row {
+			binary.LittleEndian.PutUint64(p.buf[off+8*c:], uint64(v))
+		}
+		p.setUsed(s, true)
+		return s, true
+	}
+	return 0, false
+}
+
+// ReadTuple copies the tuple in slot into dst (which must be ncols long),
+// returning false for an empty or out-of-range slot.
+func (p *Page) ReadTuple(slot int, dst []int64) bool {
+	if !p.Used(slot) || len(dst) != p.ncols {
+		return false
+	}
+	off := p.tupleOff(slot)
+	for c := range dst {
+		dst[c] = int64(binary.LittleEndian.Uint64(p.buf[off+8*c:]))
+	}
+	return true
+}
+
+// Delete clears slot, returning false if it was already empty.
+func (p *Page) Delete(slot int) bool {
+	if !p.Used(slot) {
+		return false
+	}
+	p.setUsed(slot, false)
+	return true
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSlotsPerPageInvariants(t *testing.T) {
+	usable := PageSize - pageHeaderSize
+	for ncols := 1; ncols <= 16; ncols++ {
+		n := SlotsPerPage(ncols)
+		if n < 1 {
+			t.Fatalf("ncols=%d: no slots fit", ncols)
+		}
+		if (n+7)/8+n*8*ncols > usable {
+			t.Fatalf("ncols=%d: %d slots overflow the page", ncols, n)
+		}
+		if (n+8)/8+(n+1)*8*ncols <= usable {
+			t.Fatalf("ncols=%d: %d slots is not maximal", ncols, n)
+		}
+	}
+}
+
+func TestPageInsertReadDelete(t *testing.T) {
+	p := NewPage(3, 2)
+	if p.PageNo() != 3 || p.NCols() != 2 {
+		t.Fatalf("header: pageNo=%d ncols=%d", p.PageNo(), p.NCols())
+	}
+	if p.LiveTuples() != 0 || p.FreeSlots() != p.NumSlots() {
+		t.Fatalf("fresh page not empty")
+	}
+	s0, ok := p.Insert([]int64{10, -20})
+	if !ok || s0 != 0 {
+		t.Fatalf("first insert: slot=%d ok=%v", s0, ok)
+	}
+	s1, ok := p.Insert([]int64{30, 40})
+	if !ok || s1 != 1 {
+		t.Fatalf("second insert: slot=%d ok=%v", s1, ok)
+	}
+	row := make([]int64, 2)
+	if !p.ReadTuple(0, row) || row[0] != 10 || row[1] != -20 {
+		t.Fatalf("slot 0 = %v", row)
+	}
+	if p.ReadTuple(5, row) {
+		t.Fatalf("read of empty slot succeeded")
+	}
+	if !p.Delete(0) || p.Delete(0) {
+		t.Fatalf("delete not idempotent-false")
+	}
+	// First-fit reuses the freed slot.
+	s, ok := p.Insert([]int64{7, 8})
+	if !ok || s != 0 {
+		t.Fatalf("reinsert went to slot %d", s)
+	}
+	if _, ok := p.Insert([]int64{1}); ok {
+		t.Fatalf("wrong-width insert succeeded")
+	}
+}
+
+func TestPageFillsToCapacity(t *testing.T) {
+	p := NewPage(0, 1)
+	for i := 0; i < p.NumSlots(); i++ {
+		if _, ok := p.Insert([]int64{int64(i)}); !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if _, ok := p.Insert([]int64{99}); ok {
+		t.Fatalf("insert into full page succeeded")
+	}
+	row := make([]int64, 1)
+	for i := 0; i < p.NumSlots(); i++ {
+		if !p.ReadTuple(i, row) || row[0] != int64(i) {
+			t.Fatalf("slot %d = %v", i, row)
+		}
+	}
+}
+
+func TestPageFromBytesRejectsCorruption(t *testing.T) {
+	p := NewPage(0, 1)
+	if _, ok := p.Insert([]int64{42}); !ok {
+		t.Fatal("insert failed")
+	}
+	p.UpdateChecksum()
+
+	good := make([]byte, PageSize)
+	copy(good, p.Bytes())
+	if _, err := PageFromBytes(good, "t", 0); err != nil {
+		t.Fatalf("clean page rejected: %v", err)
+	}
+
+	torn := make([]byte, PageSize)
+	copy(torn, p.Bytes())
+	torn[PageSize/2] ^= 0xFF
+	_, err := PageFromBytes(torn, "t", 0)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("torn page: got %v, want ErrChecksum", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.PageNo != 0 || ce.Path != "t" {
+		t.Fatalf("checksum error detail: %v", err)
+	}
+
+	// A checksum-valid page read at the wrong offset is also rejected.
+	if _, err := PageFromBytes(good, "t", 7); err == nil {
+		t.Fatalf("page-number mismatch accepted")
+	}
+}

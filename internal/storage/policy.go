@@ -1,0 +1,34 @@
+package storage
+
+// LRU is the deterministic baseline eviction policy: evict the resident
+// page with the oldest last-access tick, breaking ties toward the earliest
+// (lowest-key) candidate.
+type LRU struct {
+	last map[PageKey]uint64
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{last: make(map[PageKey]uint64)} }
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// OnAccess implements Policy.
+func (l *LRU) OnAccess(key PageKey, tick uint64) { l.last[key] = tick }
+
+// OnRemove implements Policy.
+func (l *LRU) OnRemove(key PageKey) { delete(l.last, key) }
+
+// Victim implements Policy: the least recently used candidate. cands is
+// sorted, so keeping the first strict minimum breaks ties toward the lowest
+// key.
+func (l *LRU) Victim(cands []PageKey, _ uint64) PageKey {
+	best := cands[0]
+	bestTick := l.last[best]
+	for _, k := range cands[1:] {
+		if t := l.last[k]; t < bestTick {
+			best, bestTick = k, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,392 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ml4db/internal/obs"
+)
+
+// ErrAllPinned matches any eviction failure caused by every frame being
+// pinned.
+var ErrAllPinned = errors.New("storage: all buffer-pool frames are pinned")
+
+// AllPinnedError reports that a page could not be brought in because every
+// frame is pinned — eviction of a pinned page is refused, never forced.
+type AllPinnedError struct {
+	Capacity int
+}
+
+// Error implements error.
+func (e *AllPinnedError) Error() string {
+	return fmt.Sprintf("storage: cannot evict, all %d buffer-pool frames are pinned", e.Capacity)
+}
+
+// Is reports all-pinned failures as ErrAllPinned so errors.Is matches.
+func (e *AllPinnedError) Is(target error) bool { return target == ErrAllPinned }
+
+// PageKey identifies one page of one registered heap file inside a Pool.
+type PageKey struct {
+	File uint32
+	Page uint32
+}
+
+// Less orders keys (file, then page) — the deterministic tie-break order
+// used everywhere candidates are enumerated.
+func (k PageKey) Less(o PageKey) bool {
+	if k.File != o.File {
+		return k.File < o.File
+	}
+	return k.Page < o.Page
+}
+
+// Policy decides which unpinned resident page to evict. The pool owns the
+// policy and drives it single-threaded under its lock: OnAccess on every
+// fetch (hit or load), OnRemove when a page leaves the pool, Victim when a
+// frame must be freed. Candidates arrive sorted by PageKey; implementations
+// must return one of them and should break score ties toward the earliest
+// candidate so eviction sequences replay bit-identically.
+type Policy interface {
+	Name() string
+	OnAccess(key PageKey, tick uint64)
+	OnRemove(key PageKey)
+	Victim(cands []PageKey, tick uint64) PageKey
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Capacity is the frame count; values below one default to 64.
+	Capacity int
+	// Policy selects eviction victims; nil defaults to NewLRU().
+	Policy Policy
+	// Metrics, when non-nil, receives storage.pool.* instruments.
+	Metrics *obs.Registry
+	// RecordEvictions keeps the eviction sequence for replay-determinism
+	// checks (EvictionLog). Off by default: the log grows with evictions.
+	RecordEvictions bool
+	// Observer, when non-nil, sees every fetch (key, hit) in access order —
+	// the hook Guard uses to shadow-score the live hit rate against LRU.
+	Observer func(key PageKey, hit bool)
+}
+
+// frame is one resident page.
+type frame struct {
+	key      PageKey
+	hf       *HeapFile
+	page     *Page
+	pins     int
+	dirty    bool
+	lastTick uint64
+}
+
+// Pool is the buffer pool: a fixed number of frames caching heap-file pages
+// with pin/unpin discipline, dirty tracking and write-back, and pluggable
+// eviction. All state transitions happen under one mutex, in caller order,
+// with a logical tick as the only clock — which is what makes eviction
+// sequences replayable.
+type Pool struct {
+	mu     sync.Mutex
+	opts   PoolOptions
+	frames map[PageKey]*frame
+	files  map[*HeapFile]uint32
+	nextID uint32
+	tick   uint64
+
+	hits, misses, evictions, writebacks int64
+	evictLog                            []PageKey
+
+	cHits, cMisses, cEvictions, cWritebacks *obs.Counter
+	hReuse                                  *obs.Histogram
+}
+
+// reuseBuckets cover on-hit reuse distances (ticks) from 1 to ~16M.
+var reuseBuckets = obs.ExpBuckets(1, 4, 13)
+
+// NewPool returns a buffer pool with the given options.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.Capacity < 1 {
+		opts.Capacity = 64
+	}
+	if opts.Policy == nil {
+		opts.Policy = NewLRU()
+	}
+	p := &Pool{
+		opts:   opts,
+		frames: make(map[PageKey]*frame, opts.Capacity),
+		files:  make(map[*HeapFile]uint32),
+	}
+	if m := opts.Metrics; m != nil {
+		p.cHits = m.Counter("storage.pool.hits")
+		p.cMisses = m.Counter("storage.pool.misses")
+		p.cEvictions = m.Counter("storage.pool.evictions")
+		p.cWritebacks = m.Counter("storage.pool.writebacks")
+		p.hReuse = m.Histogram("storage.pool.reuse_dist", reuseBuckets)
+	}
+	return p
+}
+
+// Capacity returns the frame count.
+func (p *Pool) Capacity() int { return p.opts.Capacity }
+
+// PolicyName returns the active eviction policy's name.
+func (p *Pool) PolicyName() string { return p.opts.Policy.Name() }
+
+// fileID registers hf on first use. Registration order follows first-fetch
+// order, so key assignment is deterministic for a deterministic workload.
+func (p *Pool) fileID(hf *HeapFile) uint32 {
+	if id, ok := p.files[hf]; ok {
+		return id
+	}
+	id := p.nextID
+	p.nextID++
+	p.files[hf] = id
+	return id
+}
+
+// PageHandle is a pinned page. The holder may read the page, mutate it and
+// mark it dirty; it must call Unpin on every non-error path when done (the
+// spanend analyzer checks this). Unpin is idempotent per handle.
+type PageHandle struct {
+	pool     *Pool
+	fr       *frame
+	missed   bool
+	released bool
+}
+
+// Page returns the pinned page. Valid until Unpin.
+func (h *PageHandle) Page() *Page { return h.fr.page }
+
+// Missed reports whether this fetch had to read the page from disk (a pool
+// miss) — the signal the executor charges as PageMiss work.
+func (h *PageHandle) Missed() bool { return h.missed }
+
+// SetDirty marks the page as modified so eviction and Flush write it back.
+func (h *PageHandle) SetDirty() {
+	h.pool.mu.Lock()
+	h.fr.dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Unpin releases the pin. Calling it more than once is a no-op.
+func (h *PageHandle) Unpin() {
+	h.pool.mu.Lock()
+	if !h.released {
+		h.released = true
+		if h.fr.pins > 0 {
+			h.fr.pins--
+		}
+	}
+	h.pool.mu.Unlock()
+}
+
+// Fetch pins pageNo of hf into the pool, reading it from disk on a miss
+// (evicting an unpinned victim first when the pool is full) and returns the
+// handle. With every frame pinned it fails with *AllPinnedError; a page
+// that fails its checksum on load surfaces as *ChecksumError.
+func (p *Pool) Fetch(hf *HeapFile, pageNo int) (*PageHandle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+	key := PageKey{File: p.fileID(hf), Page: uint32(pageNo)}
+	if fr, ok := p.frames[key]; ok {
+		p.hits++
+		p.cHits.Inc()
+		p.hReuse.Observe(float64(p.tick - fr.lastTick))
+		fr.lastTick = p.tick
+		fr.pins++
+		p.notifyLocked(key, true)
+		return &PageHandle{pool: p, fr: fr, missed: false}, nil
+	}
+	if len(p.frames) >= p.opts.Capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	page, err := hf.ReadPage(pageNo)
+	if err != nil {
+		return nil, err
+	}
+	p.misses++
+	p.cMisses.Inc()
+	fr := &frame{key: key, hf: hf, page: page, pins: 1, lastTick: p.tick}
+	p.frames[key] = fr
+	p.notifyLocked(key, false)
+	return &PageHandle{pool: p, fr: fr, missed: true}, nil
+}
+
+// notifyLocked drives the policy and observer for one access, in access
+// order under the pool lock.
+func (p *Pool) notifyLocked(key PageKey, hit bool) {
+	p.opts.Policy.OnAccess(key, p.tick)
+	if p.opts.Observer != nil {
+		p.opts.Observer(key, hit)
+	}
+}
+
+// evictLocked frees one frame: unpinned candidates are offered to the
+// policy in sorted key order, the victim is written back if dirty, and the
+// eviction is logged when RecordEvictions is set.
+func (p *Pool) evictLocked() error {
+	cands := make([]PageKey, 0, len(p.frames))
+	for key, fr := range p.frames {
+		if fr.pins == 0 {
+			cands = append(cands, key)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
+	if len(cands) == 0 {
+		return &AllPinnedError{Capacity: p.opts.Capacity}
+	}
+	victim := p.opts.Policy.Victim(cands, p.tick)
+	fr, ok := p.frames[victim]
+	if !ok || fr.pins != 0 {
+		// A policy returning a non-candidate must not corrupt the pool:
+		// fall back to the first (lowest-key) candidate deterministically.
+		victim = cands[0]
+		fr = p.frames[victim]
+	}
+	if fr.dirty {
+		if err := fr.hf.WritePage(fr.page); err != nil {
+			return err
+		}
+		p.writebacks++
+		p.cWritebacks.Inc()
+	}
+	delete(p.frames, victim)
+	p.opts.Policy.OnRemove(victim)
+	p.evictions++
+	p.cEvictions.Inc()
+	if p.opts.RecordEvictions {
+		p.evictLog = append(p.evictLog, victim)
+	}
+	return nil
+}
+
+// PoolStats is a snapshot of the pool's counters and occupancy.
+type PoolStats struct {
+	Hits, Misses, Evictions, Writebacks int64
+	Resident, Pinned                    int
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		Hits: p.hits, Misses: p.misses,
+		Evictions: p.evictions, Writebacks: p.writebacks,
+		Resident: len(p.frames),
+	}
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			st.Pinned++
+		}
+	}
+	return st
+}
+
+// PinnedCount returns how many frames currently hold at least one pin —
+// zero after any well-behaved scan, aborted or not.
+func (p *Pool) PinnedCount() int { return p.Stats().Pinned }
+
+// MissRate returns misses/(hits+misses), or 1 before any access — the cold
+// assumption the optimizer's I/O term starts from.
+func (p *Pool) MissRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 1
+	}
+	return float64(p.misses) / float64(total)
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (p *Pool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// EvictionLog returns a copy of the recorded eviction sequence (empty
+// unless RecordEvictions was set).
+func (p *Pool) EvictionLog() []PageKey {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PageKey, len(p.evictLog))
+	copy(out, p.evictLog)
+	return out
+}
+
+// FlushAll writes back every dirty resident page (in key order) without
+// evicting anything.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked(nil)
+}
+
+// FlushFile writes back hf's dirty resident pages (in key order).
+func (p *Pool) FlushFile(hf *HeapFile) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked(hf)
+}
+
+func (p *Pool) flushLocked(only *HeapFile) error {
+	keys := make([]PageKey, 0, len(p.frames))
+	for key, fr := range p.frames {
+		if fr.dirty && (only == nil || fr.hf == only) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, key := range keys {
+		fr := p.frames[key]
+		if err := fr.hf.WritePage(fr.page); err != nil {
+			return err
+		}
+		fr.dirty = false
+		p.writebacks++
+		p.cWritebacks.Inc()
+	}
+	return nil
+}
+
+// ReleaseFile flushes hf's dirty pages and drops all its frames from the
+// pool (so the file can be closed or reopened). It fails with
+// *AllPinnedError semantics if any of hf's pages is still pinned.
+func (p *Pool) ReleaseFile(hf *HeapFile) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]PageKey, 0, len(p.frames))
+	for key, fr := range p.frames {
+		if fr.hf == hf {
+			if fr.pins > 0 {
+				return fmt.Errorf("storage: releasing %s with page %d still pinned: %w", hf.Path(), key.Page, ErrAllPinned)
+			}
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, key := range keys {
+		fr := p.frames[key]
+		if fr.dirty {
+			if err := fr.hf.WritePage(fr.page); err != nil {
+				return err
+			}
+			p.writebacks++
+			p.cWritebacks.Inc()
+		}
+		delete(p.frames, key)
+		//ml4db:allow lockcheck "the policy is pool-owned single-threaded state driven strictly in access order under p.mu; snapshotting and calling outside would let a concurrent Fetch interleave OnAccess between the delete and the OnRemove"
+		p.opts.Policy.OnRemove(key)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package survey embeds the paper's surveyed-publication corpus and
+// regenerates its two evaluation artifacts:
+//
+//   - Figure 1: the publication trend in machine learning for index and
+//     query optimizer, split by "replacement" vs "ML-enhanced" paradigm,
+//     2018–2023 (counted over major-venue publications as the paper does);
+//   - Table 1: the summary of query-plan representation methods, each linked
+//     to the component of this repository that implements it.
+//
+// The corpus is the bibliography of the paper itself, tagged with area,
+// paradigm, and venue from each publication's content.
+package survey

@@ -1,0 +1,8 @@
+// Package views implements an AVGDL-style materialized-view advisor
+// (Yuan et al., ICDE 2020 — the "View Selection" application of Table 1):
+// candidate views are the join pairs the workload uses repeatedly;
+// materializing one precomputes that join, and queries containing the pair
+// are rewritten to read the view instead. The advisor estimates each
+// candidate's benefit with a learned model trained from executed
+// configurations and selects a set under a storage budget.
+package views

@@ -1,0 +1,5 @@
+// Package workload generates query workloads over the synthetic schemas:
+// star-join templates with range predicates of controllable selectivity,
+// chain-join queries for join-order experiments, and the data/workload drift
+// injections used by the §3.3 open-problem experiments.
+package workload

@@ -12,6 +12,12 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+# The documentation contract: every internal package has a doc.go, every
+# docs/*.md page is reachable from the README or the docs index, and no
+# relative markdown link is dead. Docs drift fails like a broken test.
+echo "==> ml4db-docslint"
+go run ./cmd/ml4db-docslint
+
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -68,5 +74,12 @@ go run ./cmd/ml4db-tracecheck -metrics "$obsdir/serve_metrics.jsonl"
 # estimator. The bench exits nonzero if any engine contract is violated.
 echo "==> engine smoke (plan cache + admission + fallback contracts)"
 go run ./cmd/ml4db-bench -engine -quick -engine-out "$obsdir/BENCH_engine.json"
+
+# Storage smoke: larger-than-memory scan correctness through a small pool,
+# learned-eviction canary gating (trained scorer promoted and beating LRU,
+# constant scorer rejected), and bit-identical eviction replay. The bench
+# exits nonzero if any storage contract is violated.
+echo "==> storage smoke (heap pages + buffer pool + learned eviction)"
+go run ./cmd/ml4db-bench -storage -quick -storage-out "$obsdir/BENCH_storage.json"
 
 echo "All checks passed."
