@@ -10,6 +10,7 @@
 //	ml4db-bench -obsbench [-obs-out FILE]
 //	ml4db-bench -serve [-quick] [-serve-out FILE] [-metrics metrics.jsonl]
 //	ml4db-bench -engine [-quick] [-engine-out FILE]
+//	ml4db-bench -querystore [-quick] [-querystore-out FILE] [-querystore-export FILE]
 //
 // The -kernels mode skips the experiments and instead benchmarks the
 // parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
@@ -32,6 +33,13 @@
 // admission overflow, and learned-estimator fallback — writing
 // BENCH_engine.json and exiting nonzero if any engine contract is violated
 // (see docs/ENGINE.md).
+//
+// The -querystore mode benchmarks the internal/querystore workload
+// observatory — recording overhead vs a store-less engine, exact statement
+// accounting read back through the sys_statements system view, and
+// byte-identical two-replay JSONL exports — writing BENCH_querystore.json
+// and exiting nonzero if any observatory contract is violated (see
+// docs/QUERYSTORE.md).
 package main
 
 import (
@@ -60,9 +68,20 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for -serve results")
 	engineBench := flag.Bool("engine", false, "benchmark the query-session engine (plan cache, admission, fallback)")
 	engineOut := flag.String("engine-out", "BENCH_engine.json", "output file for -engine results")
+	querystoreBench := flag.Bool("querystore", false, "benchmark the workload observatory (recording overhead, sys views, replay)")
+	querystoreOut := flag.String("querystore-out", "BENCH_querystore.json", "output file for -querystore results")
+	querystoreExport := flag.String("querystore-export", "", "with -querystore: also write the workload's querystore JSONL export here")
 	storageBench := flag.Bool("storage", false, "benchmark the disk-backed storage engine (oversized scans, learned eviction, replay)")
 	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -storage results")
 	flag.Parse()
+
+	if *querystoreBench {
+		if err := runQuerystoreBench(*seed, *querystoreOut, *querystoreExport, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *storageBench {
 		if err := runStorageBench(*seed, *storageOut, *quick); err != nil {

@@ -1,0 +1,282 @@
+package main
+
+// Querystore benchmark mode (-querystore): exercises the internal/querystore
+// workload observatory end to end and writes BENCH_querystore.json.
+//
+//   - recording overhead: the same workload through one engine with the
+//     store attached vs one with no store. The "nil is off, and free"
+//     contract has its own allocation test; here the attached store's
+//     per-query overhead is measured and reported (and must stay under an
+//     order of magnitude of the bare run — recording is counter updates and
+//     one plan walk, not a second execution);
+//   - exact statement accounting: a scripted workload (distinct shapes with
+//     known call counts, cache hits, and one budget abort) is read back via
+//     `SELECT * FROM sys_statements ORDER BY total_work DESC` through the
+//     normal planner/executor, and every count must equal what the driver
+//     executed;
+//   - deterministic export: the same workload replayed twice under fresh
+//     mlmath.ManualClocks must produce byte-identical JSONL exports, and the
+//     export must pass the querystore schema validator.
+//
+// Any violated contract makes the benchmark exit nonzero; check.sh runs the
+// -quick variant as a smoke test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/querystore"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+type querystoreReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+
+	Queries int `json:"queries"`
+	Repeats int `json:"repeats"`
+
+	BareSec     float64 `json:"bare_sec"`
+	RecordedSec float64 `json:"recorded_sec"`
+	Overhead    float64 `json:"overhead"`
+
+	Statements      int  `json:"statements"`
+	AccountingExact bool `json:"accounting_exact"`
+
+	ExportLines     int  `json:"export_lines"`
+	ExportBytes     int  `json:"export_bytes"`
+	ReplayIdentical bool `json:"replay_identical"`
+	ExportValid     bool `json:"export_valid"`
+}
+
+// querystoreWorkload builds Q distinct star-join queries over a fresh
+// schema, same as the engine bench but smaller: the subject here is the
+// recording path, not the planner.
+func querystoreWorkload(seed uint64, queries int) (*datagen.StarSchema, []*plan.Query, error) {
+	sch, err := datagen.NewStarSchema(mlmath.NewRNG(seed), 2000, 100, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs := make([]*plan.Query, queries)
+	for i := range qs {
+		q := plan.NewQuery(append([]int{sch.FactID}, sch.DimIDs...)...)
+		q.AddFilter(0, expr.Pred{Col: sch.AttrCols[0], Op: expr.GE, Lo: int64(860 + 7*i)})
+		for d, col := range sch.FKCol {
+			q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: col, RightTable: d + 1, RightCol: 0})
+		}
+		qs[i] = q
+	}
+	return sch, qs, nil
+}
+
+func runQuerystoreBench(seed uint64, outPath, exportPath string, quick bool) error {
+	reps := 3
+	queries, repeats := 10, 20
+	if quick {
+		reps = 1
+		queries, repeats = 5, 8
+	}
+
+	rep := querystoreReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Seed: seed, Quick: quick,
+		Queries: queries, Repeats: repeats,
+	}
+
+	// --- Recording overhead: store-off vs store-on, same workload. ---
+	runAll := func(eng *engine.Engine, qs []*plan.Query) {
+		sess := eng.Session()
+		for r := 0; r < repeats; r++ {
+			for _, q := range qs {
+				if _, err := sess.Run(q); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	{
+		sch, qs, err := querystoreWorkload(seed, queries)
+		if err != nil {
+			return err
+		}
+		eng := engine.New(sch.Cat, engine.Options{})
+		rep.BareSec = bestOf(reps, func() { runAll(eng, qs) })
+	}
+	{
+		sch, qs, err := querystoreWorkload(seed, queries)
+		if err != nil {
+			return err
+		}
+		store := querystore.New(querystore.Options{Catalog: sch.Cat})
+		eng := engine.New(sch.Cat, engine.Options{Store: store})
+		rep.RecordedSec = bestOf(reps, func() { runAll(eng, qs) })
+	}
+	if rep.BareSec > 0 {
+		rep.Overhead = rep.RecordedSec/rep.BareSec - 1
+	}
+
+	// --- Exact statement accounting through sys_statements. ---
+	exact, nStatements, err := querystoreAccounting(seed)
+	if err != nil {
+		return err
+	}
+	rep.AccountingExact = exact
+	rep.Statements = nStatements
+
+	// --- Deterministic export: two replays, byte-identical, valid. ---
+	replay := func() ([]byte, error) {
+		sch, qs, err := querystoreWorkload(seed, queries)
+		if err != nil {
+			return nil, err
+		}
+		mc := &mlmath.ManualClock{T: time.Unix(0, 0)}
+		store := querystore.New(querystore.Options{
+			Clock: mc, Catalog: sch.Cat, Window: time.Second,
+		})
+		eng := engine.New(sch.Cat, engine.Options{Store: store})
+		sess := eng.Session()
+		for r := 0; r < 3; r++ {
+			for _, q := range qs {
+				if _, err := sess.Run(q); err != nil {
+					return nil, err
+				}
+				mc.Advance(250 * time.Millisecond)
+			}
+		}
+		store.Flush()
+		var buf bytes.Buffer
+		if err := store.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	exportA, err := replay()
+	if err != nil {
+		return err
+	}
+	exportB, err := replay()
+	if err != nil {
+		return err
+	}
+	rep.ReplayIdentical = bytes.Equal(exportA, exportB)
+	rep.ExportBytes = len(exportA)
+	n, verr := querystore.ValidateJSONL(bytes.NewReader(exportA))
+	rep.ExportValid = verr == nil
+	rep.ExportLines = n
+	if exportPath != "" {
+		if err := os.WriteFile(exportPath, exportA, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("querystore export: %s (%d lines)\n", exportPath, n)
+	}
+
+	// --- Report. ---
+	fmt.Printf("querystore bench: seed=%d quick=%v\n", seed, quick)
+	fmt.Printf("  overhead      bare=%.4fs recorded=%.4fs overhead=%.1f%%\n",
+		rep.BareSec, rep.RecordedSec, rep.Overhead*100)
+	fmt.Printf("  accounting    statements=%d exact=%v\n", rep.Statements, rep.AccountingExact)
+	fmt.Printf("  export        lines=%d bytes=%d replay_identical=%v valid=%v\n",
+		rep.ExportLines, rep.ExportBytes, rep.ReplayIdentical, rep.ExportValid)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	if !rep.AccountingExact {
+		return errors.New("querystore contract violated: sys_statements does not match the executed workload")
+	}
+	if !rep.ReplayIdentical {
+		return errors.New("querystore contract violated: two replays exported different bytes")
+	}
+	if verr != nil {
+		return fmt.Errorf("querystore contract violated: export fails validation: %v", verr)
+	}
+	return nil
+}
+
+// querystoreAccounting runs a scripted workload with known per-shape counts
+// and checks every sys_statements row against what the driver executed.
+func querystoreAccounting(seed uint64) (bool, int, error) {
+	sch, qs, err := querystoreWorkload(seed, 3)
+	if err != nil {
+		return false, 0, err
+	}
+	store := querystore.New(querystore.Options{
+		Clock:   &mlmath.ManualClock{T: time.Unix(0, 0)},
+		Catalog: sch.Cat,
+	})
+	eng := engine.New(sch.Cat, engine.Options{Store: store})
+	sess := eng.Session()
+
+	// Script: q0 ×3, q1 ×2, q2 ×1, plus one budget-aborted run of q0's
+	// shape. Expected per-shape calls: 4, 2, 1; total cache hits counted
+	// from the results.
+	var totalWork, cacheHits int64
+	script := []int{0, 0, 0, 1, 1, 2}
+	for _, i := range script {
+		res, err := sess.Run(qs[i])
+		if err != nil {
+			return false, 0, err
+		}
+		totalWork += res.Work
+		if res.CacheHit {
+			cacheHits++
+		}
+	}
+	tiny := eng.Session()
+	tiny.Budget = &exec.Budget{MaxWork: 10}
+	out, err := tiny.Run(qs[0])
+	if !errors.Is(err, exec.ErrWorkBudgetExceeded) {
+		return false, 0, fmt.Errorf("tiny budget run: %v, want budget abort", err)
+	}
+	if out.Result != nil {
+		totalWork += out.Work
+	}
+	if out.CacheHit {
+		cacheHits++
+	}
+
+	rr, err := sess.Query("SELECT * FROM sys_statements ORDER BY total_work DESC")
+	if err != nil {
+		return false, 0, err
+	}
+	col := map[string]int{}
+	for i, c := range rr.Columns {
+		col[c] = i
+	}
+	var sumCalls, sumWork, sumHits, sumAborts int64
+	for _, row := range rr.Rows {
+		sumCalls += row[col["calls"]]
+		sumWork += row[col["total_work"]]
+		sumHits += row[col["cache_hits"]]
+		sumAborts += row[col["budget_aborts"]]
+	}
+	exact := len(rr.Rows) == 3 &&
+		sumCalls == int64(len(script)+1) &&
+		sumWork == totalWork &&
+		sumHits == cacheHits &&
+		sumAborts == 1
+	if !exact {
+		fmt.Fprintf(os.Stderr,
+			"querystore accounting mismatch: rows=%d calls=%d/%d work=%d/%d hits=%d/%d aborts=%d/1\n",
+			len(rr.Rows), sumCalls, len(script)+1, sumWork, totalWork, sumHits, cacheHits, sumAborts)
+	}
+	return exact, len(rr.Rows), nil
+}

@@ -1,7 +1,10 @@
 // Command ml4db-tracecheck validates observability JSONL artifacts against
 // the stable schemas of internal/obs: every span line must carry id, parent,
 // name, start, and duration with well-ordered IDs, and every metric line must
-// be a counter, gauge, or histogram with its full field set. The check.sh
+// be a counter, gauge, or histogram with its full field set. Querystore
+// exports (internal/querystore) are validated the same way: a schema-1
+// header whose section counts must match the statement, heat, window,
+// drift, and model records that follow. The check.sh
 // smoke gate runs it over freshly emitted files so schema drift fails CI
 // rather than silently breaking downstream consumers.
 //
@@ -10,6 +13,7 @@
 //	ml4db-tracecheck -trace spans.jsonl
 //	ml4db-tracecheck -metrics metrics.jsonl
 //	ml4db-tracecheck -trace spans.jsonl -metrics metrics.jsonl
+//	ml4db-tracecheck -querystore querystore.jsonl
 package main
 
 import (
@@ -19,15 +23,17 @@ import (
 	"os"
 
 	"ml4db/internal/obs"
+	"ml4db/internal/querystore"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "span JSONL file to validate")
 	metricsPath := flag.String("metrics", "", "metrics JSONL file to validate")
+	queryStorePath := flag.String("querystore", "", "querystore export JSONL file to validate")
 	flag.Parse()
 
-	if *tracePath == "" && *metricsPath == "" {
-		fmt.Fprintln(os.Stderr, "ml4db-tracecheck: need -trace and/or -metrics")
+	if *tracePath == "" && *metricsPath == "" && *queryStorePath == "" {
+		fmt.Fprintln(os.Stderr, "ml4db-tracecheck: need -trace, -metrics, and/or -querystore")
 		os.Exit(2)
 	}
 	if *tracePath != "" {
@@ -45,6 +51,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: %d valid metrics\n", *metricsPath, n)
+	}
+	if *queryStorePath != "" {
+		n, err := validateFile(*queryStorePath, querystore.ValidateJSONL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-tracecheck: %s: %v\n", *queryStorePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d valid querystore lines\n", *queryStorePath, n)
 	}
 }
 

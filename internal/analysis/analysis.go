@@ -84,6 +84,7 @@ var corePkgSegments = map[string]bool{
 	"modelsvc":     true,
 	"engine":       true,
 	"storage":      true,
+	"querystore":   true,
 }
 
 // IsCorePackage reports whether pkgPath denotes one of the core model

@@ -21,6 +21,10 @@ func TestDeterminismFiresInEngine(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/engine")
 }
 
+func TestDeterminismFiresInQuerystore(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/querystore")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

@@ -1,0 +1,38 @@
+// Package querystore is a determinism fixture: the workload observatory is a
+// core package because its exports must replay byte-identically. Wall-clock
+// reads, ad-hoc goroutines, and map-order snapshots must fire here. The real
+// store takes an injected mlmath.Clock, records synchronously under one
+// mutex, and walks its statement map through a sorted key slice.
+package querystore
+
+import (
+	"sort"
+	"time"
+)
+
+// Seal mirrors a window seal that wrongly stamps the boundary with the wall
+// clock and flushes on a background goroutine.
+func Seal(windows []int64) time.Time {
+	end := time.Now() // want "time.Now"
+
+	go func() { _ = windows }() // want "goroutine"
+
+	return end
+}
+
+// Snapshot mirrors a statement export that ranges over the shape map: the
+// JSONL line order would differ run to run.
+func Snapshot(stmts map[string]int64) []string {
+	var lines []string
+	for shape := range stmts {
+		lines = append(lines, shape) // want "nondeterministic"
+	}
+
+	// Sorted afterwards: well-defined order, no finding.
+	var keys []string
+	for shape := range stmts {
+		keys = append(keys, shape)
+	}
+	sort.Strings(keys)
+	return append(lines, keys...)
+}

@@ -69,6 +69,11 @@ type DriftAdapter struct {
 	// Metrics, when non-nil, receives the cardest.qerror histogram and the
 	// cardest.{retrainings,promotions,rejections} counters.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives the shadow gate's deployment-lifecycle
+	// events (see modelsvc.RolloutOptions.Events) — the hook a workload
+	// observatory uses to tag q-error trends with estimator versions. Set it
+	// before the first Observe/StartShadow; the gate captures it when built.
+	Events func(modelsvc.RolloutEvent)
 }
 
 // qerrBuckets cover q-errors from perfect (1) up to 5 orders of magnitude.
@@ -126,6 +131,7 @@ func (d *DriftAdapter) ensureRollout() {
 			ErrFn:   fracQError,
 			Clock:   d.Model.Clock,
 			Metrics: d.Metrics,
+			Events:  d.Events,
 		})
 }
 

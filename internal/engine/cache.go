@@ -12,19 +12,25 @@ import (
 	"ml4db/internal/sqlkit/plan"
 )
 
-// cacheKey renders the canonical identity of a planning problem: the query's
-// tables, filters (literals included), and join conditions in a normalized
-// order, plus the hint-set name and the catalog/estimator versions the plan
-// would be built against.
-//
-// Normalization makes the key insensitive to the incidental order in which
-// filters and joins were added — two spellings of the same query share one
-// cache entry — while the version fields make every entry planned against
+// cacheKey renders the canonical identity of a planning problem: the
+// normalized query shape plus the catalog/estimator versions the plan would
+// be built against. The version prefix makes every entry planned against
 // stale statistics or a superseded estimator unreachable without scanning
 // the cache.
-func cacheKey(q *plan.Query, hintName string, statsVersion, estimatorVersion int) string {
+func cacheKey(shape string, statsVersion, estimatorVersion int) string {
+	return fmt.Sprintf("s%d/e%d/%s", statsVersion, estimatorVersion, shape)
+}
+
+// queryShape renders the version-independent normalized statement identity:
+// the query's tables, filters (literals included), and join conditions in a
+// normalized order, plus the hint-set name.
+//
+// Normalization makes the shape insensitive to the incidental order in which
+// filters and joins were added — two spellings of the same query share one
+// shape, one plan-cache entry, and one querystore statement record.
+func queryShape(q *plan.Query, hintName string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "s%d/e%d/h%s", statsVersion, estimatorVersion, hintName)
+	fmt.Fprintf(&b, "h%s", hintName)
 	for pos, tid := range q.Tables {
 		fmt.Fprintf(&b, "|T%d", tid)
 		preds := append([]expr.Pred(nil), q.Filters[pos]...)

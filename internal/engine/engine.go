@@ -8,6 +8,7 @@ import (
 
 	"ml4db/internal/modelsvc"
 	"ml4db/internal/obs"
+	"ml4db/internal/querystore"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/exec"
 	"ml4db/internal/sqlkit/expr"
@@ -56,6 +57,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, wraps each query in an engine.query span.
 	Trace *obs.Tracer
+	// Store, when non-nil, receives one querystore.Observation per executed
+	// query (keyed by the plan cache's normalized statement shape) and a
+	// model event per estimator install, and New registers the sys_* system
+	// views over it in the catalog. A nil store is off and free.
+	Store *querystore.Store
 }
 
 // Result is the outcome of one engine query.
@@ -95,10 +101,19 @@ type Engine struct {
 }
 
 // New builds an engine over the catalog. The catalog should already be
-// analyzed (AnalyzeAll); RefreshStats re-analyzes later.
+// analyzed (AnalyzeAll); RefreshStats re-analyzes later. With a workload
+// store configured, New registers the querystore sys_* system views in the
+// catalog; a non-virtual table squatting on a sys_ name is a construction
+// bug and panics.
 func New(cat *catalog.Catalog, opts Options) *Engine {
 	if opts.MaxConcurrent < 1 {
 		opts.MaxConcurrent = 8
+	}
+	if opts.Store != nil {
+		if err := querystore.RegisterViews(cat, opts.Store); err != nil {
+			//ml4db:allow nakedpanic "construction-time misconfiguration, same contract as catalog.MustAdd"
+			panic(err)
+		}
 	}
 	e := &Engine{
 		cat:       cat,
@@ -175,6 +190,7 @@ func (e *Engine) SetEstimator(est optimizer.CardEstimator, version int) error {
 	e.mu.Unlock()
 	e.cache.Invalidate()
 	e.opts.Metrics.Counter("engine.estimator_installs").Inc()
+	e.opts.Store.RecordModelInstall(version)
 	return nil
 }
 
@@ -230,7 +246,8 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 	statsV, estV, learned := e.statsVersion, e.estVersion, e.learned
 	e.mu.Unlock()
 
-	key := cacheKey(q, hint.Name, statsV, estV)
+	shape := queryShape(q, hint.Name)
+	key := cacheKey(shape, statsV, estV)
 	p, hit := e.cache.Get(key)
 	fallback := false
 	if !hit {
@@ -249,10 +266,27 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 
 	res, err := e.exc.Execute(p, exec.Options{Budget: budget, Analyze: analyze, Span: sp})
 	out := &Result{Result: res, Plan: p, CacheHit: hit, Fallback: fallback, EstimatorVersion: estV}
-	if err != nil {
-		if errors.Is(err, exec.ErrWorkBudgetExceeded) {
-			m.Counter("engine.budget_aborts").Inc()
+	budgetAbort := err != nil && errors.Is(err, exec.ErrWorkBudgetExceeded)
+	if budgetAbort {
+		m.Counter("engine.budget_aborts").Inc()
+	}
+	if st := e.opts.Store; st != nil && (err == nil || budgetAbort) {
+		o := querystore.Observation{
+			Shape:            shape,
+			CacheHit:         hit,
+			Fallback:         fallback,
+			BudgetAbort:      budgetAbort,
+			EstimatorVersion: estV,
+			Plan:             p,
 		}
+		if res != nil {
+			o.Work = res.Work
+			o.Rows = int64(len(res.Rows))
+			o.PageMisses = res.Counters.PageMiss
+		}
+		st.Record(o)
+	}
+	if err != nil {
 		return out, err
 	}
 	return out, nil

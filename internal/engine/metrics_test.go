@@ -1,0 +1,88 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// TestPlanCacheCounterExport pins the exact counter values the plan cache
+// exports through a registry for a scripted workload: hits, misses,
+// evictions, and invalidations must all match what the script implies.
+func TestPlanCacheCounterExport(t *testing.T) {
+	sch := chainCatalog(t, 11)
+	reg := obs.NewRegistry()
+	eng := engine.New(sch.Cat, engine.Options{Metrics: reg, CacheSize: 2})
+	sess := eng.Session()
+
+	qa := chainQuery(sch)
+	qb := chainQuery(sch)
+	qb.Filters[0] = []expr.Pred{{Col: 2, Op: expr.GE, Lo: 700}}
+	qc := chainQuery(sch)
+	qc.Filters[0] = []expr.Pred{{Col: 2, Op: expr.GE, Lo: 800}}
+
+	// Script against a 2-entry LRU cache:
+	//   a miss, a hit, b miss, a hit (a now MRU), c miss evicting b,
+	//   b miss evicting a.
+	// Totals: 2 hits, 4 misses, 2 evictions.
+	for _, q := range []*plan.Query{qa, qa, qb, qa, qc, qb} {
+		if _, err := sess.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counter := func(name string) int64 {
+		return reg.Counter("engine.plancache." + name).Value()
+	}
+	if got := counter("hits"); got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := counter("misses"); got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+	if got := counter("evictions"); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	if got := counter("invalidations"); got != 0 {
+		t.Errorf("invalidations = %d before any refresh, want 0", got)
+	}
+
+	// A stats refresh invalidates every cached entry (the cache holds 2).
+	if eng.CachedPlans() != 2 {
+		t.Fatalf("cached plans = %d, want 2", eng.CachedPlans())
+	}
+	eng.RefreshStats(8, 64)
+	if got := counter("invalidations"); got != 2 {
+		t.Errorf("invalidations = %d after refresh, want 2", got)
+	}
+	if eng.CachedPlans() != 0 {
+		t.Errorf("cache not emptied by refresh: %d entries", eng.CachedPlans())
+	}
+
+	// The cache keeps counting after invalidation: one more miss, one hit.
+	for _, q := range []*plan.Query{qa, qa} {
+		if _, err := sess.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counter("misses"); got != 5 {
+		t.Errorf("misses = %d after refresh round, want 5", got)
+	}
+	if got := counter("hits"); got != 3 {
+		t.Errorf("hits = %d after refresh round, want 3", got)
+	}
+
+	// The registry summary exposes all four counters by name.
+	sum := reg.Summary()
+	for _, name := range []string{
+		"engine.plancache.hits", "engine.plancache.misses",
+		"engine.plancache.evictions", "engine.plancache.invalidations",
+	} {
+		if !strings.Contains(sum, name) {
+			t.Errorf("registry summary missing %s:\n%s", name, sum)
+		}
+	}
+}

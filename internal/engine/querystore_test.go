@@ -1,0 +1,202 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/querystore"
+	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// TestQuerystoreEndToEnd is the acceptance path: a workload runs through the
+// engine with a store attached, and SELECTing from sys_statements through
+// the normal planner/executor returns counts that exactly match what was
+// executed.
+func TestQuerystoreEndToEnd(t *testing.T) {
+	sch := chainCatalog(t, 7)
+	store := querystore.New(querystore.Options{
+		Clock:   &mlmath.ManualClock{T: time.Unix(0, 0)},
+		Catalog: sch.Cat,
+	})
+	eng := engine.New(sch.Cat, engine.Options{Store: store})
+	sess := eng.Session()
+
+	q1 := chainQuery(sch)
+	q2 := chainQuery(sch)
+	q2.Filters[0] = []expr.Pred{{Col: 2, Op: expr.GE, Lo: 900}}
+
+	var totalWork, cacheHits, fallbacks int64
+	run := func(q *plan.Query) {
+		res, err := sess.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalWork += res.Work
+		if res.CacheHit {
+			cacheHits++
+		}
+		if res.Fallback {
+			fallbacks++
+		}
+	}
+	run(q1)
+	run(q1)
+	run(q1)
+	run(q2)
+
+	// One budget abort on q1's shape: recorded against the same statement.
+	tiny := eng.Session()
+	tiny.Budget = &exec.Budget{MaxWork: 10}
+	out, err := tiny.Run(q1)
+	if !errors.Is(err, exec.ErrWorkBudgetExceeded) {
+		t.Fatalf("tiny budget err = %v, want budget abort", err)
+	}
+	if out.Result != nil {
+		totalWork += out.Work
+	}
+	if out.CacheHit { // the aborted run still hit the plan cache
+		cacheHits++
+	}
+
+	rr, err := sess.Query("SELECT * FROM sys_statements ORDER BY total_work DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Columns) != 12 || rr.Columns[0] != "stmt_id" {
+		t.Fatalf("columns = %v", rr.Columns)
+	}
+	if len(rr.Rows) != 2 {
+		t.Fatalf("sys_statements rows = %d, want 2 distinct shapes", len(rr.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range rr.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+	calls, work, hits, fb, aborts := col("calls"), col("total_work"), col("cache_hits"), col("fallbacks"), col("budget_aborts")
+	// Ordered by total_work DESC: q1's statement (4 calls) first.
+	if rr.Rows[0][calls] != 4 || rr.Rows[1][calls] != 1 {
+		t.Errorf("calls = %d,%d want 4,1", rr.Rows[0][calls], rr.Rows[1][calls])
+	}
+	var sumWork, sumHits, sumFB, sumAborts int64
+	for _, r := range rr.Rows {
+		sumWork += r[work]
+		sumHits += r[hits]
+		sumFB += r[fb]
+		sumAborts += r[aborts]
+	}
+	if sumWork != totalWork {
+		t.Errorf("sys total_work = %d, executed work = %d", sumWork, totalWork)
+	}
+	if sumHits != cacheHits || cacheHits != 3 {
+		t.Errorf("sys cache_hits = %d, driver saw %d (want 3)", sumHits, cacheHits)
+	}
+	if sumFB != fallbacks {
+		t.Errorf("sys fallbacks = %d, driver saw %d", sumFB, fallbacks)
+	}
+	if sumAborts != 1 {
+		t.Errorf("sys budget_aborts = %d, want 1", sumAborts)
+	}
+
+	// The SELECT itself was recorded after its own snapshot: a third shape
+	// exists now.
+	if got := len(store.Statements()); got != 3 {
+		t.Errorf("statements after SELECT = %d, want 3", got)
+	}
+
+	// Heat map saw the filter column and the two join key columns.
+	heat := store.Heat()
+	if len(heat) == 0 {
+		t.Fatal("no heat recorded")
+	}
+	var filterSeen, joinSeen bool
+	for _, h := range heat {
+		if h.FilterCount > 0 {
+			filterSeen = true
+		}
+		if h.JoinCount > 0 {
+			joinSeen = true
+		}
+	}
+	if !filterSeen || !joinSeen {
+		t.Errorf("heat missing filter or join columns: %+v", heat)
+	}
+}
+
+// TestQuerystoreModelViewAndInstallEvents checks sys_models through SQL
+// after estimator installs.
+func TestQuerystoreModelViewAndInstallEvents(t *testing.T) {
+	sch := chainCatalog(t, 8)
+	store := querystore.New(querystore.Options{Clock: &mlmath.ManualClock{T: time.Unix(0, 0)}})
+	eng := engine.New(sch.Cat, engine.Options{Store: store})
+	if err := eng.SetEstimator(nanEstimator{}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetEstimator(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := eng.Session().Query("SELECT version FROM sys_models ORDER BY seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Rows) != 2 || rr.Rows[0][0] != 5 || rr.Rows[1][0] != 0 {
+		t.Errorf("sys_models versions = %v, want [5] [0]", rr.Rows)
+	}
+}
+
+// TestQuerystoreReplayByteIdentical pins the determinism contract at the
+// engine level: two replays of the same workload under a fresh ManualClock
+// produce byte-identical querystore exports.
+func TestQuerystoreReplayByteIdentical(t *testing.T) {
+	replay := func() []byte {
+		sch := chainCatalog(t, 9)
+		mc := &mlmath.ManualClock{T: time.Unix(100, 0)}
+		store := querystore.New(querystore.Options{
+			Clock: mc, Catalog: sch.Cat, Window: time.Second,
+		})
+		eng := engine.New(sch.Cat, engine.Options{Store: store})
+		sess := eng.Session()
+		for i := 0; i < 6; i++ {
+			if _, err := sess.Run(chainQuery(sch)); err != nil {
+				t.Fatal(err)
+			}
+			mc.Advance(300 * time.Millisecond)
+		}
+		store.Flush()
+		var buf bytes.Buffer
+		if err := store.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := replay(), replay()
+	if !bytes.Equal(a, b) {
+		t.Errorf("replays diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRegisterViewsCollision: a non-virtual table on a sys_ name is a
+// construction error.
+func TestRegisterViewsCollision(t *testing.T) {
+	sch := chainCatalog(t, 10)
+	tbl := sch.Cat.Tables[0]
+	tbl2 := *tbl
+	tbl2.Name = "sys_statements"
+	sch.Cat.MustAdd(&tbl2)
+	defer func() {
+		if recover() == nil {
+			t.Error("engine.New did not panic on a squatted sys_ name")
+		}
+	}()
+	engine.New(sch.Cat, engine.Options{Store: querystore.New(querystore.Options{})})
+}

@@ -66,6 +66,37 @@ type RolloutOptions struct {
 	Fallback Predictor
 	// Metrics, when non-nil, receives modelsvc.rollout.* instruments.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives every deployment-lifecycle event
+	// (candidate set, promotion, rejection, demotion) in commit order. The
+	// callback runs outside the rollout's lock, after the transition it
+	// describes has committed — it may call back into the rollout.
+	Events func(RolloutEvent)
+}
+
+// RolloutEventKind identifies a deployment-lifecycle transition.
+type RolloutEventKind int
+
+// The lifecycle transitions a rollout reports through Events.
+const (
+	// RolloutCandidate: a candidate entered the shadow window.
+	RolloutCandidate RolloutEventKind = iota
+	// RolloutPromoted: the candidate won its window and now serves.
+	RolloutPromoted
+	// RolloutRejected: the candidate lost its window (or was replaced or
+	// dropped before deciding).
+	RolloutRejected
+	// RolloutDemoted: a promotion was reverted to the previous incumbent or
+	// the expert fallback.
+	RolloutDemoted
+)
+
+// RolloutEvent is one reported transition. Version is the deployment the
+// event is about (the candidate, or the restored incumbent for demotions);
+// Incumbent is the version serving reads after the transition.
+type RolloutEvent struct {
+	Kind      RolloutEventKind
+	Version   int
+	Incumbent int
 }
 
 // latBuckets cover shadow-prediction latencies (seconds) from sub-µs to
@@ -146,17 +177,31 @@ func (r *Rollout) Stats() (promotions, rejections, demotions int) {
 // window. A candidate already shadowing is replaced (counted as a
 // rejection: it never won its window).
 func (r *Rollout) SetCandidate(d Deployment) {
+	var events []RolloutEvent
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.state == Shadowing {
 		r.rejections++
 		r.opts.Metrics.Counter("modelsvc.rollout.rejections").Inc()
+		events = append(events, RolloutEvent{Kind: RolloutRejected, Version: r.candidate.Version, Incumbent: r.incumbent.Version})
 	}
 	r.candidate = d
 	r.state = Shadowing
 	r.epoch++
 	r.resetWindowLocked()
 	r.opts.Metrics.Counter("modelsvc.rollout.candidates").Inc()
+	events = append(events, RolloutEvent{Kind: RolloutCandidate, Version: d.Version, Incumbent: r.incumbent.Version})
+	r.mu.Unlock()
+	r.fire(events)
+}
+
+// fire delivers events to the configured sink, outside the lock.
+func (r *Rollout) fire(events []RolloutEvent) {
+	if r.opts.Events == nil {
+		return
+	}
+	for _, ev := range events {
+		r.opts.Events(ev)
+	}
 }
 
 func (r *Rollout) resetWindowLocked() {
@@ -237,8 +282,8 @@ func (r *Rollout) Observe(x []float64, truth float64) Outcome {
 	m.Histogram("modelsvc.rollout.shadow_latency", latBuckets).Observe(candLat)
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.epoch != epoch {
+		r.mu.Unlock()
 		return OutcomeNone
 	}
 	r.incErr = append(r.incErr, incErr)
@@ -253,13 +298,19 @@ func (r *Rollout) Observe(x []float64, truth float64) Outcome {
 	}
 
 	if len(r.candErr) < r.opts.Window {
+		r.mu.Unlock()
 		return OutcomeNone
 	}
-	return r.decideLocked()
+	outcome, event := r.decideLocked()
+	r.mu.Unlock()
+	r.fire([]RolloutEvent{event})
+	return outcome
 }
 
-// decideLocked applies the canary gate at the end of a full window.
-func (r *Rollout) decideLocked() Outcome {
+// decideLocked applies the canary gate at the end of a full window,
+// returning the outcome and the event for the caller to fire once the lock
+// is released.
+func (r *Rollout) decideLocked() (Outcome, RolloutEvent) {
 	m := r.opts.Metrics
 	r.epoch++ // either branch retires the current deployment pair
 	incMed := mlmath.Median(r.incErr)
@@ -275,12 +326,13 @@ func (r *Rollout) decideLocked() Outcome {
 	m.Gauge("modelsvc.rollout.last_window_incumbent_err").Set(incMed)
 	m.Gauge("modelsvc.rollout.last_window_candidate_err").Set(candMed)
 	if !promote {
+		rejected := r.candidate.Version
 		r.candidate = Deployment{}
 		r.state = Stable
 		r.resetWindowLocked()
 		r.rejections++
 		m.Counter("modelsvc.rollout.rejections").Inc()
-		return OutcomeRejected
+		return OutcomeRejected, RolloutEvent{Kind: RolloutRejected, Version: rejected, Incumbent: r.incumbent.Version}
 	}
 	r.previous = r.incumbent
 	r.hasPrevious = true
@@ -291,7 +343,7 @@ func (r *Rollout) decideLocked() Outcome {
 	r.promotions++
 	m.Counter("modelsvc.rollout.promotions").Inc()
 	m.Gauge("modelsvc.rollout.version").Set(float64(r.incumbent.Version))
-	return OutcomePromoted
+	return OutcomePromoted, RolloutEvent{Kind: RolloutPromoted, Version: r.incumbent.Version, Incumbent: r.incumbent.Version}
 }
 
 // Demote reverts the last promotion: the previous incumbent is restored, or
@@ -300,9 +352,10 @@ func (r *Rollout) decideLocked() Outcome {
 // false if there is nothing to fall back to.
 func (r *Rollout) Demote() bool {
 	m := r.opts.Metrics
+	var events []RolloutEvent
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.state == Shadowing {
+		events = append(events, RolloutEvent{Kind: RolloutRejected, Version: r.candidate.Version, Incumbent: r.incumbent.Version})
 		r.candidate = Deployment{}
 		r.state = Stable
 		r.epoch++
@@ -318,11 +371,16 @@ func (r *Rollout) Demote() bool {
 	case r.opts.Fallback != nil:
 		r.incumbent = Deployment{Version: 0, Model: r.opts.Fallback}
 	default:
+		r.mu.Unlock()
+		r.fire(events)
 		return false
 	}
 	r.epoch++
 	r.demotions++
 	m.Counter("modelsvc.rollout.demotions").Inc()
 	m.Gauge("modelsvc.rollout.version").Set(float64(r.incumbent.Version))
+	events = append(events, RolloutEvent{Kind: RolloutDemoted, Version: r.incumbent.Version, Incumbent: r.incumbent.Version})
+	r.mu.Unlock()
+	r.fire(events)
 	return true
 }

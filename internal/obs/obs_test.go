@@ -54,6 +54,47 @@ func TestHistogramBucketBoundaryValues(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the exact quantile semantics at the
+// edges: empty histograms, single samples, samples landing exactly on a
+// bucket bound, overflow-only data, out-of-range q, and interpolation
+// within a bucket clamped to the observed [min, max].
+func TestHistogramQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty q0", []float64{1, 10}, nil, 0, 0},
+		{"empty q1", []float64{1, 10}, nil, 1, 0},
+		{"single below first bound", []float64{10, 100}, []float64{3}, 0.5, 3},
+		{"single exactly on bound", []float64{10, 100}, []float64{10}, 0.5, 10},
+		{"single in overflow", []float64{10, 100}, []float64{500}, 0.5, 500},
+		{"q below zero clamps to min", []float64{10, 100}, []float64{20, 30}, -1, 20},
+		{"q above one clamps to max", []float64{10, 100}, []float64{20, 30}, 2, 30},
+		{"q0 is the observed min", []float64{10, 100}, []float64{20, 30, 90}, 0, 20},
+		{"q1 is the observed max", []float64{10, 100}, []float64{20, 30, 90}, 1, 90},
+		// Two samples inside one bucket: interpolation runs over the
+		// observed [20, 30], not the bucket's [10, 100].
+		{"interpolates observed range", []float64{10, 100}, []float64{20, 30}, 0.5, 25},
+		// Rank landing exactly on a bucket boundary resolves to the lower
+		// bucket's upper edge (clamped to its max sample).
+		{"rank on bucket edge", []float64{10, 100}, []float64{5, 5, 50, 50}, 0.5, 10},
+		{"no bounds means one overflow bucket", nil, []float64{4, 8}, 0.5, 6},
+	}
+	for _, c := range cases {
+		h := newHistogram(c.bounds)
+		for _, v := range c.samples {
+			h.Observe(v)
+		}
+		got := h.Quantile(c.q)
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: Quantile(%g) = %g, want %g", c.name, c.q, got, c.want)
+		}
+	}
+}
+
 func TestHistogramQuantileMonotoneAndClamped(t *testing.T) {
 	h := newHistogram(ExpBuckets(1, 2, 12))
 	rng := mlmath.NewRNG(7)

@@ -1,0 +1,279 @@
+package querystore
+
+import (
+	"sort"
+	"time"
+)
+
+// DriftKind identifies what a drift monitor watches.
+type DriftKind int
+
+// The monitored trends.
+const (
+	// DriftQError: an estimator version's windowed mean q-error rose above
+	// the trailing baseline by more than Drift.QErrRatio.
+	DriftQError DriftKind = iota
+	// DriftHitRate: the buffer pool's windowed hit rate fell below the
+	// trailing baseline by more than Drift.HitRateDrop (absolute).
+	DriftHitRate
+	// DriftFallback: the windowed estimator-fallback rate rose above the
+	// trailing baseline by more than Drift.FallbackJump (absolute).
+	DriftFallback
+)
+
+// String renders the kind for exports and logs.
+func (k DriftKind) String() string {
+	switch k {
+	case DriftQError:
+		return "qerror"
+	case DriftHitRate:
+		return "hitrate"
+	case DriftFallback:
+		return "fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// DriftOptions tunes the window-trend monitors. A monitor compares the mean
+// of the metric over the most recent Recent sealed windows against the mean
+// over the Baseline windows before them, and fires once per crossing (it
+// re-arms after Recent further seals).
+type DriftOptions struct {
+	// Recent is the evidence span. Values below one default to 3.
+	Recent int
+	// Baseline is the reference span. Values below one default to 6.
+	Baseline int
+	// QErrRatio fires DriftQError when recent mean q-error exceeds baseline
+	// mean times this ratio. Values <= 1 default to 2.
+	QErrRatio float64
+	// HitRateDrop fires DriftHitRate when the recent hit rate is below the
+	// baseline rate minus this absolute drop. Values <= 0 default to 0.2.
+	HitRateDrop float64
+	// FallbackJump fires DriftFallback when the recent fallback rate exceeds
+	// the baseline rate plus this absolute jump. Values <= 0 default to 0.2.
+	FallbackJump float64
+}
+
+func (d DriftOptions) withDefaults() DriftOptions {
+	if d.Recent < 1 {
+		d.Recent = 3
+	}
+	if d.Baseline < 1 {
+		d.Baseline = 6
+	}
+	if d.QErrRatio <= 1 {
+		d.QErrRatio = 2
+	}
+	if d.HitRateDrop <= 0 {
+		d.HitRateDrop = 0.2
+	}
+	if d.FallbackJump <= 0 {
+		d.FallbackJump = 0.2
+	}
+	return d
+}
+
+// WindowEvidence is one evidence window backing a drift event: the window's
+// index and the monitored metric's value in it.
+type WindowEvidence struct {
+	Window int64
+	Value  float64
+}
+
+// DriftEvent is one fired monitor: the metric moved from Before (baseline
+// mean) to After (recent mean), with the recent windows attached as
+// evidence. Seq orders events across kinds.
+type DriftEvent struct {
+	Seq  int64
+	Kind DriftKind
+	// At is the end of the window whose seal fired the event.
+	At time.Time
+	// EstimatorVersion is set for DriftQError (the degrading version).
+	EstimatorVersion int
+	Before, After    float64
+	Evidence         []WindowEvidence
+}
+
+// driftState is the monitors' memory, guarded by the store lock.
+type driftState struct {
+	seq            int64
+	events         []DriftEvent
+	lastFired      map[driftFireKey]int64 // window index of last firing
+	lastPoolHits   int64
+	lastPoolMisses int64
+}
+
+type driftFireKey struct {
+	kind    DriftKind
+	version int
+}
+
+// evaluateDriftLocked runs every monitor after sealed joined the ring and
+// returns the events to fire (the caller invokes OnDrift outside the lock).
+func (s *Store) evaluateDriftLocked(sealed WindowStats) []DriftEvent {
+	d := s.opts.Drift
+	wins := s.windows.wins
+	if len(wins) < d.Recent+d.Baseline {
+		return nil
+	}
+	recent := wins[len(wins)-d.Recent:]
+	base := wins[len(wins)-d.Recent-d.Baseline : len(wins)-d.Recent]
+
+	var fired []DriftEvent
+	emit := func(kind DriftKind, version int, before, after float64, evidence []WindowEvidence) {
+		key := driftFireKey{kind, version}
+		if s.drift.lastFired == nil {
+			s.drift.lastFired = make(map[driftFireKey]int64)
+		}
+		if last, ok := s.drift.lastFired[key]; ok && sealed.Index < last+int64(d.Recent) {
+			return
+		}
+		s.drift.lastFired[key] = sealed.Index
+		s.drift.seq++
+		ev := DriftEvent{
+			Seq:              s.drift.seq,
+			Kind:             kind,
+			At:               sealed.End,
+			EstimatorVersion: version,
+			Before:           before,
+			After:            after,
+			Evidence:         evidence,
+		}
+		s.drift.events = append(s.drift.events, ev)
+		if len(s.drift.events) > s.opts.MaxEvents {
+			copy(s.drift.events, s.drift.events[len(s.drift.events)-s.opts.MaxEvents:])
+			s.drift.events = s.drift.events[:s.opts.MaxEvents]
+		}
+		fired = append(fired, ev)
+	}
+
+	// q-error trend, per estimator version present in both spans.
+	for _, v := range versionsIn(recent) {
+		rSum, rCnt := qerrOver(recent, v)
+		bSum, bCnt := qerrOver(base, v)
+		if rCnt == 0 || bCnt == 0 {
+			continue
+		}
+		rMean := rSum / float64(rCnt)
+		bMean := bSum / float64(bCnt)
+		if rMean > bMean*d.QErrRatio {
+			emit(DriftQError, v, bMean, rMean, evidenceOf(recent, func(w WindowStats) (float64, bool) {
+				for _, q := range w.QErr {
+					if q.Version == v && q.Count > 0 {
+						return q.Mean(), true
+					}
+				}
+				return 0, false
+			}))
+		}
+	}
+
+	// Buffer-pool hit-rate trend.
+	if rRate, rOK := hitRateOver(recent); rOK {
+		if bRate, bOK := hitRateOver(base); bOK && rRate < bRate-d.HitRateDrop {
+			emit(DriftHitRate, 0, bRate, rRate, evidenceOf(recent, func(w WindowStats) (float64, bool) {
+				if w.PoolHits+w.PoolMisses == 0 {
+					return 0, false
+				}
+				return float64(w.PoolHits) / float64(w.PoolHits+w.PoolMisses), true
+			}))
+		}
+	}
+
+	// Estimator-fallback-rate trend.
+	if rRate, rOK := fallbackRateOver(recent); rOK {
+		if bRate, bOK := fallbackRateOver(base); bOK && rRate > bRate+d.FallbackJump {
+			emit(DriftFallback, 0, bRate, rRate, evidenceOf(recent, func(w WindowStats) (float64, bool) {
+				if w.Queries == 0 {
+					return 0, false
+				}
+				return float64(w.Fallbacks) / float64(w.Queries), true
+			}))
+		}
+	}
+	return fired
+}
+
+func versionsIn(wins []WindowStats) []int {
+	seen := map[int]bool{}
+	for _, w := range wins {
+		for _, q := range w.QErr {
+			seen[q.Version] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func qerrOver(wins []WindowStats, version int) (sum float64, count int64) {
+	for _, w := range wins {
+		for _, q := range w.QErr {
+			if q.Version == version {
+				sum += q.Sum
+				count += q.Count
+			}
+		}
+	}
+	return sum, count
+}
+
+func hitRateOver(wins []WindowStats) (float64, bool) {
+	var hits, misses int64
+	for _, w := range wins {
+		hits += w.PoolHits
+		misses += w.PoolMisses
+	}
+	if hits+misses == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(hits+misses), true
+}
+
+func fallbackRateOver(wins []WindowStats) (float64, bool) {
+	var fb, q int64
+	for _, w := range wins {
+		fb += w.Fallbacks
+		q += w.Queries
+	}
+	if q == 0 {
+		return 0, false
+	}
+	return float64(fb) / float64(q), true
+}
+
+func evidenceOf(wins []WindowStats, value func(WindowStats) (float64, bool)) []WindowEvidence {
+	out := make([]WindowEvidence, 0, len(wins))
+	for _, w := range wins {
+		if v, ok := value(w); ok {
+			out = append(out, WindowEvidence{Window: w.Index, Value: v})
+		}
+	}
+	return out
+}
+
+// fireDrift invokes OnDrift for each event, outside the store lock.
+func (s *Store) fireDrift(events []DriftEvent) {
+	if s.opts.OnDrift == nil {
+		return
+	}
+	for _, ev := range events {
+		s.opts.OnDrift(ev)
+	}
+}
+
+// DriftEvents returns the retained drift events in emission order.
+func (s *Store) DriftEvents() []DriftEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DriftEvent, len(s.drift.events))
+	copy(out, s.drift.events)
+	return out
+}

@@ -1,0 +1,281 @@
+package querystore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL schema. Field sets are stable: cmd/ml4db-tracecheck and the
+// scripts/check.sh smoke gate fail if a required field disappears. Under a
+// ManualClock two replays of the same workload export byte-identical files.
+
+type headerJSON struct {
+	Type       string `json:"type"` // "querystore"
+	Schema     int    `json:"schema"`
+	Statements int    `json:"statements"`
+	Heat       int    `json:"heat"`
+	Windows    int    `json:"windows"`
+	Drift      int    `json:"drift"`
+	Models     int    `json:"models"`
+	Dropped    int64  `json:"dropped"`
+}
+
+type statementJSON struct {
+	Type         string  `json:"type"` // "statement"
+	ID           int64   `json:"id"`
+	Shape        string  `json:"shape"`
+	Calls        int64   `json:"calls"`
+	CacheHits    int64   `json:"cache_hits"`
+	Fallbacks    int64   `json:"fallbacks"`
+	BudgetAborts int64   `json:"budget_aborts"`
+	TotalWork    int64   `json:"total_work"`
+	MaxWork      int64   `json:"max_work"`
+	TotalRows    int64   `json:"total_rows"`
+	PageMisses   int64   `json:"page_misses"`
+	QErrCount    int64   `json:"qerr_count"`
+	QErrMean     float64 `json:"qerr_mean"`
+	QErrMax      float64 `json:"qerr_max"`
+}
+
+type heatJSON struct {
+	Type        string  `json:"type"` // "heat"
+	Table       int     `json:"table"`
+	Col         int     `json:"col"`
+	FilterCount int64   `json:"filters"`
+	JoinCount   int64   `json:"joins"`
+	SelCount    int64   `json:"sel_count"`
+	SelMean     float64 `json:"sel_mean"`
+}
+
+type windowQErrJSON struct {
+	Version int     `json:"version"`
+	Count   int64   `json:"count"`
+	Mean    float64 `json:"mean"`
+	Max     float64 `json:"max"`
+}
+
+type windowJSON struct {
+	Type         string           `json:"type"` // "window"
+	ID           int64            `json:"id"`
+	StartMs      int64            `json:"start_ms"`
+	EndMs        int64            `json:"end_ms"`
+	Queries      int64            `json:"queries"`
+	CacheHits    int64            `json:"cache_hits"`
+	Fallbacks    int64            `json:"fallbacks"`
+	BudgetAborts int64            `json:"budget_aborts"`
+	TotalWork    int64            `json:"total_work"`
+	TotalRows    int64            `json:"total_rows"`
+	PageMisses   int64            `json:"page_misses"`
+	PoolHits     int64            `json:"pool_hits"`
+	PoolMisses   int64            `json:"pool_misses"`
+	QErr         []windowQErrJSON `json:"qerr"`
+}
+
+type evidenceJSON struct {
+	Window int64   `json:"window"`
+	Value  float64 `json:"value"`
+}
+
+type driftJSON struct {
+	Type       string         `json:"type"` // "drift"
+	Seq        int64          `json:"seq"`
+	Kind       string         `json:"kind"`
+	AtMs       int64          `json:"at_ms"`
+	EstVersion int            `json:"est_version"`
+	Before     float64        `json:"before"`
+	After      float64        `json:"after"`
+	Evidence   []evidenceJSON `json:"evidence"`
+}
+
+type modelJSON struct {
+	Type      string `json:"type"` // "model"
+	Seq       int64  `json:"seq"`
+	AtMs      int64  `json:"at_ms"`
+	Action    string `json:"action"`
+	Version   int    `json:"version"`
+	Incumbent int    `json:"incumbent"`
+}
+
+// WriteJSONL exports the store's sealed state: a header line, then
+// statements (ID order), heat (table/column order), windows (seal order),
+// drift events, and model events (emission order). The open window is not
+// included — call Flush first to seal it.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	stmts := s.Statements()
+	heat := s.Heat()
+	wins := s.Windows()
+	drift := s.DriftEvents()
+	models := s.ModelEvents()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerJSON{
+		Type: "querystore", Schema: 1,
+		Statements: len(stmts), Heat: len(heat), Windows: len(wins),
+		Drift: len(drift), Models: len(models), Dropped: s.DroppedStatements(),
+	}); err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		line := statementJSON{
+			Type: "statement", ID: st.ID, Shape: st.Shape,
+			Calls: st.Calls, CacheHits: st.CacheHits, Fallbacks: st.Fallbacks,
+			BudgetAborts: st.BudgetAborts, TotalWork: st.TotalWork,
+			MaxWork: st.MaxWork, TotalRows: st.TotalRows, PageMisses: st.PageMisses,
+			QErrCount: st.QErrCount, QErrMean: st.QErrMean(), QErrMax: st.QErrMax,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, h := range heat {
+		line := heatJSON{
+			Type: "heat", Table: h.TableID, Col: h.Col,
+			FilterCount: h.FilterCount, JoinCount: h.JoinCount,
+			SelCount: h.SelCount, SelMean: h.SelMean(),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, win := range wins {
+		line := windowJSON{
+			Type: "window", ID: win.Index,
+			StartMs: win.Start.UnixMilli(), EndMs: win.End.UnixMilli(),
+			Queries: win.Queries, CacheHits: win.CacheHits,
+			Fallbacks: win.Fallbacks, BudgetAborts: win.BudgetAborts,
+			TotalWork: win.TotalWork, TotalRows: win.TotalRows,
+			PageMisses: win.PageMisses, PoolHits: win.PoolHits,
+			PoolMisses: win.PoolMisses, QErr: []windowQErrJSON{},
+		}
+		for _, q := range win.QErr {
+			line.QErr = append(line.QErr, windowQErrJSON{
+				Version: q.Version, Count: q.Count, Mean: q.Mean(), Max: q.Max,
+			})
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, ev := range drift {
+		line := driftJSON{
+			Type: "drift", Seq: ev.Seq, Kind: ev.Kind.String(),
+			AtMs: ev.At.UnixMilli(), EstVersion: ev.EstimatorVersion,
+			Before: ev.Before, After: ev.After, Evidence: []evidenceJSON{},
+		}
+		for _, e := range ev.Evidence {
+			line.Evidence = append(line.Evidence, evidenceJSON{Window: e.Window, Value: e.Value})
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, ev := range models {
+		line := modelJSON{
+			Type: "model", Seq: ev.Seq, AtMs: ev.At.UnixMilli(),
+			Action: ev.Action.String(), Version: ev.Version, Incumbent: ev.Incumbent,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// requiredFields per line type; the validator fails on any missing field,
+// so schema drift is caught by CI rather than by downstream consumers.
+var requiredFields = map[string][]string{
+	"querystore": {"schema", "statements", "heat", "windows", "drift", "models", "dropped"},
+	"statement": {"id", "shape", "calls", "cache_hits", "fallbacks", "budget_aborts",
+		"total_work", "max_work", "total_rows", "page_misses",
+		"qerr_count", "qerr_mean", "qerr_max"},
+	"heat":   {"table", "col", "filters", "joins", "sel_count", "sel_mean"},
+	"window": {"id", "start_ms", "end_ms", "queries", "cache_hits", "fallbacks", "budget_aborts", "total_work", "total_rows", "page_misses", "pool_hits", "pool_misses", "qerr"},
+	"drift":  {"seq", "kind", "at_ms", "est_version", "before", "after", "evidence"},
+	"model":  {"seq", "at_ms", "action", "version", "incumbent"},
+}
+
+// ValidateJSONL checks a querystore export: the first line must be the
+// querystore header, every later line one of the typed records with its
+// required fields, and the header's section counts must match the lines
+// that follow. Returns the number of validated lines (header included).
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	validated := 0
+	var header headerJSON
+	counts := map[string]int{}
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo++
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(line, &m); err != nil {
+			return validated, fmt.Errorf("line %d: not valid JSON: %v", lineNo, err)
+		}
+		var typ string
+		if err := json.Unmarshal(m["type"], &typ); err != nil {
+			return validated, fmt.Errorf("line %d: missing type", lineNo)
+		}
+		if validated == 0 {
+			if typ != "querystore" {
+				return validated, fmt.Errorf("line %d: first line must be the querystore header, got type %q", lineNo, typ)
+			}
+			if err := checkFields(m, lineNo, typ); err != nil {
+				return validated, err
+			}
+			if err := json.Unmarshal(line, &header); err != nil {
+				return validated, fmt.Errorf("line %d: bad header: %v", lineNo, err)
+			}
+			if header.Schema != 1 {
+				return validated, fmt.Errorf("line %d: unsupported schema version %d", lineNo, header.Schema)
+			}
+			validated++
+			continue
+		}
+		fields, ok := requiredFields[typ]
+		if !ok || typ == "querystore" {
+			return validated, fmt.Errorf("line %d: unknown record type %q", lineNo, typ)
+		}
+		for _, f := range fields {
+			if _, present := m[f]; !present {
+				return validated, fmt.Errorf("line %d: %s record missing field %q", lineNo, typ, f)
+			}
+		}
+		counts[typ]++
+		validated++
+	}
+	if err := sc.Err(); err != nil {
+		return validated, err
+	}
+	if validated == 0 {
+		return 0, fmt.Errorf("empty export: no querystore header")
+	}
+	want := map[string]int{
+		"statement": header.Statements, "heat": header.Heat,
+		"window": header.Windows, "drift": header.Drift, "model": header.Models,
+	}
+	for typ, n := range want {
+		if counts[typ] != n {
+			return validated, fmt.Errorf("header declares %d %s records, found %d", n, typ, counts[typ])
+		}
+	}
+	return validated, nil
+}
+
+func checkFields(m map[string]json.RawMessage, lineNo int, typ string) error {
+	for _, f := range requiredFields[typ] {
+		if _, ok := m[f]; !ok {
+			return fmt.Errorf("line %d: %s record missing field %q", lineNo, typ, f)
+		}
+	}
+	return nil
+}

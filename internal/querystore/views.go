@@ -1,0 +1,159 @@
+package querystore
+
+import (
+	"fmt"
+	"math"
+
+	"ml4db/internal/sqlkit/catalog"
+)
+
+// The system-view table names RegisterViews claims in the catalog.
+const (
+	ViewStatements = "sys_statements"
+	ViewWindows    = "sys_windows"
+	ViewDrift      = "sys_drift"
+	ViewModels     = "sys_models"
+)
+
+// RegisterViews registers the four querystore system views as virtual
+// read-only tables served from s, making the observatory queryable with
+// plain SELECTs through the normal planner/executor. Tables hold int64
+// values, so fractional metrics are exported milli-scaled (×1000, rounded):
+// qerr_mean_milli = 2500 means a mean q-error of 2.5.
+//
+// Registration is idempotent per catalog: a sys_ table that is already
+// virtual is rebound to s; a non-virtual table squatting on a sys_ name is
+// an error.
+func RegisterViews(cat *catalog.Catalog, s *Store) error {
+	views := []struct {
+		name   string
+		cols   []string
+		source catalog.VirtualSource
+	}{
+		{
+			ViewStatements,
+			[]string{"stmt_id", "calls", "cache_hits", "fallbacks", "budget_aborts",
+				"total_work", "max_work", "total_rows", "page_misses",
+				"qerr_count", "qerr_mean_milli", "qerr_max_milli"},
+			statementsView{s},
+		},
+		{
+			ViewWindows,
+			[]string{"window_id", "start_ms", "end_ms", "queries", "cache_hits",
+				"fallbacks", "budget_aborts", "total_work", "total_rows",
+				"page_misses", "pool_hits", "pool_misses", "hit_rate_milli"},
+			windowsView{s},
+		},
+		{
+			ViewDrift,
+			[]string{"seq", "kind", "at_ms", "est_version",
+				"before_milli", "after_milli", "evidence_windows"},
+			driftView{s},
+		},
+		{
+			ViewModels,
+			[]string{"seq", "at_ms", "action", "version", "incumbent"},
+			modelsView{s},
+		},
+	}
+	for _, v := range views {
+		if id, ok := cat.ByName(v.name); ok {
+			t := cat.Table(id)
+			if t.Virtual == nil {
+				return fmt.Errorf("querystore: table %q exists and is not a virtual view", v.name)
+			}
+			t.Virtual = v.source
+			continue
+		}
+		t := catalog.NewTable(v.name, v.cols...)
+		t.Data = nil
+		t.Virtual = v.source
+		if _, err := cat.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// milli scales a fractional metric into an int64 column value (×1000,
+// rounded half away from zero).
+func milli(v float64) int64 {
+	return int64(math.Round(v * 1000))
+}
+
+type statementsView struct{ s *Store }
+
+// VirtualNumRows implements catalog.VirtualSource.
+func (v statementsView) VirtualNumRows() int { return len(v.s.Statements()) }
+
+// VirtualRows implements catalog.VirtualSource.
+func (v statementsView) VirtualRows() [][]int64 {
+	stmts := v.s.Statements()
+	rows := make([][]int64, 0, len(stmts))
+	for _, st := range stmts {
+		rows = append(rows, []int64{
+			st.ID, st.Calls, st.CacheHits, st.Fallbacks, st.BudgetAborts,
+			st.TotalWork, st.MaxWork, st.TotalRows, st.PageMisses,
+			st.QErrCount, milli(st.QErrMean()), milli(st.QErrMax),
+		})
+	}
+	return rows
+}
+
+type windowsView struct{ s *Store }
+
+// VirtualNumRows implements catalog.VirtualSource.
+func (v windowsView) VirtualNumRows() int { return len(v.s.Windows()) }
+
+// VirtualRows implements catalog.VirtualSource.
+func (v windowsView) VirtualRows() [][]int64 {
+	wins := v.s.Windows()
+	rows := make([][]int64, 0, len(wins))
+	for _, w := range wins {
+		hitRate := int64(0)
+		if w.PoolHits+w.PoolMisses > 0 {
+			hitRate = milli(float64(w.PoolHits) / float64(w.PoolHits+w.PoolMisses))
+		}
+		rows = append(rows, []int64{
+			w.Index, w.Start.UnixMilli(), w.End.UnixMilli(), w.Queries,
+			w.CacheHits, w.Fallbacks, w.BudgetAborts, w.TotalWork,
+			w.TotalRows, w.PageMisses, w.PoolHits, w.PoolMisses, hitRate,
+		})
+	}
+	return rows
+}
+
+type driftView struct{ s *Store }
+
+// VirtualNumRows implements catalog.VirtualSource.
+func (v driftView) VirtualNumRows() int { return len(v.s.DriftEvents()) }
+
+// VirtualRows implements catalog.VirtualSource.
+func (v driftView) VirtualRows() [][]int64 {
+	evs := v.s.DriftEvents()
+	rows := make([][]int64, 0, len(evs))
+	for _, e := range evs {
+		rows = append(rows, []int64{
+			e.Seq, int64(e.Kind), e.At.UnixMilli(), int64(e.EstimatorVersion),
+			milli(e.Before), milli(e.After), int64(len(e.Evidence)),
+		})
+	}
+	return rows
+}
+
+type modelsView struct{ s *Store }
+
+// VirtualNumRows implements catalog.VirtualSource.
+func (v modelsView) VirtualNumRows() int { return len(v.s.ModelEvents()) }
+
+// VirtualRows implements catalog.VirtualSource.
+func (v modelsView) VirtualRows() [][]int64 {
+	evs := v.s.ModelEvents()
+	rows := make([][]int64, 0, len(evs))
+	for _, e := range evs {
+		rows = append(rows, []int64{
+			e.Seq, e.At.UnixMilli(), int64(e.Action), int64(e.Version), int64(e.Incumbent),
+		})
+	}
+	return rows
+}

@@ -14,22 +14,41 @@ type Column struct {
 	Stats *ColumnStats
 }
 
-// Table is a column-major relation. Rows live either in the in-memory Data
-// arrays or, after SpillToDisk, in a disk heap file read through a buffer
-// pool (see disk.go); exactly one backing is active at a time.
+// VirtualSource produces the rows of a virtual (system) table on demand.
+// The executor snapshots VirtualRows at scan time, so a virtual table always
+// reflects the provider's current state; implementations must return fresh
+// row slices the executor may retain, in a deterministic order.
+type VirtualSource interface {
+	// VirtualNumRows returns the current row count (the optimizer's input).
+	VirtualNumRows() int
+	// VirtualRows materializes the current rows, one fresh slice per row.
+	VirtualRows() [][]int64
+}
+
+// Table is a column-major relation. Rows live in the in-memory Data arrays,
+// in a disk heap file read through a buffer pool after SpillToDisk (see
+// disk.go), or — for system views — are produced on demand by a
+// VirtualSource; exactly one backing is active at a time.
 type Table struct {
 	Name    string
 	Columns []Column
-	// Data[c][r] is the value of column c in row r (nil when disk-backed).
+	// Data[c][r] is the value of column c in row r (nil when disk-backed or
+	// virtual).
 	Data [][]int64
 	// Disk, when non-nil, is the heap file backing the table's rows.
 	Disk *storage.TableFile
+	// Virtual, when non-nil, produces the table's rows on demand (read-only:
+	// AppendRow refuses virtual tables).
+	Virtual VirtualSource
 	// indexes holds secondary indexes by column (see secondary.go).
 	indexes map[int]*SecondaryIndex
 }
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
+	if t.Virtual != nil {
+		return t.Virtual.VirtualNumRows()
+	}
 	if t.Disk != nil {
 		return t.Disk.NumRows()
 	}
@@ -54,6 +73,9 @@ func (t *Table) ColIndex(name string) int {
 
 // AppendRow adds one row; vals must have one entry per column.
 func (t *Table) AppendRow(vals []int64) error {
+	if t.Virtual != nil {
+		return fmt.Errorf("catalog: %s is a virtual table (read-only)", t.Name)
+	}
 	if len(vals) != len(t.Columns) {
 		return fmt.Errorf("catalog: row width %d != %d columns of %s", len(vals), len(t.Columns), t.Name)
 	}
@@ -129,9 +151,11 @@ func (c *Catalog) AnalyzeAll(buckets, sampleSize int) {
 
 // AnalyzeTable computes per-column statistics for one table. Disk-backed
 // tables are skipped (their stats were computed before the spill); use
-// AnalyzeTableIO to re-analyze one through its buffer pool.
+// AnalyzeTableIO to re-analyze one through its buffer pool. Virtual tables
+// are skipped too: their rows change under the provider, so the planner
+// estimates them from row counts and default selectivities.
 func AnalyzeTable(t *Table, buckets, sampleSize int) {
-	if t.Disk != nil {
+	if t.Disk != nil || t.Virtual != nil {
 		return
 	}
 	for i := range t.Columns {

@@ -279,6 +279,9 @@ func (s *execState) dispatch(n *plan.Node) ([][]int64, error) {
 
 func (s *execState) seqScan(n *plan.Node) ([][]int64, error) {
 	t := s.cat.Table(n.TableID)
+	if t.Virtual != nil {
+		return s.seqScanVirtual(n, t)
+	}
 	if t.Disk != nil {
 		return s.seqScanDisk(n, t)
 	}

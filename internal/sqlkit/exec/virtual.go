@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// seqScanVirtual scans a virtual (system) table: the provider materializes a
+// snapshot of its current rows, and the scan filters them exactly like an
+// in-memory SeqScan, charging one ScanTuples unit per provider row. The
+// provider returns fresh slices, so matching rows are emitted without
+// copying.
+func (s *execState) seqScanVirtual(n *plan.Node, t *catalog.Table) ([][]int64, error) {
+	rows := t.Virtual.VirtualRows()
+	var out [][]int64
+	for _, row := range rows {
+		if err := s.charge(&s.ctr.ScanTuples, 1); err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, f := range n.Filters {
+			if !f.Eval(row[f.Col]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := s.chargeRows(1); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}

@@ -1,0 +1,429 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// ColRef addresses one column of one table in the statement's FROM list by
+// table position (index into Query.Tables) and column index.
+type ColRef struct {
+	TablePos int
+	Col      int
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Stmt is a parsed SELECT statement: the SPJ core as a plan.Query the normal
+// optimizer/executor pipeline runs, plus the presentation clauses
+// (projection, ordering, limit) the engine applies to the executed rows.
+type Stmt struct {
+	Query *plan.Query
+	// Cols is the projection; nil means SELECT *.
+	Cols []ColRef
+	// OrderBy sorts the output; empty leaves executor order.
+	OrderBy []OrderKey
+	// Limit caps the output rows; negative means no limit.
+	Limit int
+}
+
+// Parse parses a SELECT statement against the catalog. The supported
+// grammar is the engine's SPJ class plus presentation clauses:
+//
+//	SELECT {* | col [, col]...}
+//	FROM table [, table]...
+//	[WHERE cond [AND cond]...]
+//	[ORDER BY col [ASC|DESC] [, col [ASC|DESC]]...]
+//	[LIMIT n]
+//
+// where cond is `col <op> int`, `col BETWEEN int AND int`, or the equi-join
+// `a.col = b.col`, and col is `name` or `table.name` (a bare name must be
+// unambiguous across the FROM tables). Keywords are case-insensitive.
+func Parse(cat *catalog.Catalog, sql string) (*Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{cat: cat, toks: toks}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("sqlparse: unexpected %q after statement", p.peek().text)
+	}
+	return st, nil
+}
+
+// token kinds.
+const (
+	tokIdent = iota
+	tokNumber
+	tokSymbol // punctuation and comparison operators
+	tokEOF
+)
+
+type token struct {
+	kind int
+	text string // keywords and idents kept verbatim; upper() for matching
+}
+
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(sql) && isIdentPart(sql[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, sql[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(sql) && sql[j] >= '0' && sql[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, sql[i:j]})
+			i = j
+		case c == '<':
+			if i+1 < len(sql) && (sql[i+1] == '=' || sql[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, sql[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(sql) && sql[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">"})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(sql) && sql[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "!="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: stray '!' at offset %d", i)
+			}
+		case c == '=' || c == ',' || c == '.' || c == '*' || c == '-' || c == ';' || c == '(' || c == ')':
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// rawRef is an unresolved column reference.
+type rawRef struct {
+	table string // empty = unqualified
+	col   string
+}
+
+type parser struct {
+	cat  *catalog.Catalog
+	toks []token
+	pos  int
+
+	// FROM list, filled before references resolve.
+	tableNames []string
+	tableIDs   []int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEnd() bool {
+	// A trailing semicolon closes the statement.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.pos++
+	}
+	return p.peek().kind == tokEOF
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	star := p.symbol("*")
+	var rawCols []rawRef
+	if !star {
+		for {
+			r, err := p.parseRawRef()
+			if err != nil {
+				return nil, err
+			}
+			rawCols = append(rawCols, r)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sqlparse: expected table name, got %q", t.text)
+		}
+		id, ok := p.cat.ByName(t.text)
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: unknown table %q", t.text)
+		}
+		p.tableNames = append(p.tableNames, t.text)
+		p.tableIDs = append(p.tableIDs, id)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	st := &Stmt{Query: plan.NewQuery(p.tableIDs...), Limit: -1}
+	for _, r := range rawCols {
+		ref, err := p.resolve(r)
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, ref)
+	}
+	if p.keyword("where") {
+		for {
+			if err := p.parseCond(st.Query); err != nil {
+				return nil, err
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			r, err := p.parseRawRef()
+			if err != nil {
+				return nil, err
+			}
+			ref, err := p.resolve(r)
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: ref}
+			if p.keyword("desc") {
+				key.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sqlparse: negative LIMIT %d", n)
+		}
+		st.Limit = int(n)
+	}
+	return st, nil
+}
+
+// parseRawRef reads `ident` or `ident.ident`.
+func (p *parser) parseRawRef() (rawRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return rawRef{}, fmt.Errorf("sqlparse: expected column reference, got %q", t.text)
+	}
+	if p.symbol(".") {
+		c := p.next()
+		if c.kind != tokIdent {
+			return rawRef{}, fmt.Errorf("sqlparse: expected column after %q., got %q", t.text, c.text)
+		}
+		return rawRef{table: t.text, col: c.text}, nil
+	}
+	return rawRef{col: t.text}, nil
+}
+
+// resolve binds a raw reference against the FROM list.
+func (p *parser) resolve(r rawRef) (ColRef, error) {
+	if r.table != "" {
+		for pos, name := range p.tableNames {
+			if strings.EqualFold(name, r.table) {
+				col := p.cat.Table(p.tableIDs[pos]).ColIndex(r.col)
+				if col < 0 {
+					return ColRef{}, fmt.Errorf("sqlparse: table %q has no column %q", name, r.col)
+				}
+				return ColRef{TablePos: pos, Col: col}, nil
+			}
+		}
+		return ColRef{}, fmt.Errorf("sqlparse: table %q is not in the FROM list", r.table)
+	}
+	found := ColRef{TablePos: -1}
+	for pos, id := range p.tableIDs {
+		if col := p.cat.Table(id).ColIndex(r.col); col >= 0 {
+			if found.TablePos >= 0 {
+				return ColRef{}, fmt.Errorf("sqlparse: column %q is ambiguous (in %q and %q)",
+					r.col, p.tableNames[found.TablePos], p.tableNames[pos])
+			}
+			found = ColRef{TablePos: pos, Col: col}
+		}
+	}
+	if found.TablePos < 0 {
+		return ColRef{}, fmt.Errorf("sqlparse: no FROM table has a column %q", r.col)
+	}
+	return found, nil
+}
+
+func (p *parser) parseInt() (int64, error) {
+	neg := p.symbol("-")
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlparse: expected integer, got %q", t.text)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: bad integer %q: %v", t.text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseCond parses one WHERE conjunct into a filter or a join condition.
+func (p *parser) parseCond(q *plan.Query) error {
+	left, err := p.parseRawRef()
+	if err != nil {
+		return err
+	}
+	lref, err := p.resolve(left)
+	if err != nil {
+		return err
+	}
+	if p.keyword("between") {
+		lo, err := p.parseInt()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return err
+		}
+		hi, err := p.parseInt()
+		if err != nil {
+			return err
+		}
+		q.AddFilter(lref.TablePos, expr.Pred{Col: lref.Col, Op: expr.BETWEEN, Lo: lo, Hi: hi})
+		return nil
+	}
+	t := p.next()
+	if t.kind != tokSymbol {
+		return fmt.Errorf("sqlparse: expected comparison operator, got %q", t.text)
+	}
+	var op expr.Op
+	switch t.text {
+	case "=":
+		op = expr.EQ
+	case "!=", "<>":
+		op = expr.NE
+	case "<":
+		op = expr.LT
+	case "<=":
+		op = expr.LE
+	case ">":
+		op = expr.GT
+	case ">=":
+		op = expr.GE
+	default:
+		return fmt.Errorf("sqlparse: unknown operator %q", t.text)
+	}
+	// An equality whose right side is a column reference is an equi-join.
+	if op == expr.EQ && p.peek().kind == tokIdent {
+		right, err := p.parseRawRef()
+		if err != nil {
+			return err
+		}
+		rref, err := p.resolve(right)
+		if err != nil {
+			return err
+		}
+		if rref.TablePos == lref.TablePos {
+			return fmt.Errorf("sqlparse: join condition references table %q on both sides",
+				p.tableNames[lref.TablePos])
+		}
+		q.AddJoin(expr.JoinCond{
+			LeftTable: lref.TablePos, LeftCol: lref.Col,
+			RightTable: rref.TablePos, RightCol: rref.Col,
+		})
+		return nil
+	}
+	v, err := p.parseInt()
+	if err != nil {
+		return err
+	}
+	q.AddFilter(lref.TablePos, expr.Pred{Col: lref.Col, Op: op, Lo: v})
+	return nil
+}

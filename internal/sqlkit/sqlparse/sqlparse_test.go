@@ -1,0 +1,140 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.NewCatalog()
+	users := catalog.NewTable("users", "id", "age", "city")
+	orders := catalog.NewTable("orders", "id", "user_id", "amount")
+	cat.MustAdd(users)
+	cat.MustAdd(orders)
+	return cat
+}
+
+func TestParseSelectStar(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := Parse(cat, "SELECT * FROM users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cols != nil {
+		t.Fatalf("SELECT * should leave Cols nil, got %v", st.Cols)
+	}
+	if len(st.Query.Tables) != 1 {
+		t.Fatalf("tables = %v", st.Query.Tables)
+	}
+	if st.Limit != -1 {
+		t.Fatalf("limit = %d, want -1", st.Limit)
+	}
+}
+
+func TestParseFiltersAndBetween(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := Parse(cat, "select age, city from users where age >= 18 and city != 3 and id between 10 and 20;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ColRef{{0, 1}, {0, 2}}
+	if len(st.Cols) != 2 || st.Cols[0] != want[0] || st.Cols[1] != want[1] {
+		t.Fatalf("cols = %v, want %v", st.Cols, want)
+	}
+	fs := st.Query.Filters[0]
+	if len(fs) != 3 {
+		t.Fatalf("filters = %v", fs)
+	}
+	if fs[0] != (expr.Pred{Col: 1, Op: expr.GE, Lo: 18}) {
+		t.Errorf("filter 0 = %+v", fs[0])
+	}
+	if fs[1] != (expr.Pred{Col: 2, Op: expr.NE, Lo: 3}) {
+		t.Errorf("filter 1 = %+v", fs[1])
+	}
+	if fs[2] != (expr.Pred{Col: 0, Op: expr.BETWEEN, Lo: 10, Hi: 20}) {
+		t.Errorf("filter 2 = %+v", fs[2])
+	}
+}
+
+func TestParseJoinAndQualified(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := Parse(cat, "SELECT users.city, orders.amount FROM users, orders WHERE users.id = orders.user_id AND amount > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Query.Joins) != 1 {
+		t.Fatalf("joins = %v", st.Query.Joins)
+	}
+	j := st.Query.Joins[0]
+	if j.LeftTable != 0 || j.LeftCol != 0 || j.RightTable != 1 || j.RightCol != 1 {
+		t.Fatalf("join = %+v", j)
+	}
+	// `amount` is unqualified but unique to orders.
+	fs := st.Query.Filters[1]
+	if len(fs) != 1 || fs[0] != (expr.Pred{Col: 2, Op: expr.GT, Lo: 100}) {
+		t.Fatalf("orders filters = %v", fs)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := Parse(cat, "SELECT * FROM users ORDER BY age DESC, id LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.OrderBy) != 2 {
+		t.Fatalf("order by = %v", st.OrderBy)
+	}
+	if st.OrderBy[0] != (OrderKey{Col: ColRef{0, 1}, Desc: true}) {
+		t.Errorf("key 0 = %+v", st.OrderBy[0])
+	}
+	if st.OrderBy[1] != (OrderKey{Col: ColRef{0, 0}}) {
+		t.Errorf("key 1 = %+v", st.OrderBy[1])
+	}
+	if st.Limit != 5 {
+		t.Fatalf("limit = %d", st.Limit)
+	}
+}
+
+func TestParseNegativeLiteral(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := Parse(cat, "SELECT * FROM users WHERE age > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Filters[0][0].Lo != -5 {
+		t.Fatalf("filter = %+v", st.Query.Filters[0][0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		sql  string
+		frag string
+	}{
+		{"FROM users", "expected SELECT"},
+		{"SELECT * FROM nope", `unknown table "nope"`},
+		{"SELECT bogus FROM users", `no FROM table has a column "bogus"`},
+		{"SELECT id FROM users, orders", "ambiguous"},
+		{"SELECT * FROM users WHERE users.id = users.age", "both sides"},
+		{"SELECT * FROM users WHERE age ~ 3", "unexpected character"},
+		{"SELECT * FROM users LIMIT -1", "negative LIMIT"},
+		{"SELECT * FROM users extra", "unexpected"},
+		{"SELECT * FROM users WHERE orders.id = 1", "not in the FROM list"},
+	}
+	for _, c := range cases {
+		_, err := Parse(cat, c.sql)
+		if err == nil {
+			t.Errorf("%q: expected error", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.sql, err, c.frag)
+		}
+	}
+}

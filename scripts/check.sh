@@ -82,4 +82,13 @@ go run ./cmd/ml4db-bench -engine -quick -engine-out "$obsdir/BENCH_engine.json"
 echo "==> storage smoke (heap pages + buffer pool + learned eviction)"
 go run ./cmd/ml4db-bench -storage -quick -storage-out "$obsdir/BENCH_storage.json"
 
+# Querystore smoke: run a traced workload through the engine with the
+# workload observatory attached, read the accounting back through a real
+# `SELECT * FROM sys_statements` (the bench exits nonzero on any mismatch
+# or on a non-byte-identical replay export), then re-validate the emitted
+# querystore JSONL with the standalone checker.
+echo "==> querystore smoke (statement accounting + sys views + replay export)"
+go run ./cmd/ml4db-bench -querystore -quick -querystore-out "$obsdir/BENCH_querystore.json" -querystore-export "$obsdir/querystore.jsonl"
+go run ./cmd/ml4db-tracecheck -querystore "$obsdir/querystore.jsonl"
+
 echo "All checks passed."
