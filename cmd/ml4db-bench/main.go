@@ -11,6 +11,7 @@
 //	ml4db-bench -serve [-quick] [-serve-out FILE] [-metrics metrics.jsonl]
 //	ml4db-bench -engine [-quick] [-engine-out FILE]
 //	ml4db-bench -querystore [-quick] [-querystore-out FILE] [-querystore-export FILE]
+//	ml4db-bench -autopilot [-quick] [-autopilot-out FILE]
 //
 // The -kernels mode skips the experiments and instead benchmarks the
 // parallel math kernels (cache-blocked MatMul, data-parallel MLP training)
@@ -40,6 +41,14 @@
 // byte-identical two-replay JSONL exports — writing BENCH_querystore.json
 // and exiting nonzero if any observatory contract is violated (see
 // docs/QUERYSTORE.md).
+//
+// The -autopilot mode drives the internal/autopilot self-driving loop end to
+// end — a beneficial secondary index mined from live telemetry, adopted, and
+// confirmed by its shadow trial; a stale-stats-baited harmful materialized
+// view adopted and then auto-dropped; byte-identical two-replay event
+// ledgers; and the sys_tuning view read through SQL — writing
+// BENCH_autopilot.json and exiting nonzero if any tuning contract is
+// violated (see docs/AUTOPILOT.md).
 package main
 
 import (
@@ -73,7 +82,17 @@ func main() {
 	querystoreExport := flag.String("querystore-export", "", "with -querystore: also write the workload's querystore JSONL export here")
 	storageBench := flag.Bool("storage", false, "benchmark the disk-backed storage engine (oversized scans, learned eviction, replay)")
 	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -storage results")
+	autopilotBench := flag.Bool("autopilot", false, "benchmark the self-driving tuning loop (index adoption, canary revert, replay)")
+	autopilotOut := flag.String("autopilot-out", "BENCH_autopilot.json", "output file for -autopilot results")
 	flag.Parse()
+
+	if *autopilotBench {
+		if err := runAutopilotBench(*seed, *autopilotOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *querystoreBench {
 		if err := runQuerystoreBench(*seed, *querystoreOut, *querystoreExport, *quick); err != nil {

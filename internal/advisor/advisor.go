@@ -9,6 +9,7 @@ import (
 	"ml4db/internal/qo/paramtree"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/exec"
+	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/optimizer"
 	"ml4db/internal/sqlkit/plan"
 )
@@ -22,16 +23,21 @@ type Candidate struct {
 // String renders the candidate.
 func (c Candidate) String() string { return fmt.Sprintf("idx(t%d.c%d)", c.TableID, c.Col) }
 
-// EnumerateCandidates lists (table, column) pairs that appear in interval
-// predicates of the workload — the only columns an index could help.
+// EnumerateCandidates lists (table, column) pairs that appear in equality or
+// interval predicates of the workload — the columns a secondary index could
+// serve. Disequalities never produce a candidate. Iteration goes by table
+// position rather than map order, so the list is deterministic:
+// first-appearance order over (workload order, table position, filter
+// order). Rankings that tie-break on position, and replay-exact tuning loops
+// built on top, depend on that.
 func EnumerateCandidates(cat *catalog.Catalog, workload []*plan.Query) []Candidate {
 	seen := map[Candidate]bool{}
 	var out []Candidate
 	for _, q := range workload {
-		for pos, preds := range q.Filters {
+		for pos := range q.Tables {
 			tid := q.Tables[pos]
-			for _, p := range preds {
-				if _, _, ok := p.Range(0, 1); !ok {
+			for _, p := range q.Filters[pos] {
+				if !Indexable(p) {
 					continue
 				}
 				c := Candidate{TableID: tid, Col: p.Col}
@@ -43,6 +49,17 @@ func EnumerateCandidates(cat *catalog.Catalog, workload []*plan.Query) []Candida
 		}
 	}
 	return out
+}
+
+// Indexable reports whether a secondary index on p's column could serve p:
+// equality probes (a point interval) and interval predicates qualify,
+// disequalities do not.
+func Indexable(p expr.Pred) bool {
+	if p.Op == expr.EQ {
+		return true
+	}
+	_, _, ok := p.Range(0, 1)
+	return ok
 }
 
 // Advisor evaluates and recommends index configurations.

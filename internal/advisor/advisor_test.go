@@ -8,6 +8,7 @@ import (
 	"ml4db/internal/qo/paramtree"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/optimizer"
 	"ml4db/internal/sqlkit/plan"
 	"ml4db/internal/workload"
@@ -186,5 +187,48 @@ func TestEvaluateConfigRestoresState(t *testing.T) {
 		if a.Env.Cat.Table(c.TableID).Index(c.Col) != nil {
 			t.Errorf("index %s not dropped after evaluation", c)
 		}
+	}
+}
+
+// TestEnumerateCandidatesEqualityOnlyWorkload is the regression test for the
+// tuning loop's candidate feed: a workload of pure equality predicates must
+// produce index candidates (equality probes are the best index customers),
+// disequalities must not, and the order must be exactly first-appearance
+// order on every call — never map-iteration order.
+func TestEnumerateCandidatesEqualityOnlyWorkload(t *testing.T) {
+	cat := catalog.NewCatalog()
+	id0 := cat.MustAdd(catalog.NewTable("u0", "id", "a", "b"))
+	id1 := cat.MustAdd(catalog.NewTable("u1", "id", "a", "b"))
+
+	q1 := plan.NewQuery(id0, id1)
+	q1.AddFilter(0, expr.Pred{Col: 1, Op: expr.EQ, Lo: 5})
+	q1.AddFilter(1, expr.Pred{Col: 2, Op: expr.EQ, Lo: 9})
+	q2 := plan.NewQuery(id1)
+	q2.AddFilter(0, expr.Pred{Col: 0, Op: expr.EQ, Lo: 1})
+	q2.AddFilter(0, expr.Pred{Col: 1, Op: expr.NE, Lo: 3}) // never indexable
+	q2.AddFilter(0, expr.Pred{Col: 2, Op: expr.EQ, Lo: 9}) // dup of q1's u1.c2
+	wl := []*plan.Query{q1, q2}
+
+	want := []Candidate{
+		{TableID: id0, Col: 1},
+		{TableID: id1, Col: 2},
+		{TableID: id1, Col: 0},
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := EnumerateCandidates(cat, wl)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: candidates = %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: candidates = %v, want first-appearance order %v", trial, got, want)
+			}
+		}
+	}
+	if Indexable(expr.Pred{Col: 0, Op: expr.NE, Lo: 1}) {
+		t.Error("NE predicate reported indexable")
+	}
+	if !Indexable(expr.Pred{Col: 0, Op: expr.EQ, Lo: 1}) {
+		t.Error("EQ predicate reported non-indexable")
 	}
 }

@@ -85,6 +85,7 @@ var corePkgSegments = map[string]bool{
 	"engine":       true,
 	"storage":      true,
 	"querystore":   true,
+	"autopilot":    true,
 }
 
 // IsCorePackage reports whether pkgPath denotes one of the core model

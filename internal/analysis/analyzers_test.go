@@ -25,6 +25,10 @@ func TestDeterminismFiresInQuerystore(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/querystore")
 }
 
+func TestDeterminismFiresInAutopilot(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/autopilot")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

@@ -1,0 +1,40 @@
+// Package autopilot is a determinism fixture: the self-driving tuning loop
+// is a core package because every adopt/drop decision must replay
+// byte-identically from the same telemetry. Wall-clock reads, background
+// loops, and map-order candidate walks must fire here. The real autopilot
+// takes an injected mlmath.Clock, advances only through explicit Tick calls
+// on the caller's goroutine, and mines ordered statement snapshots.
+package autopilot
+
+import (
+	"sort"
+	"time"
+)
+
+// Tick mirrors a loop tick that wrongly stamps tuning events with the wall
+// clock and kicks verification onto a background goroutine.
+func Tick(events []int64) time.Time {
+	at := time.Now() // want "time.Now"
+
+	go func() { _ = events }() // want "goroutine"
+
+	return at
+}
+
+// Propose mirrors a candidate pass that ranges over the benefit map: the
+// adoption pick — and the whole event ledger after it — would differ run to
+// run.
+func Propose(wins map[string]float64) []string {
+	var ranked []string
+	for target := range wins {
+		ranked = append(ranked, target) // want "nondeterministic"
+	}
+
+	// Sorted afterwards: well-defined order, no finding.
+	var targets []string
+	for target := range wins {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	return append(ranked, targets...)
+}

@@ -1,0 +1,322 @@
+package autopilot_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ml4db/internal/autopilot"
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/querystore"
+	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/datagen"
+	"ml4db/internal/sqlkit/expr"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// rig is one wired tuning stack: catalog, store, engine, autopilot, all on
+// one manual clock.
+type rig struct {
+	cat   *catalog.Catalog
+	store *querystore.Store
+	eng   *engine.Engine
+	ap    *autopilot.Autopilot
+	mc    *mlmath.ManualClock
+	sess  *engine.Session
+}
+
+func newRig(t *testing.T, cat *catalog.Catalog, opts autopilot.Options) *rig {
+	t.Helper()
+	mc := &mlmath.ManualClock{T: time.Unix(0, 0)}
+	store := querystore.New(querystore.Options{Clock: mc, Catalog: cat, Window: time.Second})
+	eng := engine.New(cat, engine.Options{Store: store})
+	opts.Clock = mc
+	opts.Store = store
+	opts.Host = eng
+	ap, err := autopilot.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := autopilot.RegisterTuningView(cat, ap); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{cat: cat, store: store, eng: eng, ap: ap, mc: mc, sess: eng.Session()}
+}
+
+// runN runs q n times, advancing the clock by step before each call, and
+// returns total executed work and the last result's row count.
+func (r *rig) runN(t *testing.T, q *plan.Query, n int, step time.Duration) (int64, int) {
+	t.Helper()
+	var work int64
+	rows := 0
+	for i := 0; i < n; i++ {
+		r.mc.Advance(step)
+		res, err := r.sess.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work += res.Work
+		rows = len(res.Rows)
+	}
+	return work, rows
+}
+
+func stages(evs []autopilot.TuningEvent) []autopilot.Stage {
+	out := make([]autopilot.Stage, len(evs))
+	for i, e := range evs {
+		out[i] = e.Stage
+	}
+	return out
+}
+
+func skewedTable(t *testing.T, seed uint64, rows int) *catalog.Catalog {
+	t.Helper()
+	tbl, err := datagen.GenTable(mlmath.NewRNG(seed), "events", rows, []datagen.ColSpec{
+		{Name: "id", Kind: datagen.Sequential},
+		{Name: "attr", Kind: datagen.Uniform, Domain: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.NewCatalog()
+	cat.MustAdd(tbl)
+	cat.AnalyzeAll(32, 512)
+	return cat
+}
+
+// TestAdoptsBeneficialIndexEndToEnd drives a selective scan-heavy workload
+// through a real engine and checks the full loop: the autopilot mines it,
+// adopts a secondary index, the engine's next runs get measurably cheaper
+// without changing results, and the shadow trial confirms the adoption.
+func TestAdoptsBeneficialIndexEndToEnd(t *testing.T) {
+	r := newRig(t, skewedTable(t, 3, 4000), autopilot.Options{
+		Interval: time.Second, MinWinFrac: 0.01, BuildCostWeight: -1, VerifyWindows: 2,
+	})
+	q := plan.NewQuery(0)
+	q.AddFilter(0, expr.Pred{Col: 1, Op: expr.BETWEEN, Lo: 500, Hi: 509})
+
+	preWork, preRows := r.runN(t, q, 10, 50*time.Millisecond)
+
+	evs, err := r.ap.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adopted *autopilot.TuningEvent
+	for i := range evs {
+		if evs[i].Stage == autopilot.StageAdopted {
+			adopted = &evs[i]
+		}
+	}
+	if adopted == nil {
+		t.Fatalf("no adoption after first mining pass; stages = %v", stages(evs))
+	}
+	if adopted.Kind != autopilot.KindIndex || adopted.TableID != 0 || adopted.Col != 1 {
+		t.Fatalf("adopted %s %s, want the index on events.attr", adopted.Kind, adopted.Target)
+	}
+	if adopted.NetWin <= 0 || adopted.EstWith >= adopted.EstBase {
+		t.Errorf("adoption event costs inconsistent: %+v", adopted)
+	}
+	if r.cat.Table(0).Index(1) == nil {
+		t.Fatal("adoption emitted but index not built")
+	}
+
+	postWork, postRows := r.runN(t, q, 10, 300*time.Millisecond)
+	if postRows != preRows {
+		t.Fatalf("post-adoption rows = %d, pre = %d (results must not change)", postRows, preRows)
+	}
+	if postWork >= preWork {
+		t.Errorf("post-adoption work = %d, pre = %d; the index must reduce observed work", postWork, preWork)
+	}
+
+	evs, err = r.ap.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Stage != autopilot.StageKept {
+		t.Fatalf("trial verdict events = %v, want exactly StageKept", stages(evs))
+	}
+	if evs[0].ObservedWPC >= evs[0].BaselineWPC || evs[0].TrialCalls != 10 {
+		t.Errorf("trial numbers: observed %.1f baseline %.1f calls %d", evs[0].ObservedWPC, evs[0].BaselineWPC, evs[0].TrialCalls)
+	}
+	if got := r.ap.Adoptions(); len(got) != 1 || got[0].Kind != autopilot.KindIndex {
+		t.Fatalf("adoptions = %+v, want the kept index", got)
+	}
+}
+
+// staleJoinCatalog builds two tables whose join-key statistics are stale:
+// analyzed while the keys were near-unique, then overwritten to five
+// distinct values — so the optimizer's join-size estimate is ~160× under.
+func staleJoinCatalog(t *testing.T, seed uint64) *catalog.Catalog {
+	t.Helper()
+	rng := mlmath.NewRNG(seed)
+	cat := catalog.NewCatalog()
+	for _, spec := range []struct {
+		name string
+		rows int
+	}{{"l", 400}, {"r", 800}} {
+		tbl, err := datagen.GenTable(rng, spec.name, spec.rows, []datagen.ColSpec{
+			{Name: "id", Kind: datagen.Sequential},
+			{Name: "k", Kind: datagen.Uniform, Domain: 100000},
+			{Name: "attr", Kind: datagen.Uniform, Domain: 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.MustAdd(tbl)
+	}
+	cat.AnalyzeAll(32, 512)
+	for id := 0; id < 2; id++ {
+		data := cat.Table(id).Data[1]
+		for i := range data {
+			data[i] = int64(i % 5)
+		}
+	}
+	return cat
+}
+
+// TestShadowVerificationDropsHarmfulView plants a materialized-view
+// candidate that looks great on stale statistics (the estimator puts the
+// join at ~400 rows; it is actually 64000) and checks the canary: the
+// autopilot adopts it, observes the regression over the next windows, drops
+// it again, and queries keep returning correct results throughout.
+func TestShadowVerificationDropsHarmfulView(t *testing.T) {
+	r := newRig(t, staleJoinCatalog(t, 5), autopilot.Options{
+		Interval: time.Second, MinWinFrac: 0.01, BuildCostWeight: -1, VerifyWindows: 2,
+	})
+	q := plan.NewQuery(0, 1)
+	q.AddFilter(0, expr.Pred{Col: 2, Op: expr.BETWEEN, Lo: 500, Hi: 509})
+	q.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 1, RightTable: 1, RightCol: 1})
+
+	preWork, preRows := r.runN(t, q, 10, 50*time.Millisecond)
+
+	evs, err := r.ap.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adopted *autopilot.TuningEvent
+	for i := range evs {
+		if evs[i].Stage == autopilot.StageAdopted {
+			adopted = &evs[i]
+		}
+	}
+	if adopted == nil || adopted.Kind != autopilot.KindView {
+		t.Fatalf("want a view adoption (stale stats make it look like the best win); events = %v", stages(evs))
+	}
+	viewID := adopted.TableID
+	if got := r.cat.Table(viewID).NumRows(); got != 64000 {
+		t.Fatalf("materialized view rows = %d, want 64000 (5 keys × 400 × 160)", got)
+	}
+
+	// Through the view the query must still be correct — just slower.
+	duringWork, duringRows := r.runN(t, q, 10, 300*time.Millisecond)
+	if duringRows != preRows {
+		t.Fatalf("rows through view = %d, pre = %d", duringRows, preRows)
+	}
+	if duringWork <= preWork {
+		t.Fatalf("work through view = %d, pre = %d; scenario must actually regress", duringWork, preWork)
+	}
+
+	evs, err = r.ap.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Stage != autopilot.StageDropped {
+		t.Fatalf("trial verdict events = %v, want exactly StageDropped", stages(evs))
+	}
+	if evs[0].ObservedWPC <= evs[0].BaselineWPC {
+		t.Errorf("dropped but observed %.1f <= baseline %.1f", evs[0].ObservedWPC, evs[0].BaselineWPC)
+	}
+	if got := r.ap.Adoptions(); len(got) != 0 {
+		t.Fatalf("adoptions after drop = %+v, want none", got)
+	}
+	if got := r.cat.Table(viewID).NumRows(); got != 0 {
+		t.Errorf("dropped view still holds %d rows", got)
+	}
+	if r.ap.MemoryUsed() != 0 {
+		t.Errorf("memory used after drop = %d, want 0", r.ap.MemoryUsed())
+	}
+
+	postWork, postRows := r.runN(t, q, 5, 50*time.Millisecond)
+	if postRows != preRows {
+		t.Fatalf("post-drop rows = %d, pre = %d", postRows, preRows)
+	}
+	if postWork/5 > preWork/10*2 {
+		t.Errorf("post-drop per-call work %d, pre %d: revert must restore the original plan", postWork/5, preWork/10)
+	}
+}
+
+// TestSysTuningReadableThroughSQL reads the decision ledger back through the
+// normal planner and executor.
+func TestSysTuningReadableThroughSQL(t *testing.T) {
+	r := newRig(t, skewedTable(t, 3, 2000), autopilot.Options{
+		Interval: time.Second, MinWinFrac: 0.01, BuildCostWeight: -1, VerifyWindows: 1,
+	})
+	q := plan.NewQuery(0)
+	q.AddFilter(0, expr.Pred{Col: 1, Op: expr.BETWEEN, Lo: 100, Hi: 119})
+	r.runN(t, q, 6, 100*time.Millisecond)
+	if _, err := r.ap.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	r.runN(t, q, 6, 400*time.Millisecond)
+	if _, err := r.ap.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := r.sess.Query("SELECT seq, stage, kind, net_win FROM sys_tuning ORDER BY seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := r.ap.Events()
+	if len(rr.Rows) != len(evs) {
+		t.Fatalf("sys_tuning rows = %d, ledger = %d", len(rr.Rows), len(evs))
+	}
+	for i, row := range rr.Rows {
+		if row[0] != evs[i].Seq || row[1] != int64(evs[i].Stage) || row[2] != int64(evs[i].Kind) {
+			t.Fatalf("row %d = %v, event = %+v", i, row, evs[i])
+		}
+	}
+	// The loop must have finished a full adopt→keep cycle in this ledger.
+	sawKept := false
+	for _, e := range evs {
+		if e.Stage == autopilot.StageKept {
+			sawKept = true
+		}
+	}
+	if !sawKept {
+		t.Fatalf("ledger %v never reached StageKept", stages(evs))
+	}
+}
+
+// TestReplayByteIdentical runs the full beneficial-index scenario twice from
+// scratch under ManualClocks and requires the exported event ledgers to be
+// byte-identical — the determinism contract every decision obeys.
+func TestReplayByteIdentical(t *testing.T) {
+	run := func() []byte {
+		r := newRig(t, skewedTable(t, 3, 2000), autopilot.Options{
+			Interval: time.Second, MinWinFrac: 0.01, BuildCostWeight: -1, VerifyWindows: 2,
+		})
+		q := plan.NewQuery(0)
+		q.AddFilter(0, expr.Pred{Col: 1, Op: expr.BETWEEN, Lo: 500, Hi: 509})
+		r.runN(t, q, 8, 100*time.Millisecond)
+		if _, err := r.ap.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		r.runN(t, q, 8, 300*time.Millisecond)
+		if _, err := r.ap.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.ap.WriteEventsJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("replay produced no events")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replays differ:\n%s\n---\n%s", a, b)
+	}
+}

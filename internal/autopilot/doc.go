@@ -1,0 +1,21 @@
+// Package autopilot closes the self-driving loop: it mines the live
+// workload out of the querystore, proposes secondary-index and
+// materialized-view candidates, costs them against the real optimizer with
+// hypothetical catalog entries (no build), adopts at most one winner at a
+// time, and shadow-verifies the adoption against observed execution over the
+// next querystore windows — auto-dropping it on regression. Every decision
+// lands in a typed TuningEvent ledger, queryable as the sys_tuning virtual
+// view.
+//
+// The loop follows the ML-powered index tuning architecture (workload
+// mining, candidate enumeration, what-if costing, validated adoption) and
+// Baihe's separation principle: the tuner lives outside the engine core and
+// acts only through gated, reversible operations — Quiesce, build/drop
+// index, install/remove rewriter, NotifyDesignChange.
+//
+// autopilot is a determinism-core package: time comes from an injected
+// mlmath.Clock, the loop advances only through explicit Tick calls on the
+// caller's goroutine, and every snapshot it consumes is ordered — two runs
+// of the same scripted workload under mlmath.ManualClock produce
+// byte-identical event ledgers.
+package autopilot

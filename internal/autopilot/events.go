@@ -1,0 +1,230 @@
+package autopilot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"encoding/json"
+
+	"ml4db/internal/sqlkit/catalog"
+)
+
+// Stage is where a tuning decision stands in the loop.
+type Stage int
+
+const (
+	// StageCandidate marks a candidate that was costed and cleared the
+	// what-if gate (it entered the adoption pick, but only the best per pass
+	// is adopted).
+	StageCandidate Stage = iota
+	// StageRejected marks a candidate that was costed and failed the gate:
+	// estimated win below threshold, or over the memory budget.
+	StageRejected
+	// StageAdopted marks a built and installed candidate; a shadow trial is
+	// now open on it.
+	StageAdopted
+	// StageKept marks a passed shadow trial: the adoption is final.
+	StageKept
+	// StageDropped marks a failed shadow trial: observed work per call
+	// regressed past the gate and the adoption was reverted.
+	StageDropped
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageCandidate:
+		return "candidate"
+	case StageRejected:
+		return "rejected"
+	case StageAdopted:
+		return "adopted"
+	case StageKept:
+		return "kept"
+	case StageDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Kind is the class of tuning object a decision is about.
+type Kind int
+
+const (
+	// KindIndex is a secondary index on one column.
+	KindIndex Kind = iota
+	// KindView is a materialized two-table join view.
+	KindView
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIndex:
+		return "index"
+	case KindView:
+		return "view"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TuningEvent is one entry of the decision ledger. Estimated numbers
+// (EstBase, EstWith, BuildCost, NetWin) are optimizer cost units over the
+// mined workload; observed numbers (BaselineWPC, ObservedWPC) are executed
+// work units per call on the statements the candidate was expected to help.
+type TuningEvent struct {
+	Seq    int64
+	At     time.Time
+	Stage  Stage
+	Kind   Kind
+	Target string
+	// TableID is the indexed table (KindIndex) or the view's catalog table
+	// once built (KindView; -1 before adoption). Col is the indexed column,
+	// -1 for views.
+	TableID int
+	Col     int
+	// EstBase/EstWith are the call-weighted estimated workload costs without
+	// and with the candidate; BuildCost is the charged one-time build;
+	// NetWin = EstBase - EstWith - BuildCost. SizeBytes is the estimated
+	// footprint at costing time and the actual one from adoption on.
+	EstBase   float64
+	EstWith   float64
+	BuildCost float64
+	NetWin    float64
+	SizeBytes int64
+	// BaselineWPC is the pre-adoption observed work per call; ObservedWPC
+	// and TrialCalls describe the shadow trial (Kept/Dropped stages).
+	BaselineWPC float64
+	ObservedWPC float64
+	TrialCalls  int64
+}
+
+// emitLocked stamps and appends one event to the ledger ring and to the
+// current tick's scratch list.
+func (a *Autopilot) emitLocked(now time.Time, ev TuningEvent) {
+	ev.Seq = a.seq
+	a.seq++
+	ev.At = now
+	a.events = append(a.events, ev)
+	if len(a.events) > a.opts.MaxEvents {
+		copy(a.events, a.events[len(a.events)-a.opts.MaxEvents:])
+		a.events = a.events[:a.opts.MaxEvents]
+	}
+	a.scratch = append(a.scratch, ev)
+}
+
+// Events returns the retained ledger, oldest first.
+func (a *Autopilot) Events() []TuningEvent {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]TuningEvent(nil), a.events...)
+}
+
+// ViewTuning is the system-view table name RegisterTuningView claims.
+const ViewTuning = "sys_tuning"
+
+// RegisterTuningView registers the sys_tuning virtual table over a, making
+// the decision ledger queryable with plain SELECTs through the normal
+// planner/executor. Fractional columns are milli-scaled (×1000, rounded);
+// estimated costs are rounded to whole units. Registration is idempotent
+// per catalog, with the same contract as querystore.RegisterViews.
+func RegisterTuningView(cat *catalog.Catalog, a *Autopilot) error {
+	cols := []string{"seq", "at_ms", "stage", "kind", "table_id", "col",
+		"est_base", "est_with", "build_cost", "net_win", "size_bytes",
+		"baseline_wpc_milli", "observed_wpc_milli", "trial_calls"}
+	src := tuningView{a}
+	if id, ok := cat.ByName(ViewTuning); ok {
+		t := cat.Table(id)
+		if t.Virtual == nil {
+			return fmt.Errorf("autopilot: table %q exists and is not a virtual view", ViewTuning)
+		}
+		t.Virtual = src
+		return nil
+	}
+	t := catalog.NewTable(ViewTuning, cols...)
+	t.Data = nil
+	t.Virtual = src
+	_, err := cat.Add(t)
+	return err
+}
+
+type tuningView struct{ a *Autopilot }
+
+// VirtualNumRows implements catalog.VirtualSource.
+func (v tuningView) VirtualNumRows() int { return len(v.a.Events()) }
+
+// VirtualRows implements catalog.VirtualSource.
+func (v tuningView) VirtualRows() [][]int64 {
+	evs := v.a.Events()
+	rows := make([][]int64, 0, len(evs))
+	for _, e := range evs {
+		rows = append(rows, []int64{
+			e.Seq, e.At.UnixMilli(), int64(e.Stage), int64(e.Kind),
+			int64(e.TableID), int64(e.Col),
+			round64(e.EstBase), round64(e.EstWith), round64(e.BuildCost),
+			round64(e.NetWin), e.SizeBytes,
+			milli(e.BaselineWPC), milli(e.ObservedWPC), e.TrialCalls,
+		})
+	}
+	return rows
+}
+
+// round64 rounds an estimated cost to whole int64 units.
+func round64(v float64) int64 { return int64(math.Round(v)) }
+
+// milli scales a fractional metric into an int64 column value (×1000,
+// rounded half away from zero).
+func milli(v float64) int64 { return int64(math.Round(v * 1000)) }
+
+// tuningEventJSON is the export line format; like the querystore JSONL, the
+// field set is stable and replays byte-identically under a ManualClock.
+type tuningEventJSON struct {
+	Type        string  `json:"type"` // "tuning"
+	Seq         int64   `json:"seq"`
+	AtMs        int64   `json:"at_ms"`
+	Stage       string  `json:"stage"`
+	Kind        string  `json:"kind"`
+	Target      string  `json:"target"`
+	TableID     int     `json:"table_id"`
+	Col         int     `json:"col"`
+	EstBase     float64 `json:"est_base"`
+	EstWith     float64 `json:"est_with"`
+	BuildCost   float64 `json:"build_cost"`
+	NetWin      float64 `json:"net_win"`
+	SizeBytes   int64   `json:"size_bytes"`
+	BaselineWPC float64 `json:"baseline_wpc"`
+	ObservedWPC float64 `json:"observed_wpc"`
+	TrialCalls  int64   `json:"trial_calls"`
+}
+
+// WriteEventsJSONL exports the ledger, one JSON line per event in Seq order.
+func (a *Autopilot) WriteEventsJSONL(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range a.Events() {
+		line := tuningEventJSON{
+			Type: "tuning", Seq: e.Seq, AtMs: e.At.UnixMilli(),
+			Stage: e.Stage.String(), Kind: e.Kind.String(), Target: e.Target,
+			TableID: e.TableID, Col: e.Col,
+			EstBase: e.EstBase, EstWith: e.EstWith, BuildCost: e.BuildCost,
+			NetWin: e.NetWin, SizeBytes: e.SizeBytes,
+			BaselineWPC: e.BaselineWPC, ObservedWPC: e.ObservedWPC,
+			TrialCalls: e.TrialCalls,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

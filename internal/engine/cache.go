@@ -13,12 +13,37 @@ import (
 )
 
 // cacheKey renders the canonical identity of a planning problem: the
-// normalized query shape plus the catalog/estimator versions the plan would
-// be built against. The version prefix makes every entry planned against
-// stale statistics or a superseded estimator unreachable without scanning
-// the cache.
-func cacheKey(shape string, statsVersion, estimatorVersion int) string {
-	return fmt.Sprintf("s%d/e%d/%s", statsVersion, estimatorVersion, shape)
+// normalized query shape plus the statistics, estimator, and physical-design
+// versions the plan would be built against. The version prefix makes every
+// entry planned against stale statistics, a superseded estimator, or a
+// changed physical design (an index built or dropped, a view installed)
+// unreachable without scanning the cache.
+func cacheKey(shape string, statsVersion, estimatorVersion, designVersion int) string {
+	return fmt.Sprintf("s%d/e%d/d%d/%s", statsVersion, estimatorVersion, designVersion, shape)
+}
+
+// applyRewriters folds q through each rewriter once, in order, composing the
+// per-position maps. The returned query is q itself — and the map nil,
+// meaning identity — when nothing applied.
+func applyRewriters(q *plan.Query, rs []plan.QueryRewriter) (*plan.Query, []plan.PosMap) {
+	cur := q
+	var m []plan.PosMap
+	for _, r := range rs {
+		nq, step, ok := r.RewriteMapped(cur)
+		if !ok {
+			continue
+		}
+		if m == nil {
+			m = step
+		} else {
+			for i := range m {
+				s := step[m[i].Pos]
+				m[i] = plan.PosMap{Pos: s.Pos, ColShift: s.ColShift + m[i].ColShift}
+			}
+		}
+		cur = nq
+	}
+	return cur, m
 }
 
 // queryShape renders the version-independent normalized statement identity:

@@ -8,6 +8,7 @@ import (
 	"ml4db/internal/mlmath"
 	"ml4db/internal/modelsvc"
 	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/optimizer"
 	"ml4db/internal/sqlkit/plan"
@@ -103,6 +104,45 @@ func TestCacheCoherenceAcrossHints(t *testing.T) {
 			// And the cache works again afterwards.
 			if res, err := sess.Run(q); err != nil || !res.CacheHit {
 				t.Fatalf("replay after promotion: err=%v hit=%v, want cached", err, res.CacheHit)
+			}
+
+			// Physical design change — what the autopilot does when it
+			// adopts an index: the cached plan must not survive, and the
+			// re-plan must match a fresh optimizer seeing the new index.
+			t0 := sch.Cat.Table(sch.TableIDs[0])
+			t0.AddIndex(catalog.BuildSecondaryIndex(t0, 2))
+			eng.NotifyDesignChange()
+			afterIndex, err := sess.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterIndex.CacheHit {
+				t.Error("cached plan served after an index build")
+			}
+			freshIndexed, err := learnedOpt.Plan(q, hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterIndex.Plan.String() != freshIndexed.String() {
+				t.Errorf("post-index plan is not the fresh plan over the new design:\n%svs\n%s", afterIndex.Plan, freshIndexed)
+			}
+
+			// Dropping the index — the autopilot's shadow-trial revert —
+			// must invalidate again and restore the pre-index plan.
+			t0.DropIndex(2)
+			eng.NotifyDesignChange()
+			afterDrop, err := sess.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if afterDrop.CacheHit {
+				t.Error("cached plan served after an index drop")
+			}
+			if afterDrop.Plan.String() != afterPromo.Plan.String() {
+				t.Errorf("post-drop plan differs from the pre-index plan:\n%svs\n%s", afterDrop.Plan, afterPromo.Plan)
+			}
+			if res, err := sess.Run(q); err != nil || !res.CacheHit {
+				t.Fatalf("replay after design changes: err=%v hit=%v, want cached", err, res.CacheHit)
 			}
 		})
 	}

@@ -77,6 +77,12 @@ type Result struct {
 	// EstimatorVersion is the learned-estimator version the plan was built
 	// under (0 when planning was classical).
 	EstimatorVersion int
+	// Query is the query the plan was actually built from — the input after
+	// view rewriting, or the input itself when no rewriter applied.
+	Query *plan.Query
+	// PosMap maps each input table position to its (position, column offset)
+	// in Query. Nil means identity: no rewriter applied.
+	PosMap []plan.PosMap
 }
 
 // Engine is the concurrent query front end: admission control, a shared plan
@@ -93,11 +99,13 @@ type Engine struct {
 	slots chan struct{}
 	cache *planCache
 
-	mu           sync.Mutex
-	statsVersion int
-	estVersion   int
-	learned      optimizer.CardEstimator
-	classical    *optimizer.Optimizer
+	mu            sync.Mutex
+	statsVersion  int
+	estVersion    int
+	designVersion int
+	rewriters     []plan.QueryRewriter
+	learned       optimizer.CardEstimator
+	classical     *optimizer.Optimizer
 }
 
 // New builds an engine over the catalog. The catalog should already be
@@ -150,27 +158,72 @@ func (e *Engine) EstimatorVersion() int {
 // CachedPlans returns the number of plans currently cached.
 func (e *Engine) CachedPlans() int { return e.cache.Len() }
 
+// Quiesce runs fn with the engine drained: every admission slot is held, so
+// no session is planning or executing while fn mutates shared state — the
+// catalog, indexes, or rewriters. It blocks until in-flight sessions finish;
+// admissions arriving meanwhile are rejected with ErrOverloaded. fn must not
+// run queries through this engine (they would be rejected) and must pair any
+// physical mutation with NotifyDesignChange or RefreshStats so cached plans
+// over the old design become unreachable.
+func (e *Engine) Quiesce(fn func()) {
+	for i := 0; i < cap(e.slots); i++ {
+		e.slots <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(e.slots); i++ {
+			<-e.slots
+		}
+	}()
+	fn()
+}
+
 // RefreshStats re-analyzes every table (a database-wide ANALYZE), bumps the
 // statistics version, and invalidates the plan cache: no plan built against
 // the old statistics can be served afterwards.
 //
-// The refresh quiesces the engine first by taking every admission slot, so
-// statistics never change under a session that is planning or executing;
-// it blocks until in-flight sessions drain, and admissions arriving
-// meanwhile are rejected with ErrOverloaded.
+// The refresh quiesces the engine first (see Quiesce), so statistics never
+// change under a session that is planning or executing.
 func (e *Engine) RefreshStats(buckets, sampleSize int) {
-	for i := 0; i < cap(e.slots); i++ {
-		e.slots <- struct{}{}
-	}
-	e.cat.AnalyzeAll(buckets, sampleSize)
+	e.Quiesce(func() {
+		e.cat.AnalyzeAll(buckets, sampleSize)
+		e.mu.Lock()
+		e.statsVersion++
+		e.mu.Unlock()
+		e.cache.Invalidate()
+		e.opts.Metrics.Counter("engine.stats_refreshes").Inc()
+	})
+}
+
+// DesignVersion returns the physical-design version. It starts at zero and
+// increments on every NotifyDesignChange (and SetRewriters).
+func (e *Engine) DesignVersion() int {
 	e.mu.Lock()
-	e.statsVersion++
+	defer e.mu.Unlock()
+	return e.designVersion
+}
+
+// NotifyDesignChange records a physical-design mutation — an index built or
+// dropped, a view table filled or emptied: it bumps the design version,
+// making every cached plan key unreachable, and drops the cache. Callers
+// mutating the catalog of a live engine must do so under Quiesce and call
+// this before releasing it.
+func (e *Engine) NotifyDesignChange() {
+	e.mu.Lock()
+	e.designVersion++
 	e.mu.Unlock()
 	e.cache.Invalidate()
-	e.opts.Metrics.Counter("engine.stats_refreshes").Inc()
-	for i := 0; i < cap(e.slots); i++ {
-		<-e.slots
-	}
+	e.opts.Metrics.Counter("engine.design_changes").Inc()
+}
+
+// SetRewriters installs the query rewriters applied, in order, before
+// planning — materialized views substituting for join pairs. Installing
+// counts as a design change (the same statement now plans to a different
+// tree), so the plan cache is invalidated through NotifyDesignChange.
+func (e *Engine) SetRewriters(rs []plan.QueryRewriter) {
+	e.mu.Lock()
+	e.rewriters = append([]plan.QueryRewriter(nil), rs...)
+	e.mu.Unlock()
+	e.NotifyDesignChange()
 }
 
 // SetEstimator installs (or, with a nil estimator, removes) the learned
@@ -243,16 +296,23 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 	defer sp.End()
 
 	e.mu.Lock()
-	statsV, estV, learned := e.statsVersion, e.estVersion, e.learned
+	statsV, estV, designV, learned := e.statsVersion, e.estVersion, e.designVersion, e.learned
+	rewriters := e.rewriters
 	e.mu.Unlock()
 
+	// The statement shape is computed from the caller's query, so one
+	// statement keeps one identity (and one querystore record) across design
+	// changes; the plan is built from the rewritten query. Rewriters only
+	// change together with a design-version bump, so a cached plan under
+	// this key always matches this rewrite.
 	shape := queryShape(q, hint.Name)
-	key := cacheKey(shape, statsV, estV)
+	exq, posMap := applyRewriters(q, rewriters)
+	key := cacheKey(shape, statsV, estV, designV)
 	p, hit := e.cache.Get(key)
 	fallback := false
 	if !hit {
 		var err error
-		p, fallback, err = e.plan(q, hint, learned)
+		p, fallback, err = e.plan(exq, hint, learned)
 		if err != nil {
 			m.Counter("engine.plan_errors").Inc()
 			return nil, err
@@ -265,7 +325,7 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 	sp.SetStr("hint", hint.Name).SetInt("cache_hit", boolInt(hit))
 
 	res, err := e.exc.Execute(p, exec.Options{Budget: budget, Analyze: analyze, Span: sp})
-	out := &Result{Result: res, Plan: p, CacheHit: hit, Fallback: fallback, EstimatorVersion: estV}
+	out := &Result{Result: res, Plan: p, CacheHit: hit, Fallback: fallback, EstimatorVersion: estV, Query: exq, PosMap: posMap}
 	budgetAbort := err != nil && errors.Is(err, exec.ErrWorkBudgetExceeded)
 	if budgetAbort {
 		m.Counter("engine.budget_aborts").Inc()

@@ -68,7 +68,7 @@ func TestQuerystoreEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rr.Columns) != 12 || rr.Columns[0] != "stmt_id" {
+	if len(rr.Columns) != 14 || rr.Columns[0] != "stmt_id" {
 		t.Fatalf("columns = %v", rr.Columns)
 	}
 	if len(rr.Rows) != 2 {

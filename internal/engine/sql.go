@@ -33,21 +33,29 @@ func (s *Session) Query(sql string) (*RowsResult, error) {
 	}
 
 	// The optimizer reorders join leaves, so the executor's output columns
-	// are laid out in plan-leaf order, not FROM order. Recover each FROM
-	// position's base offset from the executed plan.
+	// are laid out in plan-leaf order, not FROM order — and a view rewrite
+	// may have folded several FROM tables into one wider view table. Recover
+	// each executed position's base offset from the plan, then route each
+	// FROM-relative column through the rewrite's position map.
+	exq := res.Query
 	leaves := res.Plan.Tables()
 	base := make(map[int]int, len(leaves))
 	off := 0
 	for _, pos := range leaves {
 		base[pos] = off
-		off += s.eng.cat.Table(st.Query.Tables[pos]).NumCols()
+		off += s.eng.cat.Table(exq.Tables[pos]).NumCols()
 	}
 	colOffset := func(c sqlparse.ColRef) (int, error) {
-		b, ok := base[c.TablePos]
+		pos, shift := c.TablePos, 0
+		if res.PosMap != nil {
+			pm := res.PosMap[c.TablePos]
+			pos, shift = pm.Pos, pm.ColShift
+		}
+		b, ok := base[pos]
 		if !ok {
 			return 0, fmt.Errorf("engine: query table position %d missing from executed plan", c.TablePos)
 		}
-		return b + c.Col, nil
+		return b + shift + c.Col, nil
 	}
 
 	rows := res.Rows

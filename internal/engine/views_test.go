@@ -1,0 +1,93 @@
+package engine_test
+
+import (
+	"testing"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/qo"
+	"ml4db/internal/sqlkit/plan"
+	"ml4db/internal/views"
+)
+
+// TestViewRewriteCoherenceAndStaleness covers the engine side of view
+// adoption: installing a rewriter invalidates cached plans and reroutes the
+// query through the view without changing results; a stale view keeps
+// serving its materialization-time snapshot even after base tables grow and
+// statistics refresh; removing the rewriter invalidates again and restores
+// fresh base-table results.
+func TestViewRewriteCoherenceAndStaleness(t *testing.T) {
+	sch := chainCatalog(t, 21)
+	eng := engine.New(sch.Cat, engine.Options{})
+	sess := eng.Session()
+	q := chainQuery(sch)
+
+	warm, err := sess.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sess.Run(q); err != nil || !res.CacheHit {
+		t.Fatalf("warm replay: err=%v hit=%v, want cached", err, res.CacheHit)
+	}
+
+	v, err := views.Materialize(qo.NewEnv(sch.Cat),
+		views.Candidate{LeftID: sch.TableIDs[0], RightID: sch.TableIDs[1], LeftCol: 1, RightCol: 0}, "v01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetRewriters([]plan.QueryRewriter{v})
+
+	through, err := sess.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if through.CacheHit {
+		t.Error("cached plan served after a rewriter install")
+	}
+	if len(through.Rows) != len(warm.Rows) {
+		t.Fatalf("rows through view = %d, base = %d", len(through.Rows), len(warm.Rows))
+	}
+	if through.Query == nil || through.Query.NumTables() != 2 {
+		t.Fatalf("executed query not rewritten: %+v", through.Query)
+	}
+	if through.PosMap == nil {
+		t.Fatal("rewritten result carries no position map")
+	}
+	if res, err := sess.Run(q); err != nil || !res.CacheHit {
+		t.Fatalf("replay through view: err=%v hit=%v, want cached", err, res.CacheHit)
+	}
+
+	// Base growth the view does not reflect: 50 fresh t0 rows that pass the
+	// filter and join all the way through.
+	t0 := sch.Cat.Table(sch.TableIDs[0])
+	for i := 0; i < 50; i++ {
+		if err := t0.AppendRow([]int64{int64(400 + i), int64(i % 200), 999}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RefreshStats(32, 512)
+	stale, err := sess.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale.Rows) != len(warm.Rows) {
+		t.Fatalf("stale view rows = %d, want the materialization-time %d (views do not auto-refresh)",
+			len(stale.Rows), len(warm.Rows))
+	}
+
+	// Dropping the rewriter is the invalidation contract: the next run
+	// re-plans over base tables and sees the new rows.
+	eng.SetRewriters(nil)
+	fresh, err := sess.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.CacheHit {
+		t.Error("cached plan served after a rewriter removal")
+	}
+	if fresh.PosMap != nil || fresh.Query.NumTables() != 3 {
+		t.Errorf("post-removal query still rewritten: tables=%d posmap=%v", fresh.Query.NumTables(), fresh.PosMap)
+	}
+	if len(fresh.Rows) != len(warm.Rows)+50 {
+		t.Fatalf("fresh rows = %d, want %d (base growth visible again)", len(fresh.Rows), len(warm.Rows)+50)
+	}
+}

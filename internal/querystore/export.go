@@ -37,6 +37,8 @@ type statementJSON struct {
 	QErrCount    int64   `json:"qerr_count"`
 	QErrMean     float64 `json:"qerr_mean"`
 	QErrMax      float64 `json:"qerr_max"`
+	LastWindow   int64   `json:"last_seen_window"`
+	RowsPerCall  float64 `json:"rows_per_call"`
 }
 
 type heatJSON struct {
@@ -128,6 +130,7 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 			BudgetAborts: st.BudgetAborts, TotalWork: st.TotalWork,
 			MaxWork: st.MaxWork, TotalRows: st.TotalRows, PageMisses: st.PageMisses,
 			QErrCount: st.QErrCount, QErrMean: st.QErrMean(), QErrMax: st.QErrMax,
+			LastWindow: st.LastWindow, RowsPerCall: st.RowsPerCall(),
 		}
 		if err := enc.Encode(line); err != nil {
 			return err
@@ -193,7 +196,7 @@ var requiredFields = map[string][]string{
 	"querystore": {"schema", "statements", "heat", "windows", "drift", "models", "dropped"},
 	"statement": {"id", "shape", "calls", "cache_hits", "fallbacks", "budget_aborts",
 		"total_work", "max_work", "total_rows", "page_misses",
-		"qerr_count", "qerr_mean", "qerr_max"},
+		"qerr_count", "qerr_mean", "qerr_max", "last_seen_window", "rows_per_call"},
 	"heat":   {"table", "col", "filters", "joins", "sel_count", "sel_mean"},
 	"window": {"id", "start_ms", "end_ms", "queries", "cache_hits", "fallbacks", "budget_aborts", "total_work", "total_rows", "page_misses", "pool_hits", "pool_misses", "qerr"},
 	"drift":  {"seq", "kind", "at_ms", "est_version", "before", "after", "evidence"},

@@ -7,6 +7,7 @@ import (
 
 	"ml4db/internal/mlmath"
 	"ml4db/internal/sqlkit/catalog"
+	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/plan"
 	"ml4db/internal/storage"
 )
@@ -85,6 +86,16 @@ type StatementStats struct {
 	QErrCount int64
 	QErrSum   float64
 	QErrMax   float64
+	// LastWindow is the index of the window ring the statement's most recent
+	// call landed in — the recency signal tuning loops rank by, so a
+	// once-hot statement ages out of the mined workload.
+	LastWindow int64
+	// Template is a representative query reconstructed from the statement's
+	// first harvested plan: the executed leaves give tables and filters, the
+	// join nodes give join conditions. It is nil when the store has no
+	// catalog or no plan was harvested, and shared across snapshots —
+	// callers must treat it as read-only.
+	Template *plan.Query
 }
 
 // QErrMean returns the mean per-call q-error, or 0 with no samples.
@@ -93,6 +104,14 @@ func (s StatementStats) QErrMean() float64 {
 		return 0
 	}
 	return s.QErrSum / float64(s.QErrCount)
+}
+
+// RowsPerCall returns the mean result rows per call, or 0 with no calls.
+func (s StatementStats) RowsPerCall() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.TotalRows) / float64(s.Calls)
 }
 
 // ColumnHeat is the observed pressure on one table column: how often it
@@ -220,6 +239,10 @@ func (s *Store) recordStatementLocked(o Observation, h harvestResult) {
 	}
 	e.TotalRows += o.Rows
 	e.PageMisses += o.PageMisses
+	e.LastWindow = s.cur.index
+	if e.Template == nil && h.tmpl != nil {
+		e.Template = h.tmpl
+	}
 	if h.ok {
 		e.QErrCount++
 		e.QErrSum += h.qerrMean
@@ -306,6 +329,7 @@ type harvestResult struct {
 	qerrMean float64
 	qerrMax  float64
 	heat     []heatSample
+	tmpl     *plan.Query // reconstructed template, or nil
 }
 
 type heatSample struct {
@@ -338,7 +362,93 @@ func (s *Store) harvest(o Observation) harvestResult {
 		h.ok = true
 		h.qerrMean = sum / float64(nodes)
 	}
+	if s.opts.Catalog != nil && s.needsTemplate(o.Shape) {
+		h.tmpl = reconstructQuery(s.opts.Catalog, o.Plan)
+	}
 	return h
+}
+
+// needsTemplate reports whether the shape's statement record still lacks a
+// template, so harvest only pays the reconstruction walk once per shape.
+func (s *Store) needsTemplate(shape string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.stmts[shape]
+	return !ok || e.Template == nil
+}
+
+// reconstructQuery rebuilds a plan.Query from an executed plan tree: each
+// leaf contributes its table and filters at its original table position, and
+// each join node contributes a join condition with its key columns resolved
+// back to base (position, column) pairs. Returns nil when the tree's
+// positions do not form a dense 0..n-1 range or a join key cannot be
+// resolved — the template is a best-effort mining input, not an invariant.
+func reconstructQuery(cat *catalog.Catalog, p *plan.Node) *plan.Query {
+	var leaves []*plan.Node
+	maxPos := -1
+	p.Walk(func(n *plan.Node) {
+		if n.IsLeaf() {
+			leaves = append(leaves, n)
+			if n.TablePos > maxPos {
+				maxPos = n.TablePos
+			}
+		}
+	})
+	if len(leaves) == 0 || maxPos != len(leaves)-1 {
+		return nil
+	}
+	tables := make([]int, len(leaves))
+	filled := make([]bool, len(leaves))
+	for _, l := range leaves {
+		if filled[l.TablePos] {
+			return nil
+		}
+		filled[l.TablePos] = true
+		tables[l.TablePos] = l.TableID
+	}
+	q := plan.NewQuery(tables...)
+	for _, l := range leaves {
+		for _, f := range l.Filters {
+			q.AddFilter(l.TablePos, f)
+		}
+	}
+	ok := true
+	p.Walk(func(n *plan.Node) {
+		if n.IsLeaf() || len(n.Children) != 2 || !ok {
+			return
+		}
+		lp, lc, lok := resolveOutputPos(cat, n.Children[0], n.LeftCol)
+		rp, rc, rok := resolveOutputPos(cat, n.Children[1], n.RightCol)
+		if !lok || !rok {
+			ok = false
+			return
+		}
+		q.AddJoin(expr.JoinCond{LeftTable: lp, LeftCol: lc, RightTable: rp, RightCol: rc})
+	})
+	if !ok {
+		return nil
+	}
+	return q
+}
+
+// resolveOutputPos maps an output-relative column offset of a subtree back
+// to the (table position, column) leaf it came from.
+func resolveOutputPos(cat *catalog.Catalog, n *plan.Node, off int) (tablePos, col int, ok bool) {
+	if n.IsLeaf() {
+		w := cat.Table(n.TableID).NumCols()
+		if off < 0 || off >= w {
+			return 0, 0, false
+		}
+		return n.TablePos, off, true
+	}
+	for _, c := range n.Children {
+		w := outputWidth(cat, c)
+		if off < w {
+			return resolveOutputPos(cat, c, off)
+		}
+		off -= w
+	}
+	return 0, 0, false
 }
 
 // harvestHeat appends the node's heat samples. Scan leaves attribute the

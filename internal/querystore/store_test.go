@@ -235,3 +235,48 @@ func TestWindowRingCap(t *testing.T) {
 		t.Errorf("ring kept wrong windows: %+v", wins)
 	}
 }
+
+// TestRecencyAndTemplateHarvest pins the tuning-loop inputs: LastWindow
+// tracks the window of the most recent call, RowsPerCall averages result
+// sizes, and the first harvested plan reconstructs a statement template with
+// the executed tables, filters, and join conditions.
+func TestRecencyAndTemplateHarvest(t *testing.T) {
+	cat := twoColCatalog(t)
+	s, mc := manualStore(Options{Catalog: cat})
+
+	l := plan.NewScan(0, 0, []expr.Pred{{Col: 1, Op: expr.BETWEEN, Lo: 1, Hi: 3}})
+	l.EstRows, l.ActualRows = 4, 3
+	r := plan.NewScan(1, 1, nil)
+	r.EstRows, r.ActualRows = 20, 20
+	j := plan.NewJoin(plan.OpHashJoin, l, r, 0, 0)
+	j.EstRows, j.ActualRows = 10, 6
+
+	s.Record(Observation{Shape: "q", Plan: j, Rows: 6})
+	mc.Advance(3100 * time.Millisecond)
+	s.Record(Observation{Shape: "q", Plan: j, Rows: 2})
+
+	st := s.Statements()[0]
+	if st.LastWindow != 3 {
+		t.Errorf("LastWindow = %d, want 3 (the window of the latest call)", st.LastWindow)
+	}
+	if got := st.RowsPerCall(); got != 4 {
+		t.Errorf("RowsPerCall = %v, want 4", got)
+	}
+	tmpl := st.Template
+	if tmpl == nil {
+		t.Fatal("no template reconstructed despite a catalog and a harvested plan")
+	}
+	if tmpl.NumTables() != 2 || tmpl.Tables[0] != 0 || tmpl.Tables[1] != 1 {
+		t.Fatalf("template tables = %v, want [0 1]", tmpl.Tables)
+	}
+	if len(tmpl.Filters[0]) != 1 || tmpl.Filters[0][0].Op != expr.BETWEEN {
+		t.Errorf("template filters = %+v, want t0's BETWEEN preserved", tmpl.Filters)
+	}
+	if len(tmpl.Joins) != 1 || tmpl.Joins[0].LeftCol != 0 || tmpl.Joins[0].RightCol != 0 {
+		t.Errorf("template joins = %+v", tmpl.Joins)
+	}
+	// The template is captured once and shared read-only across snapshots.
+	if again := s.Statements()[0].Template; again != tmpl {
+		t.Error("template pointer changed between snapshots")
+	}
+}

@@ -34,7 +34,8 @@ func RegisterViews(cat *catalog.Catalog, s *Store) error {
 			ViewStatements,
 			[]string{"stmt_id", "calls", "cache_hits", "fallbacks", "budget_aborts",
 				"total_work", "max_work", "total_rows", "page_misses",
-				"qerr_count", "qerr_mean_milli", "qerr_max_milli"},
+				"qerr_count", "qerr_mean_milli", "qerr_max_milli",
+				"last_seen_window", "rows_per_call_milli"},
 			statementsView{s},
 		},
 		{
@@ -95,6 +96,7 @@ func (v statementsView) VirtualRows() [][]int64 {
 			st.ID, st.Calls, st.CacheHits, st.Fallbacks, st.BudgetAborts,
 			st.TotalWork, st.MaxWork, st.TotalRows, st.PageMisses,
 			st.QErrCount, milli(st.QErrMean()), milli(st.QErrMax),
+			st.LastWindow, milli(st.RowsPerCall()),
 		})
 	}
 	return rows

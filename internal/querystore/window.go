@@ -171,6 +171,25 @@ func (s *Store) sealLocked() []DriftEvent {
 	return s.evaluateDriftLocked(ws)
 }
 
+// LastWindowIndex returns the index of the current open window, or of the
+// most recently sealed one when none is open, or -1 before any observation.
+// Tuning trials anchor on it: "wait N more windows" means N sealed windows
+// with a larger index.
+func (s *Store) LastWindowIndex() int64 {
+	if s == nil {
+		return -1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curStarted {
+		return s.cur.index
+	}
+	if n := len(s.windows.wins); n > 0 {
+		return s.windows.wins[n-1].Index
+	}
+	return -1
+}
+
 // Windows returns the sealed windows, oldest first.
 func (s *Store) Windows() []WindowStats {
 	if s == nil {

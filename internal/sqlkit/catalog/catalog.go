@@ -122,6 +122,20 @@ func (c *Catalog) Add(t *Table) (int, error) {
 	return id, nil
 }
 
+// DropLast removes the table with the given ID, which must be the most
+// recently added one — the narrow removal what-if probes need: a transient
+// hypothetical table can be added, costed against, and removed again while
+// every other table keeps its ID. The caller must ensure no live plan or
+// view references the table.
+func (c *Catalog) DropLast(id int) error {
+	if id != len(c.Tables)-1 {
+		return fmt.Errorf("catalog: DropLast(%d): only the last table (%d) can be dropped", id, len(c.Tables)-1)
+	}
+	delete(c.byName, c.Tables[id].Name)
+	c.Tables = c.Tables[:id]
+	return nil
+}
+
 // MustAdd is Add for construction-time code where duplicates are bugs.
 func (c *Catalog) MustAdd(t *Table) int {
 	id, err := c.Add(t)

@@ -11,6 +11,12 @@ type SecondaryIndex struct {
 	Col  int
 	vals []int64
 	rows []int32
+	// Hypothetical marks a what-if index: it carries the column and projected
+	// size but no entries, so the optimizer costs plans through it while the
+	// executor refuses to scan it. Index advisors use hypothetical indexes to
+	// cost a candidate without paying its build.
+	Hypothetical bool
+	hypoRows     int
 }
 
 // BuildSecondaryIndex constructs the index over t's column col.
@@ -29,6 +35,14 @@ func BuildSecondaryIndex(t *Table, col int) *SecondaryIndex {
 	return ix
 }
 
+// NewHypotheticalIndex returns a what-if index over t's column col, sized as
+// if it were built now. Attach it with AddIndex to make the optimizer
+// consider index plans, cost them, and detach it with DropIndex afterwards;
+// executing a plan through it is an error.
+func NewHypotheticalIndex(t *Table, col int) *SecondaryIndex {
+	return &SecondaryIndex{Col: col, Hypothetical: true, hypoRows: t.NumRows()}
+}
+
 type byVal struct{ ix *SecondaryIndex }
 
 func (b byVal) Len() int { return len(b.ix.vals) }
@@ -43,8 +57,14 @@ func (b byVal) Swap(i, j int) {
 	b.ix.rows[i], b.ix.rows[j] = b.ix.rows[j], b.ix.rows[i]
 }
 
-// Len returns the number of indexed entries.
-func (ix *SecondaryIndex) Len() int { return len(ix.vals) }
+// Len returns the number of indexed entries (the projected count for a
+// hypothetical index).
+func (ix *SecondaryIndex) Len() int {
+	if ix.Hypothetical {
+		return ix.hypoRows
+	}
+	return len(ix.vals)
+}
 
 // RangeRows returns the row ids with column value in [lo, hi], in index
 // order.
@@ -57,8 +77,9 @@ func (ix *SecondaryIndex) RangeRows(lo, hi int64) []int32 {
 	return ix.rows[start:end]
 }
 
-// SizeBytes reports the index footprint.
-func (ix *SecondaryIndex) SizeBytes() int { return len(ix.vals) * 12 }
+// SizeBytes reports the index footprint (the projected footprint for a
+// hypothetical index).
+func (ix *SecondaryIndex) SizeBytes() int { return ix.Len() * 12 }
 
 // AddIndex attaches a secondary index to the table, replacing any previous
 // index on the same column.

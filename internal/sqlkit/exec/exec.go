@@ -323,6 +323,9 @@ func (s *execState) indexScan(n *plan.Node) ([][]int64, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("exec: no index on column %d of %s", n.IndexCol, t.Name)
 	}
+	if ix.Hypothetical {
+		return nil, fmt.Errorf("exec: index on column %d of %s is hypothetical (what-if only)", n.IndexCol, t.Name)
+	}
 	lo, hi, residual, ok := indexInterval(t, n)
 	if !ok {
 		return nil, fmt.Errorf("exec: IndexScan on %s has no interval predicate on c%d", t.Name, n.IndexCol)

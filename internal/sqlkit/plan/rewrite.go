@@ -1,0 +1,19 @@
+package plan
+
+// PosMap records where one original table position landed after a query
+// rewrite: the table position in the rewritten query, plus the offset that
+// position's columns start at inside the (possibly wider) rewritten table.
+// Column c of the original position is column ColShift+c of the rewritten
+// one, so maps from chained rewrites compose by adding shifts.
+type PosMap struct {
+	Pos      int
+	ColShift int
+}
+
+// QueryRewriter rewrites a query into an equivalent one over different
+// tables — a materialized view substituting for a join pair is the canonical
+// case. RewriteMapped must not mutate q; the returned map has one entry per
+// original table position. ok is false when the rewriter does not apply.
+type QueryRewriter interface {
+	RewriteMapped(q *Query) (nq *Query, m []PosMap, ok bool)
+}

@@ -113,11 +113,32 @@ func (m *Materialized) SizeBytes(cat *catalog.Catalog) int {
 	return t.NumRows() * t.NumCols() * 8
 }
 
+// NewHypothetical returns an unbuilt Materialized bound to an existing
+// catalog table laid out as (left columns, right columns). What-if costing
+// uses it to rewrite workload queries against a hypothetical view table —
+// one whose row count and statistics are estimates — without materializing
+// anything.
+func NewHypothetical(c Candidate, tableID, leftCols int) *Materialized {
+	return &Materialized{Cand: c, TableID: tableID, leftCols: leftCols}
+}
+
+// LeftCols returns the left table's column count in the view's layout.
+func (m *Materialized) LeftCols() int { return m.leftCols }
+
 // Rewrite replaces the first occurrence of the view's join pair in q with
 // the materialized view: the two base tables become one view table, filters
 // move to the view's columns, and remaining joins re-anchor onto it.
 // ok is false when q does not contain the pair.
 func (m *Materialized) Rewrite(q *plan.Query) (*plan.Query, bool) {
+	nq, _, ok := m.RewriteMapped(q)
+	return nq, ok
+}
+
+// RewriteMapped is Rewrite plus the per-position map engine-side rewriting
+// needs to route result columns: entry i gives the rewritten-query position
+// of original position i and the offset its columns start at there. It
+// implements plan.QueryRewriter.
+func (m *Materialized) RewriteMapped(q *plan.Query) (*plan.Query, []plan.PosMap, bool) {
 	matchIdx := -1
 	var lPos, rPos int
 	for i, j := range q.Joins {
@@ -128,7 +149,7 @@ func (m *Materialized) Rewrite(q *plan.Query) (*plan.Query, bool) {
 		}
 	}
 	if matchIdx < 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	// New table list: all tables except lPos/rPos, plus the view at the end.
 	var newTables []int
@@ -170,7 +191,12 @@ func (m *Materialized) Rewrite(q *plan.Query) (*plan.Query, bool) {
 		rp, rc := mapCol(j.RightTable, j.RightCol)
 		nq.AddJoin(expr.JoinCond{LeftTable: lp, LeftCol: lc, RightTable: rp, RightCol: rc})
 	}
-	return nq, true
+	pm := make([]plan.PosMap, len(q.Tables))
+	for pos := range q.Tables {
+		np, shift := mapCol(pos, 0)
+		pm[pos] = plan.PosMap{Pos: np, ColShift: shift}
+	}
+	return nq, pm, true
 }
 
 // Advisor selects views under a storage budget with a learned benefit model.
@@ -250,6 +276,13 @@ func dropView(cat *catalog.Catalog, v *Materialized) {
 		t.Data[c] = nil
 	}
 }
+
+// Drop empties the view's backing table in place, reclaiming its storage
+// while keeping the catalog's ID space stable. The caller must stop
+// rewriting through the view first (and invalidate any cached plans over
+// it): an emptied view that still receives rewrites would silently return no
+// rows.
+func Drop(cat *catalog.Catalog, v *Materialized) { dropView(cat, v) }
 
 // Select greedily picks views maximizing measured benefit per byte under the
 // storage budget — the execution-feedback-driven selection loop (AVGDL's RL

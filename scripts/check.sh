@@ -91,4 +91,12 @@ echo "==> querystore smoke (statement accounting + sys views + replay export)"
 go run ./cmd/ml4db-bench -querystore -quick -querystore-out "$obsdir/BENCH_querystore.json" -querystore-export "$obsdir/querystore.jsonl"
 go run ./cmd/ml4db-tracecheck -querystore "$obsdir/querystore.jsonl"
 
+# Autopilot smoke: close the self-driving loop on live telemetry — a mined
+# beneficial index adopted and kept through its shadow trial, an unselective
+# candidate rejected at the what-if gate, a stale-stats-baited harmful view
+# adopted then auto-dropped, byte-identical two-replay event ledgers, and
+# sys_tuning read back through SQL. The bench exits nonzero on any violation.
+echo "==> autopilot smoke (index adoption + canary revert + replay)"
+go run ./cmd/ml4db-bench -autopilot -quick -autopilot-out "$obsdir/BENCH_autopilot.json"
+
 echo "All checks passed."
