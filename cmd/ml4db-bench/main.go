@@ -84,7 +84,17 @@ func main() {
 	storageOut := flag.String("storage-out", "BENCH_storage.json", "output file for -storage results")
 	autopilotBench := flag.Bool("autopilot", false, "benchmark the self-driving tuning loop (index adoption, canary revert, replay)")
 	autopilotOut := flag.String("autopilot-out", "BENCH_autopilot.json", "output file for -autopilot results")
+	execBench := flag.Bool("exec", false, "benchmark partitioned parallel execution (speedup, bit-identity, abort identity, cache coherence)")
+	execOut := flag.String("exec-out", "BENCH_exec.json", "output file for -exec results")
 	flag.Parse()
+
+	if *execBench {
+		if err := runExecBench(*seed, *execOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "ml4db-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *autopilotBench {
 		if err := runAutopilotBench(*seed, *autopilotOut, *quick); err != nil {

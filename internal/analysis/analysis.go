@@ -83,6 +83,7 @@ var corePkgSegments = map[string]bool{
 	"obs":          true,
 	"modelsvc":     true,
 	"engine":       true,
+	"exec":         true,
 	"storage":      true,
 	"querystore":   true,
 	"autopilot":    true,

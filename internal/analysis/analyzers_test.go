@@ -29,6 +29,10 @@ func TestDeterminismFiresInAutopilot(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/autopilot")
 }
 
+func TestDeterminismFiresInExec(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "determinism/exec")
+}
+
 func TestDeterminismSilentOnCleanCoreCode(t *testing.T) {
 	runFixture(t, DeterminismAnalyzer, "determinism/clean/mlmath")
 }

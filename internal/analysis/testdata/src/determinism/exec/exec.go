@@ -1,0 +1,42 @@
+// Package exec is a determinism fixture: the query executor is a core
+// package because parallel runs must be bit-identical to serial ones.
+// Wall-clock reads, ad-hoc goroutine fan-out, and map-order result merging
+// must fire here. The real executor takes an injected mlmath.Clock, shards
+// through mlmath.Pool.ForEachShard, and emits aggregate groups through a
+// sorted key slice.
+package exec
+
+import (
+	"sort"
+	"time"
+)
+
+// RunShards mirrors an exchange operator that wrongly spawns its own
+// goroutines per shard and stamps the merge with the wall clock.
+func RunShards(shards [][]int64) time.Time {
+	for _, sh := range shards {
+		go func(sh []int64) { _ = sh }(sh) // want "goroutine"
+	}
+	return time.Now() // want "time.Now"
+}
+
+// MergeGroups mirrors an aggregate merge that ranges over the group map:
+// row order would depend on map iteration order.
+func MergeGroups(groups map[int64]int64) [][]int64 {
+	var rows [][]int64
+	for k, v := range groups {
+		rows = append(rows, []int64{k, v}) // want "nondeterministic"
+	}
+
+	// Sorted-key emission: well-defined order, no finding.
+	var keys []int64
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sorted := make([][]int64, 0, len(keys))
+	for _, k := range keys {
+		sorted = append(sorted, []int64{k, groups[k]})
+	}
+	return append(rows, sorted...)
+}

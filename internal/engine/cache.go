@@ -14,12 +14,17 @@ import (
 
 // cacheKey renders the canonical identity of a planning problem: the
 // normalized query shape plus the statistics, estimator, and physical-design
-// versions the plan would be built against. The version prefix makes every
-// entry planned against stale statistics, a superseded estimator, or a
+// versions the plan would be built against, and the parallelism degree the
+// optimizer would cost the Partitions knob with. The version prefix makes
+// every entry planned against stale statistics, a superseded estimator, or a
 // changed physical design (an index built or dropped, a view installed)
-// unreachable without scanning the cache.
-func cacheKey(shape string, statsVersion, estimatorVersion, designVersion int) string {
-	return fmt.Sprintf("s%d/e%d/d%d/%s", statsVersion, estimatorVersion, designVersion, shape)
+// unreachable without scanning the cache; the parallelism component keeps a
+// plan partitioned for one degree from being served at another (and lets
+// entries for a prior degree become reachable again when the knob switches
+// back — no invalidation needed, since executions are bit-identical across
+// degrees and only the costing differs).
+func cacheKey(shape string, statsVersion, estimatorVersion, designVersion, parallelism int) string {
+	return fmt.Sprintf("s%d/e%d/d%d/p%d/%s", statsVersion, estimatorVersion, designVersion, parallelism, shape)
 }
 
 // applyRewriters folds q through each rewriter once, in order, composing the
@@ -75,6 +80,12 @@ func queryShape(q *plan.Query, hintName string) string {
 	sort.Slice(joins, func(i, j int) bool { return joinLess(joins[i], joins[j]) })
 	for _, j := range joins {
 		fmt.Fprintf(&b, "|%s", j)
+	}
+	if q.Agg != nil {
+		fmt.Fprintf(&b, "|G%d.c%d", q.Agg.GroupTable, q.Agg.GroupCol)
+		for _, sc := range q.Agg.Sums {
+			fmt.Fprintf(&b, "|S%d.c%d", sc.Table, sc.Col)
+		}
 	}
 	return b.String()
 }

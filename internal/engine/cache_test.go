@@ -21,14 +21,14 @@ func twoTableQuery(mutate func(q *plan.Query)) *plan.Query {
 }
 
 func TestCacheKeyNormalization(t *testing.T) {
-	base := cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 2, 0)
+	base := cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 2, 0, 1)
 
 	// Filter order is incidental: reversed filters share the key.
 	reordered := plan.NewQuery(3, 5)
 	reordered.AddFilter(0, expr.Pred{Col: 2, Op: expr.EQ, Lo: 7})
 	reordered.AddFilter(0, expr.Pred{Col: 1, Op: expr.GE, Lo: 10})
 	reordered.AddJoin(expr.JoinCond{LeftTable: 0, LeftCol: 0, RightTable: 1, RightCol: 0})
-	if got := cacheKey(queryShape(reordered, "default"), 1, 2, 0); got != base {
+	if got := cacheKey(queryShape(reordered, "default"), 1, 2, 0, 1); got != base {
 		t.Errorf("filter order changed the key:\n%s\nvs\n%s", got, base)
 	}
 
@@ -36,20 +36,21 @@ func TestCacheKeyNormalization(t *testing.T) {
 	flipped := twoTableQuery(func(q *plan.Query) {
 		q.Joins = []expr.JoinCond{{LeftTable: 1, LeftCol: 0, RightTable: 0, RightCol: 0}}
 	})
-	if got := cacheKey(queryShape(flipped, "default"), 1, 2, 0); got != base {
+	if got := cacheKey(queryShape(flipped, "default"), 1, 2, 0, 1); got != base {
 		t.Errorf("join orientation changed the key:\n%s\nvs\n%s", got, base)
 	}
 
 	// Everything that changes the planning problem changes the key.
 	distinct := map[string]string{
-		"literal":    cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Lo = 11 }), "default"), 1, 2, 0),
-		"operator":   cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Op = expr.LE }), "default"), 1, 2, 0),
-		"table":      cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Tables[1] = 6 }), "default"), 1, 2, 0),
-		"join col":   cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Joins[0].RightCol = 1 }), "default"), 1, 2, 0),
-		"hint":       cacheKey(queryShape(twoTableQuery(nil), "hash-only"), 1, 2, 0),
-		"stats ver":  cacheKey(queryShape(twoTableQuery(nil), "default"), 2, 2, 0),
-		"est ver":    cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 3, 0),
-		"design ver": cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 2, 1),
+		"literal":    cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Lo = 11 }), "default"), 1, 2, 0, 1),
+		"operator":   cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Filters[0][0].Op = expr.LE }), "default"), 1, 2, 0, 1),
+		"table":      cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Tables[1] = 6 }), "default"), 1, 2, 0, 1),
+		"join col":   cacheKey(queryShape(twoTableQuery(func(q *plan.Query) { q.Joins[0].RightCol = 1 }), "default"), 1, 2, 0, 1),
+		"hint":       cacheKey(queryShape(twoTableQuery(nil), "hash-only"), 1, 2, 0, 1),
+		"stats ver":  cacheKey(queryShape(twoTableQuery(nil), "default"), 2, 2, 0, 1),
+		"est ver":    cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 3, 0, 1),
+		"design ver": cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 2, 1, 1),
+		"par degree": cacheKey(queryShape(twoTableQuery(nil), "default"), 1, 2, 0, 4),
 	}
 	seen := map[string]string{base: "base"}
 	for what, key := range distinct {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"ml4db/internal/mlmath"
 	"ml4db/internal/modelsvc"
 	"ml4db/internal/obs"
 	"ml4db/internal/querystore"
@@ -62,6 +63,11 @@ type Options struct {
 	// model event per estimator install, and New registers the sys_* system
 	// views over it in the catalog. A nil store is off and free.
 	Store *querystore.Store
+	// Pool, when non-nil, runs partitioned operators' shards in parallel and
+	// sets the initial parallelism degree to its worker count (see
+	// SetParallelism). Executions are bit-identical with or without a pool;
+	// only latency changes.
+	Pool *mlmath.Pool
 }
 
 // Result is the outcome of one engine query.
@@ -103,6 +109,7 @@ type Engine struct {
 	statsVersion  int
 	estVersion    int
 	designVersion int
+	parallelism   int
 	rewriters     []plan.QueryRewriter
 	learned       optimizer.CardEstimator
 	classical     *optimizer.Optimizer
@@ -133,6 +140,7 @@ func New(cat *catalog.Catalog, opts Options) *Engine {
 	}
 	e.exc.Trace = opts.Trace
 	e.exc.Metrics = opts.Metrics
+	e.parallelism = opts.Pool.Workers() // nil pool reports 1: serial
 	return e
 }
 
@@ -157,6 +165,28 @@ func (e *Engine) EstimatorVersion() int {
 
 // CachedPlans returns the number of plans currently cached.
 func (e *Engine) CachedPlans() int { return e.cache.Len() }
+
+// Parallelism returns the current parallelism degree the optimizer costs the
+// Partitions knob with (1 = serial planning).
+func (e *Engine) Parallelism() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parallelism
+}
+
+// SetParallelism changes the parallelism degree for subsequent planning.
+// Values below one clamp to one. No cache invalidation is needed: the cache
+// key carries the degree, so plans for the old degree simply become
+// unreachable — and become reachable again if the degree switches back,
+// which is sound because execution results are bit-identical across degrees.
+func (e *Engine) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	e.mu.Lock()
+	e.parallelism = p
+	e.mu.Unlock()
+}
 
 // Quiesce runs fn with the engine drained: every admission slot is held, so
 // no session is planning or executing while fn mutates shared state — the
@@ -297,6 +327,7 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 
 	e.mu.Lock()
 	statsV, estV, designV, learned := e.statsVersion, e.estVersion, e.designVersion, e.learned
+	par := e.parallelism
 	rewriters := e.rewriters
 	e.mu.Unlock()
 
@@ -306,13 +337,18 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 	// change together with a design-version bump, so a cached plan under
 	// this key always matches this rewrite.
 	shape := queryShape(q, hint.Name)
+	// View-substitution rewriters do not remap aggregation specs, so
+	// aggregating queries plan against their original tables.
+	if q.Agg != nil {
+		rewriters = nil
+	}
 	exq, posMap := applyRewriters(q, rewriters)
-	key := cacheKey(shape, statsV, estV, designV)
+	key := cacheKey(shape, statsV, estV, designV, par)
 	p, hit := e.cache.Get(key)
 	fallback := false
 	if !hit {
 		var err error
-		p, fallback, err = e.plan(exq, hint, learned)
+		p, fallback, err = e.plan(exq, hint, learned, par)
 		if err != nil {
 			m.Counter("engine.plan_errors").Inc()
 			return nil, err
@@ -324,7 +360,7 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 	}
 	sp.SetStr("hint", hint.Name).SetInt("cache_hit", boolInt(hit))
 
-	res, err := e.exc.Execute(p, exec.Options{Budget: budget, Analyze: analyze, Span: sp})
+	res, err := e.exc.Execute(p, exec.Options{Budget: budget, Analyze: analyze, Span: sp, Pool: e.opts.Pool})
 	out := &Result{Result: res, Plan: p, CacheHit: hit, Fallback: fallback, EstimatorVersion: estV, Query: exq, PosMap: posMap}
 	budgetAbort := err != nil && errors.Is(err, exec.ErrWorkBudgetExceeded)
 	if budgetAbort {
@@ -358,20 +394,24 @@ func (e *Engine) run(q *plan.Query, hint optimizer.HintSet, budget *exec.Budget,
 // query is re-planned through the classical path (fallback=true). Planning
 // never lets a learned component's failure escape as a query failure unless
 // the classical path fails too.
-func (e *Engine) plan(q *plan.Query, hint optimizer.HintSet, learned optimizer.CardEstimator) (p *plan.Node, fallback bool, err error) {
+func (e *Engine) plan(q *plan.Query, hint optimizer.HintSet, learned optimizer.CardEstimator, parallelism int) (p *plan.Node, fallback bool, err error) {
+	// Each planning pass builds its own Optimizer so the parallelism degree
+	// is per-call state: the shared e.classical is never mutated, and a
+	// degree of 1 plans byte-identically to a pre-parallel optimizer.
+	classical := &optimizer.Optimizer{Cat: e.cat, Est: e.classical.Est, Cost: e.classical.Cost, IO: e.classical.IO, Parallelism: parallelism}
 	if learned == nil {
-		p, err = e.classical.Plan(q, hint)
+		p, err = classical.Plan(q, hint)
 		return p, false, err
 	}
 	g := &guardedEstimator{inner: learned, safe: e.classical.Est, limit: e.opts.EstimatorCallBudget}
-	opt := &optimizer.Optimizer{Cat: e.cat, Est: g, Cost: e.classical.Cost}
+	opt := &optimizer.Optimizer{Cat: e.cat, Est: g, Cost: e.classical.Cost, IO: e.classical.IO, Parallelism: parallelism}
 	p, err = opt.Plan(q, hint)
 	if err == nil && !g.failed {
 		return p, false, nil
 	}
 	// Learned path failed (planning error or tripped guard): classical
 	// re-plan, Bao-style.
-	p, err = e.classical.Plan(q, hint)
+	p, err = classical.Plan(q, hint)
 	return p, true, err
 }
 

@@ -1,0 +1,107 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ml4db/internal/engine"
+	"ml4db/internal/mlmath"
+	"ml4db/internal/obs"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// TestCacheCoherenceAcrossParallelism is the plan-cache coherence property
+// for the parallelism knob: a plan cached at one degree is never served at
+// another (the degree is part of the cache key), switching back re-hits the
+// old entry without invalidation, and results are bit-identical across
+// degrees — partitioning only trades latency.
+func TestCacheCoherenceAcrossParallelism(t *testing.T) {
+	sch := chainCatalog(t, 21)
+	pool := mlmath.NewPool(4)
+	defer pool.Close()
+	eng := engine.New(sch.Cat, engine.Options{Metrics: obs.NewRegistry(), Pool: pool})
+	q := chainQuery(sch)
+
+	if got := eng.Parallelism(); got != 4 {
+		t.Fatalf("initial Parallelism = %d, want the pool's 4 workers", got)
+	}
+
+	parRes, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := eng.Run(q); err != nil || !res.CacheHit {
+		t.Fatalf("warm replay at p=4: err=%v hit=%v, want cached", err, res.CacheHit)
+	}
+	sawPartitioned := false
+	parRes.Plan.Walk(func(n *plan.Node) {
+		if n.Partitions > 1 {
+			sawPartitioned = true
+		}
+	})
+	if !sawPartitioned {
+		t.Error("no operator partitioned at p=4; knob coherence test is vacuous")
+	}
+
+	// Drop to serial: the p=4 entry must become unreachable, the new plan
+	// must be fully serial, and the rows must not change.
+	eng.SetParallelism(1)
+	serRes, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serRes.CacheHit {
+		t.Error("plan cached at p=4 served at p=1")
+	}
+	serRes.Plan.Walk(func(n *plan.Node) {
+		if n.Partitions > 1 {
+			t.Errorf("p=1 plan still carries Partitions=%d on %v", n.Partitions, n.Op)
+		}
+	})
+	if !reflect.DeepEqual(parRes.Rows, serRes.Rows) {
+		t.Error("rows differ between p=4 and p=1 executions")
+	}
+	if parRes.Work != serRes.Work || parRes.Counters != serRes.Counters {
+		t.Errorf("work/counters differ across degrees: p=4 work=%d, p=1 work=%d", parRes.Work, serRes.Work)
+	}
+
+	// Switching back re-hits the original p=4 entry: no invalidation
+	// happened, the key just became reachable again.
+	eng.SetParallelism(4)
+	back, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.CacheHit {
+		t.Error("returning to p=4 did not re-hit the cached entry")
+	}
+	if back.Plan.String() != parRes.Plan.String() {
+		t.Errorf("re-hit plan differs from the original p=4 plan:\n%svs\n%s", back.Plan, parRes.Plan)
+	}
+
+	// Degrees clamp at one and are reflected by the getter.
+	eng.SetParallelism(0)
+	if got := eng.Parallelism(); got != 1 {
+		t.Errorf("SetParallelism(0) left Parallelism = %d, want clamp to 1", got)
+	}
+}
+
+// TestEngineWithoutPoolPlansSerially pins the default: no pool means degree
+// one, so plans are byte-identical to the pre-parallel engine and the
+// classical-coherence comparisons against fresh optimizers stay valid.
+func TestEngineWithoutPoolPlansSerially(t *testing.T) {
+	sch := chainCatalog(t, 22)
+	eng := engine.New(sch.Cat, engine.Options{})
+	if got := eng.Parallelism(); got != 1 {
+		t.Fatalf("Parallelism = %d without a pool, want 1", got)
+	}
+	res, err := eng.Run(chainQuery(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Plan.Walk(func(n *plan.Node) {
+		if n.Partitions > 1 {
+			t.Errorf("pool-less engine produced Partitions=%d on %v", n.Partitions, n.Op)
+		}
+	})
+}

@@ -69,7 +69,25 @@ func (p *Pool) Close() {
 // one extra item). The partition is a pure function of (n, w, s), which is
 // what makes parallel gradient reduction reproducible for a fixed worker
 // count.
+//
+// Degenerate inputs are clamped instead of misbehaving: n below zero counts
+// as zero, w below one counts as one (matching Workers() on a nil pool), a
+// negative shard is empty at the front ([0, 0)) and a shard at or past w is
+// empty at the back ([n, n)) — so every returned range satisfies
+// 0 ≤ lo ≤ hi ≤ n and iterating shards 0..w-1 always covers [0, n) exactly.
 func ShardRange(n, w, s int) (lo, hi int) {
+	if n < 0 {
+		n = 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	if s < 0 {
+		return 0, 0
+	}
+	if s >= w {
+		return n, n
+	}
 	q, r := n/w, n%w
 	lo = s*q + min(s, r)
 	hi = lo + q

@@ -35,6 +35,67 @@ func TestShardRangeCoversExactly(t *testing.T) {
 	}
 }
 
+// TestShardRangeEdgeCases pins the clamping contract for degenerate inputs:
+// before the fix, w=0 divided by zero and an out-of-range shard (s >= w with
+// w <= n) returned lo > n — e.g. ShardRange(10, 3, 5) was (16, 19).
+func TestShardRangeEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, w, s        int
+		wantLo, wantHi int
+	}{
+		{n: 0, w: 1, s: 0, wantLo: 0, wantHi: 0},   // empty input
+		{n: 0, w: 4, s: 2, wantLo: 0, wantHi: 0},   // empty input, many workers
+		{n: 10, w: 0, s: 0, wantLo: 0, wantHi: 10}, // w=0 clamps to one shard (was a division by zero)
+		{n: 10, w: -3, s: 0, wantLo: 0, wantHi: 10},
+		{n: -5, w: 2, s: 0, wantLo: 0, wantHi: 0}, // negative n counts as zero
+		{n: -5, w: 2, s: 1, wantLo: 0, wantHi: 0},
+		{n: 10, w: 3, s: -1, wantLo: 0, wantHi: 0},  // negative shard is empty at the front
+		{n: 10, w: 3, s: 3, wantLo: 10, wantHi: 10}, // shard index == w is empty at the back
+		{n: 10, w: 3, s: 5, wantLo: 10, wantHi: 10}, // was (16, 19): past the input
+		{n: 3, w: 8, s: 5, wantLo: 3, wantHi: 3},    // workers > n: trailing shards empty
+		{n: 3, w: 8, s: 2, wantLo: 2, wantHi: 3},
+		{n: 1, w: 1, s: 0, wantLo: 0, wantHi: 1},
+	}
+	for _, tc := range cases {
+		lo, hi := ShardRange(tc.n, tc.w, tc.s)
+		if lo != tc.wantLo || hi != tc.wantHi {
+			t.Errorf("ShardRange(%d, %d, %d) = [%d, %d), want [%d, %d)",
+				tc.n, tc.w, tc.s, lo, hi, tc.wantLo, tc.wantHi)
+		}
+		if lo < 0 || hi < lo || (tc.n > 0 && hi > tc.n) {
+			t.Errorf("ShardRange(%d, %d, %d) = [%d, %d): outside [0, n]",
+				tc.n, tc.w, tc.s, lo, hi)
+		}
+	}
+}
+
+// TestParallelForEdgeCases pins ForEachShard/ParallelFor behavior for n <= 0
+// and workers > n on real pools.
+func TestParallelForEdgeCases(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		calls := 0
+		p.ForEachShard(0, func(_, _, _ int) { calls++ })
+		p.ForEachShard(-4, func(_, _, _ int) { calls++ })
+		if calls != 0 {
+			t.Errorf("workers=%d: ForEachShard on empty input invoked fn %d times", workers, calls)
+		}
+		// n < workers clamps to n shards; every shard is non-empty and the
+		// shards cover [0, 3) exactly.
+		var visited int64
+		p.ParallelFor(3, func(lo, hi int) {
+			if hi <= lo {
+				t.Errorf("workers=%d: empty shard [%d,%d)", workers, lo, hi)
+			}
+			atomic.AddInt64(&visited, int64(hi-lo))
+		})
+		if visited != 3 {
+			t.Errorf("workers=%d: visited %d of 3 items", workers, visited)
+		}
+		p.Close()
+	}
+}
+
 func TestShardRangeBalanced(t *testing.T) {
 	// No shard may exceed another by more than one item.
 	for _, tc := range [][2]int{{10, 3}, {16, 4}, {7, 8}, {1000, 6}} {

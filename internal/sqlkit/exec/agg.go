@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"sort"
+
+	"ml4db/internal/mlmath"
+	"ml4db/internal/sqlkit/plan"
+)
+
+// aggCell accumulates one group: COUNT(*) plus one running sum per SumCol.
+type aggCell struct {
+	count int64
+	sums  []int64
+}
+
+// hashAgg groups the single child's rows by GroupCol and emits one row per
+// group — [group, COUNT(*), SUM(col)...] — in ascending group order. Each
+// input row charges AggInput; each emitted group charges OutputTuple and one
+// materialized row. With Partitions > 1 the accumulation phase runs over
+// contiguous input shards whose partial maps merge order-insensitively
+// (counts and sums are commutative), so the sorted emission is bit-identical
+// to the serial run.
+func (s *execState) hashAgg(n *plan.Node) ([][]int64, error) {
+	in, err := s.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[int64]*aggCell)
+	accumulate := func(cells map[int64]*aggCell, row []int64) {
+		cell := cells[row[n.GroupCol]]
+		if cell == nil {
+			cell = &aggCell{sums: make([]int64, len(n.SumCols))}
+			cells[row[n.GroupCol]] = cell
+		}
+		cell.count++
+		for i, c := range n.SumCols {
+			cell.sums[i] += row[c]
+		}
+	}
+	if n.Partitions > 1 {
+		// Shards accumulate private partial maps and log their AggInput
+		// charges; the coordinator replays the logs in shard order (so a
+		// budget abort lands exactly where the serial input loop would have
+		// aborted) and merges the partials.
+		parts := n.Partitions
+		partials := make([]map[int64]*aggCell, parts)
+		if _, err := s.runPartitioned(parts, func(k int, lg *shardLog) {
+			lo, hi := mlmath.ShardRange(len(in), parts, k)
+			partials[k] = make(map[int64]*aggCell)
+			for _, row := range in[lo:hi] {
+				if !lg.charge(kAggInput, 1) {
+					return
+				}
+				accumulate(partials[k], row)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		for _, part := range partials {
+			for k, cell := range part {
+				dst := groups[k]
+				if dst == nil {
+					groups[k] = cell
+					continue
+				}
+				dst.count += cell.count
+				for i, v := range cell.sums {
+					dst.sums[i] += v
+				}
+			}
+		}
+	} else {
+		for _, row := range in {
+			if err := s.charge(&s.ctr.AggInput, 1); err != nil {
+				return nil, err
+			}
+			accumulate(groups, row)
+		}
+	}
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([][]int64, 0, len(keys))
+	for _, k := range keys {
+		if err := s.charge(&s.ctr.OutputTuple, 1); err != nil {
+			return nil, err
+		}
+		if err := s.chargeRows(1); err != nil {
+			return nil, err
+		}
+		cell := groups[k]
+		row := make([]int64, 0, 2+len(cell.sums))
+		row = append(row, k, cell.count)
+		row = append(row, cell.sums...)
+		out = append(out, row)
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"ml4db/internal/mlmath"
 	"ml4db/internal/sqlkit/catalog"
 	"ml4db/internal/sqlkit/expr"
 	"ml4db/internal/sqlkit/plan"
@@ -72,6 +73,82 @@ func (s *execState) scanDiskPage(n *plan.Node, tf *storage.TableFile, pageNo int
 		*out = append(*out, cp)
 	}
 	return nil
+}
+
+// seqScanDiskPartitioned scans contiguous page ranges in parallel. Shards
+// fetch pages through storage.Pool.FetchScan — the bypass path that pins
+// resident pages without mutating replacement state and reads non-resident
+// pages privately without inserting them — so the pool's contents, tick, and
+// eviction decisions are independent of shard interleaving and the scan stays
+// replay-deterministic. Miss charges equal the serial scan's whenever the
+// pool's resident set at scan start matches (always true for a cold table;
+// see docs/EXECUTOR.md for the warm-pool caveat).
+func (s *execState) seqScanDiskPartitioned(n *plan.Node, t *catalog.Table) ([][]int64, error) {
+	tf := t.Disk
+	numPages, parts := tf.NumPages(), n.Partitions
+	missBefore := s.ctr.PageMiss
+	out, err := s.runPartitioned(parts, func(k int, lg *shardLog) {
+		row := make([]int64, t.NumCols())
+		lo, hi := mlmath.ShardRange(numPages, parts, k)
+		for pageNo := lo; pageNo < hi; pageNo++ {
+			ok, err := s.scanDiskPageShard(n, tf, pageNo, row, lg)
+			if err != nil {
+				lg.err = err
+				return
+			}
+			if !ok {
+				return
+			}
+		}
+	})
+	n.ActualPageMisses = float64(s.ctr.PageMiss - missBefore)
+	if err != nil {
+		return nil, err
+	}
+	n.ActualRows = float64(len(out))
+	return out, nil
+}
+
+// scanDiskPageShard is scanDiskPage for a shard: identical charge order
+// (PageMiss, then per live tuple ScanTuples and the materialized row), logged
+// instead of applied, with the same deferred-Unpin pin discipline. ok is
+// false when the shard should stop early (budget early-stop).
+func (s *execState) scanDiskPageShard(n *plan.Node, tf *storage.TableFile, pageNo int, row []int64, lg *shardLog) (ok bool, err error) {
+	h, err := tf.FetchPageForScan(pageNo)
+	if err != nil {
+		return false, err
+	}
+	defer h.Unpin()
+	if h.Missed() {
+		if !lg.charge(kPageMiss, 1) {
+			return false, nil
+		}
+	}
+	p := h.Page()
+	for slot := 0; slot < p.NumSlots(); slot++ {
+		if !p.ReadTuple(slot, row) {
+			continue
+		}
+		live := true
+		for _, f := range n.Filters {
+			if !f.Eval(row[f.Col]) {
+				live = false
+				break
+			}
+		}
+		if !live {
+			if !lg.charge(kScanTuples, 1) {
+				return false, nil
+			}
+			continue
+		}
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		if !lg.emit(kScanTuples, 1, cp) {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // indexScanDisk fetches the index's matching heap rows through the pool —

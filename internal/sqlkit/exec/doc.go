@@ -6,4 +6,15 @@
 // reproducible across runs, unlike wall-clock time, while preserving the
 // ordering of plan quality. A work budget implements the execution timeouts
 // that Balsa (§3.3) relies on to avoid unpredictable stalls.
+//
+// Operators whose plan node carries a Partitions annotation run as
+// exchange operators: the input splits into contiguous ranges
+// (mlmath.ShardRange), shards run on the mlmath.Pool passed in
+// Options.Pool, and the coordinator merges shard outputs in shard order.
+// Shards log counter charges privately instead of applying them; the
+// coordinator replays the logs with the serial budget arithmetic, so
+// parallel execution is bit-identical to serial — same rows, same
+// counters, same typed budget aborts, same explain trees — regardless of
+// worker count. See docs/EXECUTOR.md for the full contract and the
+// determinism argument.
 package exec

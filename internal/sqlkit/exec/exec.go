@@ -67,6 +67,12 @@ type Options struct {
 	// Span, when the executor has a Tracer, becomes the parent of the
 	// execution's spans — letting callers nest execute under a query span.
 	Span *obs.Span
+	// Pool runs partitioned operators' shards in parallel. A nil pool (or a
+	// one-worker pool) runs every shard inline on the calling goroutine.
+	// The results are bit-identical for any pool: partitioning is a pure
+	// function of the plan's Partitions knob, and shard outputs and charge
+	// logs are merged in fixed shard order (see exchange.go).
+	Pool *mlmath.Pool
 }
 
 // effectiveBudget folds the legacy MaxWork field and the Budget struct into
@@ -96,17 +102,18 @@ type Counters struct {
 	NLPairs     int64 // (outer, inner) pairs of NLJoin
 	MergeSort   int64 // tuple·log(tuple) units of MergeJoin sorting
 	MergeScan   int64 // merge-phase steps of MergeJoin
-	OutputTuple int64 // join output tuples (hash and merge)
+	OutputTuple int64 // join output tuples (hash and merge), and HashAgg groups emitted
 	IndexProbe  int64 // binary-search steps of IndexScan probes
 	IndexFetch  int64 // rows fetched through a secondary index
 	PageMiss    int64 // buffer-pool misses charged to disk-table scans
+	AggInput    int64 // input tuples accumulated by HashAgg
 }
 
 // Total sums all categories (each weighted 1): the executor's work units.
 func (c Counters) Total() int64 {
 	return c.ScanTuples + c.HashBuild + c.HashProbe + c.NLPairs +
 		c.MergeSort + c.MergeScan + c.OutputTuple + c.IndexProbe + c.IndexFetch +
-		c.PageMiss
+		c.PageMiss + c.AggInput
 }
 
 // Vec returns the counters in optimizer.CostParams.Vec order.
@@ -115,7 +122,7 @@ func (c Counters) Vec() []float64 {
 		float64(c.ScanTuples), float64(c.HashBuild), float64(c.HashProbe),
 		float64(c.NLPairs), float64(c.MergeSort), float64(c.MergeScan),
 		float64(c.OutputTuple), float64(c.IndexProbe), float64(c.IndexFetch),
-		float64(c.PageMiss),
+		float64(c.PageMiss), float64(c.AggInput),
 	}
 }
 
@@ -153,7 +160,7 @@ func New(cat *catalog.Catalog) *Executor { return &Executor{Cat: cat} }
 // are filled in along the way.
 func (e *Executor) Execute(root *plan.Node, opts Options) (*Result, error) {
 	maxWork, maxRows := opts.effectiveBudget()
-	st := &execState{cat: e.Cat, maxWork: maxWork, maxRows: maxRows}
+	st := &execState{cat: e.Cat, maxWork: maxWork, maxRows: maxRows, pool: opts.Pool}
 	observed := opts.Analyze || e.Trace != nil
 	if observed {
 		st.tr = e.Trace
@@ -197,6 +204,10 @@ type execState struct {
 	rows    int64 // tuples materialized by all operators
 	maxRows int64
 	ctr     Counters
+	// pool runs partitioned operators' shards; nil means inline. Shards
+	// never touch this struct — they log into private shardLogs the
+	// coordinator replays in shard order (see exchange.go).
+	pool *mlmath.Pool
 
 	// Observability state, all nil/unused on the fast path.
 	ex    *Explain
@@ -272,6 +283,8 @@ func (s *execState) dispatch(n *plan.Node) ([][]int64, error) {
 		return s.nlJoin(n)
 	case plan.OpMergeJoin:
 		return s.mergeJoin(n)
+	case plan.OpHashAgg:
+		return s.hashAgg(n)
 	default:
 		return nil, fmt.Errorf("exec: unknown operator %v", n.Op)
 	}
@@ -280,10 +293,16 @@ func (s *execState) dispatch(n *plan.Node) ([][]int64, error) {
 func (s *execState) seqScan(n *plan.Node) ([][]int64, error) {
 	t := s.cat.Table(n.TableID)
 	if t.Virtual != nil {
-		return s.seqScanVirtual(n, t)
+		return s.seqScanVirtual(n, t) // virtual sources materialize as a unit; Partitions is ignored
 	}
 	if t.Disk != nil {
+		if n.Partitions > 1 {
+			return s.seqScanDiskPartitioned(n, t)
+		}
 		return s.seqScanDisk(n, t)
+	}
+	if n.Partitions > 1 {
+		return s.seqScanPartitioned(n, t)
 	}
 	nRows := t.NumRows()
 	nCols := t.NumCols()
@@ -397,7 +416,10 @@ func indexInterval(t *catalog.Table, n *plan.Node) (lo, hi int64, residual []exp
 	return lo, hi, residual, found
 }
 
-// log2int returns ceil(log2(n)) as a work charge, minimum 1.
+// log2int returns floor(log2(n))+1 — the number of probes a binary search
+// makes over n items — as a work charge, minimum 1 (n <= 1). The optimizer's
+// IndexScanCost mirrors this exactly (optimizer.probeSteps), keeping the
+// "true cost params reproduce actual work" identity free of off-by-ones.
 func log2int(n int) int64 {
 	c := int64(1)
 	for v := n; v > 1; v >>= 1 {
@@ -438,6 +460,9 @@ func (s *execState) hashJoin(n *plan.Node) ([][]int64, error) {
 		k := row[n.LeftCol]
 		ht[k] = append(ht[k], i)
 	}
+	if n.Partitions > 1 {
+		return s.hashProbePartitioned(n, ht, left, right)
+	}
 	var out [][]int64
 	for _, rrow := range right {
 		if err := s.charge(&s.ctr.HashProbe, 1); err != nil {
@@ -462,6 +487,9 @@ func (s *execState) nlJoin(n *plan.Node) ([][]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n.Partitions > 1 {
+		return s.nlJoinPartitioned(n, left, right)
+	}
 	var out [][]int64
 	for _, lrow := range left {
 		lk := lrow[n.LeftCol]
@@ -481,6 +509,10 @@ func (s *execState) nlJoin(n *plan.Node) ([][]int64, error) {
 	return out, nil
 }
 
+// mergeJoin is always serial: a partitioned merge provably diverges from the
+// serial MergeScan counter (e.g. left={1,5}, right={3,5}: the serial merge
+// charges 3 scan steps, any 2-way partition of it charges 2), so Partitions
+// is ignored here to preserve serial≡parallel counter identity.
 func (s *execState) mergeJoin(n *plan.Node) ([][]int64, error) {
 	left, right, err := s.children(n)
 	if err != nil {

@@ -147,8 +147,17 @@ func opDesc(n *plan.Node) string {
 			fmt.Fprintf(&b, " %s", f)
 		}
 		b.WriteString(")")
+	} else if n.Op == plan.OpHashAgg {
+		fmt.Fprintf(&b, "%s(g=c%d", n.Op, n.GroupCol)
+		for _, c := range n.SumCols {
+			fmt.Fprintf(&b, " sum=c%d", c)
+		}
+		b.WriteString(")")
 	} else {
 		fmt.Fprintf(&b, "%s(l.c%d = r.c%d)", n.Op, n.LeftCol, n.RightCol)
+	}
+	if n.Partitions > 1 {
+		fmt.Fprintf(&b, " par=%d", n.Partitions)
 	}
 	return b.String()
 }
@@ -171,6 +180,7 @@ func counterBreakdown(c Counters) string {
 	add("iprobe", c.IndexProbe)
 	add("ifetch", c.IndexFetch)
 	add("pmiss", c.PageMiss)
+	add("agg", c.AggInput)
 	if len(parts) == 0 {
 		return ""
 	}
@@ -190,6 +200,7 @@ func addCounters(a, b Counters) Counters {
 		IndexProbe:  a.IndexProbe + b.IndexProbe,
 		IndexFetch:  a.IndexFetch + b.IndexFetch,
 		PageMiss:    a.PageMiss + b.PageMiss,
+		AggInput:    a.AggInput + b.AggInput,
 	}
 }
 
@@ -206,6 +217,7 @@ func subCounters(a, b Counters) Counters {
 		IndexProbe:  a.IndexProbe - b.IndexProbe,
 		IndexFetch:  a.IndexFetch - b.IndexFetch,
 		PageMiss:    a.PageMiss - b.PageMiss,
+		AggInput:    a.AggInput - b.AggInput,
 	}
 }
 
@@ -223,6 +235,8 @@ func opSpanName(op plan.OpType) string {
 		return "exec.NLJoin"
 	case plan.OpMergeJoin:
 		return "exec.MergeJoin"
+	case plan.OpHashAgg:
+		return "exec.HashAgg"
 	default:
 		return "exec.Op"
 	}

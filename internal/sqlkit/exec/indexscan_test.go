@@ -93,8 +93,8 @@ func TestIndexScanIntersectsMultiplePredicates(t *testing.T) {
 
 func TestCountersVecLength(t *testing.T) {
 	var c Counters
-	if len(c.Vec()) != 10 {
-		t.Errorf("counters vec length %d, want 10", len(c.Vec()))
+	if len(c.Vec()) != 11 {
+		t.Errorf("counters vec length %d, want 11", len(c.Vec()))
 	}
 	c.IndexProbe, c.IndexFetch = 3, 4
 	if c.Total() != 7 {

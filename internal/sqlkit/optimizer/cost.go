@@ -22,6 +22,15 @@ type CostParams struct {
 	IndexProbe  float64 // per binary-search step of an IndexScan probe
 	IndexFetch  float64 // per row fetched through a secondary index
 	PageRead    float64 // per buffer-pool miss of a disk-table scan
+	AggTuple    float64 // per input tuple accumulated by HashAgg
+
+	// ExchangeStartup is the per-shard coordination overhead of a
+	// partitioned (exchange-parallel) operator, in cost units. It models
+	// latency the executor never charges as work — shard setup and merge —
+	// so it is excluded from Vec (ParamTree fits work-unit coefficients
+	// only) and is zero in TrueCostParams, keeping the "true params
+	// reproduce actual work" identity exact at any partition count.
+	ExchangeStartup float64
 }
 
 // TrueCostParams mirror the executor's work charges exactly.
@@ -29,7 +38,7 @@ func TrueCostParams() CostParams {
 	return CostParams{
 		CPUTuple: 1, HashBuild: 1, HashProbe: 1, NLTuple: 1,
 		MergeSort: 1, MergeScan: 1, OutputTuple: 1, IndexProbe: 1, IndexFetch: 1,
-		PageRead: 1,
+		PageRead: 1, AggTuple: 1,
 	}
 }
 
@@ -40,7 +49,7 @@ func DefaultCostParams() CostParams {
 	return CostParams{
 		CPUTuple: 1, HashBuild: 4, HashProbe: 0.5, NLTuple: 0.25,
 		MergeSort: 0.5, MergeScan: 2, OutputTuple: 0.1, IndexProbe: 2, IndexFetch: 0.25,
-		PageRead: 16,
+		PageRead: 16, AggTuple: 2, ExchangeStartup: 32,
 	}
 }
 
@@ -50,7 +59,7 @@ func (p CostParams) Vec() []float64 {
 	return []float64{
 		p.CPUTuple, p.HashBuild, p.HashProbe, p.NLTuple,
 		p.MergeSort, p.MergeScan, p.OutputTuple, p.IndexProbe, p.IndexFetch,
-		p.PageRead,
+		p.PageRead, p.AggTuple,
 	}
 }
 
@@ -59,15 +68,34 @@ func ParamsFromVec(v []float64) CostParams {
 	return CostParams{
 		CPUTuple: v[0], HashBuild: v[1], HashProbe: v[2], NLTuple: v[3],
 		MergeSort: v[4], MergeScan: v[5], OutputTuple: v[6], IndexProbe: v[7], IndexFetch: v[8],
-		PageRead: v[9],
+		PageRead: v[9], AggTuple: v[10],
 	}
 }
 
-func log2ceil(x float64) float64 {
-	if x <= 2 {
-		return 1
+// probeSteps mirrors exec.log2int exactly: the number of probes a binary
+// search makes over n items — floor(log2 n) + 1, minimum 1 — so IndexScanCost
+// under TrueCostParams reproduces the executor's IndexProbe charge with no
+// off-by-one.
+func probeSteps(x float64) float64 {
+	c := 1.0
+	for v := int64(x); v > 1; v >>= 1 {
+		c++
 	}
-	return math.Ceil(math.Log2(x))
+	return c
+}
+
+// nLogN mirrors the executor's merge-sort charge exactly: m·floor(log2 m)
+// for m > 1, m itself for m ≤ 1 (fractional estimates use the floor's
+// integer log but keep the fractional multiplier).
+func nLogN(x float64) float64 {
+	if x <= 1 {
+		return x
+	}
+	logM := 0.0
+	for v := int64(x); v > 1; v >>= 1 {
+		logM++
+	}
+	return x * logM
 }
 
 // JoinCost returns the formula cost of joining inputs of the given estimated
@@ -79,7 +107,7 @@ func (p CostParams) JoinCost(op plan.OpType, leftRows, rightRows, outRows float6
 	case plan.OpNLJoin:
 		return p.NLTuple * leftRows * rightRows
 	case plan.OpMergeJoin:
-		return p.MergeSort*(leftRows*log2ceil(leftRows)+rightRows*log2ceil(rightRows)) +
+		return p.MergeSort*(nLogN(leftRows)+nLogN(rightRows)) +
 			p.MergeScan*(leftRows+rightRows) + p.OutputTuple*outRows
 	default:
 		return math.Inf(1)
@@ -92,7 +120,13 @@ func (p CostParams) ScanCost(tableRows float64) float64 { return p.CPUTuple * ta
 // IndexScanCost returns the formula cost of an index scan over a table of
 // tableRows fetching estFetched rows through the index.
 func (p CostParams) IndexScanCost(tableRows, estFetched float64) float64 {
-	return p.IndexProbe*log2ceil(tableRows) + p.IndexFetch*estFetched
+	return p.IndexProbe*probeSteps(tableRows) + p.IndexFetch*estFetched
+}
+
+// AggCost returns the formula cost of hash-aggregating inRows input tuples
+// into groups output groups, excluding child costs.
+func (p CostParams) AggCost(inRows, groups float64) float64 {
+	return p.AggTuple*inRows + p.OutputTuple*groups
 }
 
 // CardEstimator estimates result sizes. The expert implementation uses

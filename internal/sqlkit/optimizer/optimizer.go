@@ -29,6 +29,12 @@ type Optimizer struct {
 	// IO feeds the observed buffer-pool miss rate into the I/O cost term
 	// for disk-backed tables; nil assumes a cold cache (miss rate 1).
 	IO IOStats
+	// Parallelism is the maximum exchange degree the optimizer may assign to
+	// a node's Partitions knob — typically the executor pool's worker count.
+	// Values below two leave every plan serial (Partitions zero), which is
+	// also the default, so plans stay byte-identical to the pre-parallel
+	// optimizer unless a caller opts in.
+	Parallelism int
 }
 
 // missRate returns the pool-observed miss rate, or 1 without pool feedback.
@@ -127,7 +133,114 @@ func (o *Optimizer) Plan(q *plan.Query, hint HintSet) (*plan.Node, error) {
 	if sp == nil {
 		return nil, fmt.Errorf("optimizer: join graph is disconnected")
 	}
-	return sp.node, nil
+	root := sp.node
+	if q.Agg != nil {
+		gc := o.colOffset(q, sp.layout, q.Agg.GroupTable, q.Agg.GroupCol)
+		sums := make([]int, 0, len(q.Agg.Sums))
+		for _, s := range q.Agg.Sums {
+			sums = append(sums, o.colOffset(q, sp.layout, s.Table, s.Col))
+		}
+		agg := plan.NewAgg(root, gc, sums...)
+		agg.EstRows = o.estAggGroups(q, root.EstRows)
+		agg.EstCost = root.EstCost + o.Cost.AggCost(root.EstRows, agg.EstRows)
+		root = agg
+	}
+	o.parallelize(root)
+	return root, nil
+}
+
+// estAggGroups estimates the group count of q's aggregation: the grouping
+// column's exact distinct count when statistics exist, capped by the child's
+// output estimate.
+func (o *Optimizer) estAggGroups(q *plan.Query, childRows float64) float64 {
+	groups := childRows
+	if q.Agg != nil {
+		t := o.Cat.Table(q.Tables[q.Agg.GroupTable])
+		if st := t.Columns[q.Agg.GroupCol].Stats; st != nil && st.Distinct > 0 {
+			groups = float64(st.Distinct)
+		}
+	}
+	if groups > childRows {
+		groups = childRows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// parallelize assigns each node's Partitions knob bottom-up, costing the
+// knob explicitly: a node's own (exclusive) cost splits into a
+// parallelizable part and a fixed serial part, and partitioning into P
+// shards costs par/P + fixed + ExchangeStartup·P. The best P in
+// [1, Parallelism] wins; P = 1 keeps the pure serial cost with no startup
+// term. EstCost is rebuilt cumulatively afterward, so learned components
+// that consume EstCost see the parallel-adjusted plan cost.
+func (o *Optimizer) parallelize(root *plan.Node) {
+	if o.Parallelism <= 1 {
+		return
+	}
+	var walk func(n *plan.Node) float64
+	walk = func(n *plan.Node) float64 {
+		childOrig := 0.0
+		for _, c := range n.Children {
+			childOrig += c.EstCost
+		}
+		own := n.EstCost - childOrig
+		if own < 0 {
+			own = 0
+		}
+		childNew := 0.0
+		for _, c := range n.Children {
+			childNew += walk(c)
+		}
+		par, fixed := o.splitParallelizable(n, own)
+		bestCost, bestP := own, 1
+		if par > 0 {
+			for p := 2; p <= o.Parallelism; p++ {
+				c := par/float64(p) + fixed + o.Cost.ExchangeStartup*float64(p)
+				if c < bestCost {
+					bestCost, bestP = c, p
+				}
+			}
+		}
+		n.Partitions = bestP
+		n.EstCost = childNew + bestCost
+		return n.EstCost
+	}
+	walk(root)
+}
+
+// splitParallelizable divides a node's own cost into the part an exchange
+// can divide across shards and the part that stays serial, mirroring which
+// executor phases exchange.go actually partitions: scans and nested-loop
+// pairs divide fully, a hash join's build (and an aggregation's sorted
+// emission) stay on the coordinator, and index scans, merge joins, and
+// virtual-table scans never partition.
+func (o *Optimizer) splitParallelizable(n *plan.Node, own float64) (par, fixed float64) {
+	switch n.Op {
+	case plan.OpSeqScan:
+		if o.Cat.Table(n.TableID).Virtual != nil {
+			return 0, own
+		}
+		return own, 0
+	case plan.OpHashJoin:
+		build := o.Cost.HashBuild * n.Children[0].EstRows
+		if build > own {
+			build = own
+		}
+		return own - build, build
+	case plan.OpNLJoin:
+		return own, 0
+	case plan.OpHashAgg:
+		emit := o.Cost.OutputTuple * n.EstRows
+		if emit > own {
+			emit = own
+		}
+		return own - emit, emit
+	default: // IndexScan, MergeJoin: always serial
+		return 0, own
+	}
 }
 
 // PlanTraced is Plan wrapped in an "optimizer.plan" span under parent,
@@ -305,6 +418,12 @@ func (o *Optimizer) Annotate(q *plan.Query, n *plan.Node) float64 {
 		}
 		return n.EstCost
 	}
+	if n.Op == plan.OpHashAgg {
+		lc := o.Annotate(q, n.Children[0])
+		n.EstRows = o.estAggGroups(q, n.Children[0].EstRows)
+		n.EstCost = lc + o.Cost.AggCost(n.Children[0].EstRows, n.EstRows)
+		return n.EstCost
+	}
 	lc := o.Annotate(q, n.Children[0])
 	rc := o.Annotate(q, n.Children[1])
 	n.EstRows = EstimateSubtreeRows(o.Est, q, n.Tables())
@@ -329,6 +448,10 @@ func planCostWith(cat *catalog.Catalog, p CostParams, n *plan.Node, rows func(*p
 			return p.IndexScanCost(float64(t.NumRows()), n.ActualFetched) + io
 		}
 		return p.ScanCost(float64(t.NumRows())) + io
+	}
+	if n.Op == plan.OpHashAgg {
+		c := planCostWith(cat, p, n.Children[0], rows)
+		return c + p.AggCost(rows(n.Children[0]), rows(n))
 	}
 	c := planCostWith(cat, p, n.Children[0], rows) + planCostWith(cat, p, n.Children[1], rows)
 	return c + p.JoinCost(n.Op, rows(n.Children[0]), rows(n.Children[1]), rows(n))

@@ -18,6 +18,32 @@ type Query struct {
 	Filters map[int][]expr.Pred
 	// Joins are equi-join conditions between table positions.
 	Joins []expr.JoinCond
+	// Agg, when non-nil, applies a grouped aggregation on top of the join
+	// result (see AggSpec). The optimizer plans it as an OpHashAgg root.
+	Agg *AggSpec
+}
+
+// AggSpec is an optional grouped aggregation over the query result: one
+// GROUP BY column and any number of SUM columns, each named as a (table
+// position, column) pair like join conditions. The result has one row per
+// group — [group value, COUNT(*), SUM(col)...] — emitted in ascending group
+// order, which keeps aggregated results deterministic.
+type AggSpec struct {
+	// GroupTable/GroupCol name the grouping column.
+	GroupTable, GroupCol int
+	// Sums name the columns summed per group, in output order.
+	Sums []AggCol
+}
+
+// AggCol names one aggregated column as a (table position, column) pair.
+type AggCol struct {
+	Table, Col int
+}
+
+// SetAgg installs a grouped aggregation on the query.
+func (q *Query) SetAgg(groupTable, groupCol int, sums ...AggCol) *Query {
+	q.Agg = &AggSpec{GroupTable: groupTable, GroupCol: groupCol, Sums: sums}
+	return q
 }
 
 // NewQuery constructs an empty query over the given catalog table IDs.
@@ -57,6 +83,12 @@ func (q *Query) Signature() string {
 	for _, j := range q.Joins {
 		fmt.Fprintf(&b, "|%s", j)
 	}
+	if q.Agg != nil {
+		fmt.Fprintf(&b, "|G%d.c%d", q.Agg.GroupTable, q.Agg.GroupCol)
+		for _, s := range q.Agg.Sums {
+			fmt.Fprintf(&b, "|S%d.c%d", s.Table, s.Col)
+		}
+	}
 	return b.String()
 }
 
@@ -73,6 +105,10 @@ const (
 	// the node's interval predicate on that column, then applies the
 	// remaining filters.
 	OpIndexScan
+	// OpHashAgg groups its single child's rows by GroupCol and emits one
+	// row per group — [group, COUNT(*), SUM(col)...] — in ascending group
+	// order.
+	OpHashAgg
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +124,8 @@ func (o OpType) String() string {
 		return "MergeJoin"
 	case OpIndexScan:
 		return "IndexScan"
+	case OpHashAgg:
+		return "HashAgg"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -115,6 +153,19 @@ type Node struct {
 	// Join fields: output-relative column offsets into the left and right
 	// child schemas.
 	LeftCol, RightCol int
+
+	// Agg fields (OpHashAgg): output-relative offsets into the child
+	// schema. GroupCol is the grouping column; SumCols are summed per
+	// group.
+	GroupCol int
+	SumCols  []int
+
+	// Partitions is the exchange degree: how many contiguous shards the
+	// operator's parallel phase splits into. Zero or one mean serial. The
+	// executor produces bit-identical rows and counters for every value —
+	// partitioning only trades latency — so the optimizer costs the knob
+	// and the plan cache keys on it purely for performance coherence.
+	Partitions int
 
 	// Optimizer annotations.
 	EstRows float64
@@ -160,6 +211,9 @@ func (n *Node) Width(colsOf func(tablePos int) int) int {
 	if n.IsLeaf() {
 		return colsOf(n.TablePos)
 	}
+	if n.Op == OpHashAgg {
+		return 2 + len(n.SumCols) // group, COUNT(*), one column per SUM
+	}
 	w := 0
 	for _, c := range n.Children {
 		w += c.Width(colsOf)
@@ -202,6 +256,7 @@ func (n *Node) Clone() *Node {
 	for _, c := range n.Children {
 		out.Children = append(out.Children, c.Clone())
 	}
+	out.SumCols = append([]int(nil), n.SumCols...)
 	return &out
 }
 
@@ -223,8 +278,17 @@ func (n *Node) render(b *strings.Builder, depth int) {
 			fmt.Fprintf(b, " %s", f)
 		}
 		b.WriteString(")")
+	} else if n.Op == OpHashAgg {
+		fmt.Fprintf(b, "%s(g=c%d", n.Op, n.GroupCol)
+		for _, c := range n.SumCols {
+			fmt.Fprintf(b, " sum=c%d", c)
+		}
+		b.WriteString(")")
 	} else {
 		fmt.Fprintf(b, "%s(l.c%d = r.c%d)", n.Op, n.LeftCol, n.RightCol)
+	}
+	if n.Partitions > 1 {
+		fmt.Fprintf(b, " par=%d", n.Partitions)
 	}
 	fmt.Fprintf(b, " rows=%.0f cost=%.0f\n", n.EstRows, n.EstCost)
 	for _, c := range n.Children {
@@ -241,4 +305,10 @@ func NewScan(tablePos, tableID int, filters []expr.Pred) *Node {
 // column offsets.
 func NewJoin(op OpType, left, right *Node, leftCol, rightCol int) *Node {
 	return &Node{Op: op, Children: []*Node{left, right}, LeftCol: leftCol, RightCol: rightCol}
+}
+
+// NewAgg constructs a hash-aggregation node over one child with
+// output-relative column offsets.
+func NewAgg(child *Node, groupCol int, sumCols ...int) *Node {
+	return &Node{Op: OpHashAgg, Children: []*Node{child}, GroupCol: groupCol, SumCols: sumCols}
 }

@@ -148,29 +148,49 @@ func (p *Pool) fileID(hf *HeapFile) uint32 {
 // PageHandle is a pinned page. The holder may read the page, mutate it and
 // mark it dirty; it must call Unpin on every non-error path when done (the
 // spanend analyzer checks this). Unpin is idempotent per handle.
+//
+// Handles from FetchScan may instead wrap a private page read around the
+// pool (pool and fr nil, page set); such handles are read-only.
 type PageHandle struct {
 	pool     *Pool
 	fr       *frame
+	page     *Page // bypass handles only: private copy, not resident
 	missed   bool
 	released bool
 }
 
 // Page returns the pinned page. Valid until Unpin.
-func (h *PageHandle) Page() *Page { return h.fr.page }
+func (h *PageHandle) Page() *Page {
+	if h.fr == nil {
+		return h.page
+	}
+	return h.fr.page
+}
 
 // Missed reports whether this fetch had to read the page from disk (a pool
 // miss) — the signal the executor charges as PageMiss work.
 func (h *PageHandle) Missed() bool { return h.missed }
 
 // SetDirty marks the page as modified so eviction and Flush write it back.
+// FetchScan bypass handles are read-only: dirtying a private copy would
+// silently lose the write, so that is a programming error.
 func (h *PageHandle) SetDirty() {
+	if h.pool == nil {
+		//ml4db:allow nakedpanic "read-only bypass handles have no frame to dirty; losing the write silently would corrupt the table"
+		panic("storage: SetDirty on a read-only scan handle")
+	}
 	h.pool.mu.Lock()
 	h.fr.dirty = true
 	h.pool.mu.Unlock()
 }
 
-// Unpin releases the pin. Calling it more than once is a no-op.
+// Unpin releases the pin. Calling it more than once is a no-op. Bypass
+// handles hold no pool state; for them Unpin only marks the handle released.
 func (h *PageHandle) Unpin() {
+	if h.pool == nil {
+		h.released = true
+		return
+	}
 	h.pool.mu.Lock()
 	if !h.released {
 		h.released = true
@@ -214,6 +234,39 @@ func (p *Pool) Fetch(hf *HeapFile, pageNo int) (*PageHandle, error) {
 	p.frames[key] = fr
 	p.notifyLocked(key, false)
 	return &PageHandle{pool: p, fr: fr, missed: true}, nil
+}
+
+// FetchScan is the read-only bulk-scan path: it returns pageNo of hf without
+// perturbing any replacement state, so concurrent scan shards can fetch pages
+// in any interleaving and leave the pool's future eviction decisions — and
+// therefore replay determinism — untouched. A resident page is pinned and
+// counted as a hit, but the logical tick, the eviction policy, the reuse
+// histogram, and the observer are all left alone; a non-resident page is read
+// from disk outside the lock into a private page that is never inserted (no
+// eviction, no registration of unknown files) and counted as a miss. Safe for
+// concurrent use with Fetch and with other FetchScan calls.
+func (p *Pool) FetchScan(hf *HeapFile, pageNo int) (*PageHandle, error) {
+	p.mu.Lock()
+	if id, ok := p.files[hf]; ok {
+		key := PageKey{File: id, Page: uint32(pageNo)}
+		if fr, ok := p.frames[key]; ok {
+			p.hits++
+			p.cHits.Inc()
+			fr.pins++
+			p.mu.Unlock()
+			return &PageHandle{pool: p, fr: fr, missed: false}, nil
+		}
+	}
+	p.mu.Unlock()
+	page, err := hf.ReadPage(pageNo)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.misses++
+	p.cMisses.Inc()
+	p.mu.Unlock()
+	return &PageHandle{page: page, missed: true}, nil
 }
 
 // notifyLocked drives the policy and observer for one access, in access

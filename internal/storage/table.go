@@ -55,6 +55,15 @@ func (tf *TableFile) FetchPage(pageNo int) (*PageHandle, error) {
 	return tf.pool.Fetch(tf.hf, pageNo)
 }
 
+// FetchPageForScan fetches pageNo through the pool's read-only scan path
+// (Pool.FetchScan): resident pages are pinned without perturbing replacement
+// state, non-resident pages are read privately without insertion. Safe for
+// concurrent scan shards; the caller must Unpin the handle on every
+// non-error path.
+func (tf *TableFile) FetchPageForScan(pageNo int) (*PageHandle, error) {
+	return tf.pool.FetchScan(tf.hf, pageNo)
+}
+
 // AppendRow inserts row into the first page with free space (allocating a
 // new page when the file is full) and returns its row id.
 func (tf *TableFile) AppendRow(row []int64) (rowID int64, err error) {

@@ -99,4 +99,13 @@ go run ./cmd/ml4db-tracecheck -querystore "$obsdir/querystore.jsonl"
 echo "==> autopilot smoke (index adoption + canary revert + replay)"
 go run ./cmd/ml4db-bench -autopilot -quick -autopilot-out "$obsdir/BENCH_autopilot.json"
 
+# Executor smoke: partitioned parallel operators end to end — serial-vs-
+# parallel bit identity (rows, work, counters) including across pools with
+# different worker counts, budget-abort identity down to the typed error,
+# and plan-cache coherence across the parallelism knob. The bench exits
+# nonzero if any exchange contract is violated. (The -race sweep above
+# already covers the concurrent shard and buffer-pool paths.)
+echo "==> executor smoke (partitioned operators + determinism contracts)"
+go run ./cmd/ml4db-bench -exec -quick -exec-out "$obsdir/BENCH_exec.json"
+
 echo "All checks passed."
